@@ -1,0 +1,137 @@
+//! Ablation benches for the design choices DESIGN.md calls out: which parts
+//! of the DRAI formula actually buy Muzha its results?
+//!
+//! Variants ablated (all on the 4-hop chain and the 4-hop cross):
+//!
+//! * **full** — the calibrated default,
+//! * **no-marking** — congestion marks never set: every dup-ACK run looks
+//!   random, so the sender never halves (paper Table 4.1 row 2 disabled),
+//! * **no-util-cap** — channel utilisation never caps acceleration,
+//! * **queue-only** — neither utilisation nor retry signals; only queue
+//!   occupancy drives the DRAI (a wired-style AQM signal),
+//! * **ecn-binary** — the paper's §4.6 strawman: binary (two-level)
+//!   feedback, as ECN would provide,
+//! * **per-ack** — the full DRAI but with the sender spreading each
+//!   adjustment over the ACKs of a round instead of one step per RTT.
+
+use bench::announce;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{average, render_table};
+use muzha::DraiConfig;
+use netstack::{topology, FlowSpec, SimConfig, Simulator, TcpVariant};
+use sim_core::stats::jain_fairness_index;
+use sim_core::SimTime;
+
+fn drai_variants() -> Vec<(&'static str, DraiConfig)> {
+    let full = DraiConfig::default();
+    let no_marking = DraiConfig { mark_at: f64::INFINITY, mark_retry_above: 2.0, ..full };
+    let no_util_cap =
+        DraiConfig { util_moderate_above: 2.0, util_stable_above: 2.0, util_decel_above: 2.0, ..full };
+    let queue_only = DraiConfig {
+        util_moderate_above: 2.0,
+        util_stable_above: 2.0,
+        util_decel_above: 2.0,
+        retry_stable_above: 2.0,
+        retry_decel_above: 2.0,
+        mark_retry_above: 2.0,
+        ..full
+    };
+    vec![
+        ("full", full),
+        ("no-marking", no_marking),
+        ("no-util-cap", no_util_cap),
+        ("queue-only", queue_only),
+        ("ecn-binary", DraiConfig::ecn_like()),
+    ]
+}
+
+/// Sender-cadence ablation: per-RTT (paper) vs per-ACK.
+fn cadence_variants() -> Vec<(&'static str, muzha::AdjustmentCadence)> {
+    vec![
+        ("per-rtt", muzha::AdjustmentCadence::PerRtt),
+        ("per-ack", muzha::AdjustmentCadence::PerAck),
+    ]
+}
+
+/// Single Muzha flow throughput on the 4-hop chain for a given cadence.
+fn chain_throughput_cadence(cadence: muzha::AdjustmentCadence, seed: u64) -> f64 {
+    let cfg = SimConfig { seed, ..SimConfig::default() };
+    let mut sim = Simulator::new(topology::chain(4), cfg);
+    let (src, dst) = topology::chain_flow(4);
+    let flow = sim.add_flow(
+        FlowSpec::new(src, dst, TcpVariant::Muzha).with_muzha_cadence(cadence),
+    );
+    sim.run_until(SimTime::from_secs_f64(15.0));
+    sim.flow_report(flow).throughput_kbps(sim.now())
+}
+
+/// Single Muzha flow throughput on the 4-hop chain, per ablation.
+fn chain_throughput(drai: DraiConfig, seed: u64) -> f64 {
+    let cfg = SimConfig { seed, drai, ..SimConfig::default() };
+    let mut sim = Simulator::new(topology::chain(4), cfg);
+    let (src, dst) = topology::chain_flow(4);
+    let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+    sim.run_until(SimTime::from_secs_f64(15.0));
+    sim.flow_report(flow).throughput_kbps(sim.now())
+}
+
+/// Jain fairness of a NewReno/Muzha pair on the 4-hop cross, per ablation.
+fn cross_fairness(drai: DraiConfig, seed: u64) -> f64 {
+    let cfg = SimConfig { seed, drai, ..SimConfig::default() };
+    let mut sim = Simulator::new(topology::cross(4), cfg);
+    let (hs, hd) = topology::cross_horizontal_flow(4);
+    let (vs, vd) = topology::cross_vertical_flow(4);
+    let f1 = sim.add_flow(FlowSpec::new(hs, hd, TcpVariant::NewReno));
+    let f2 = sim.add_flow(FlowSpec::new(vs, vd, TcpVariant::Muzha));
+    sim.run_until(SimTime::from_secs_f64(30.0));
+    let a = sim.flow_report(f1).throughput_kbps(sim.now());
+    let b = sim.flow_report(f2).throughput_kbps(sim.now());
+    jain_fairness_index(&[a, b])
+}
+
+fn regenerate() {
+    let seeds = [11u64, 23, 37];
+    let rows: Vec<Vec<String>> = drai_variants()
+        .into_iter()
+        .map(|(name, drai)| {
+            let kbps: Vec<f64> = seeds.iter().map(|&s| chain_throughput(drai, s)).collect();
+            let fair: Vec<f64> = seeds.iter().map(|&s| cross_fairness(drai, s)).collect();
+            vec![
+                name.to_string(),
+                average(&kbps).pm(),
+                format!("{:.3}", average(&fair).mean),
+            ]
+        })
+        .collect();
+    announce(
+        "DRAI ablations (4-hop chain goodput / NewReno-coexistence fairness)",
+        &render_table(&["drai variant", "chain kbps", "cross Jain"], &rows),
+    );
+    let cadence_rows: Vec<Vec<String>> = cadence_variants()
+        .into_iter()
+        .map(|(name, cadence)| {
+            let kbps: Vec<f64> =
+                seeds.iter().map(|&s| chain_throughput_cadence(cadence, s)).collect();
+            vec![name.to_string(), average(&kbps).pm()]
+        })
+        .collect();
+    announce(
+        "Muzha adjustment-cadence ablation (4-hop chain goodput)",
+        &render_table(&["cadence", "chain kbps"], &cadence_rows),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    for (name, drai) in drai_variants() {
+        group.bench_function(format!("chain_{name}"), |b| {
+            b.iter(|| chain_throughput(drai, 11))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

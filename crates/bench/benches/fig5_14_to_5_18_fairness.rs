@@ -1,0 +1,46 @@
+//! Regenerates Figs. 5.14–5.18 (Simulation 3A): coexistence on the cross
+//! topology with Jain's fairness index, and benchmarks one coexistence run.
+
+use bench::{announce, bench_config};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::experiments::{coexistence, CoexistKind};
+use netstack::TcpVariant;
+use sim_core::SimDuration;
+
+fn pairs() -> [CoexistKind; 2] {
+    [
+        CoexistKind { horizontal: TcpVariant::NewReno, vertical: TcpVariant::Vegas },
+        CoexistKind { horizontal: TcpVariant::NewReno, vertical: TcpVariant::Muzha },
+    ]
+}
+
+fn regenerate() {
+    let mut cfg = bench_config();
+    cfg.duration = SimDuration::from_secs(30);
+    let result = coexistence(&[4, 6, 8], &pairs(), &cfg);
+    announce(
+        "Figs 5.15-5.18 (coexistence throughput + Jain fairness)",
+        &result.render(),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig5_15_coexistence");
+    group.sample_size(10);
+    let mut cfg = bench_config();
+    cfg.seeds = vec![11];
+    group.bench_function("newreno_vs_muzha_4hop_10s", |b| {
+        b.iter(|| {
+            coexistence(
+                &[4],
+                &[CoexistKind { horizontal: TcpVariant::NewReno, vertical: TcpVariant::Muzha }],
+                &cfg,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

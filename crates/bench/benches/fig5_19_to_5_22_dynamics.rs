@@ -1,0 +1,49 @@
+//! Regenerates Figs. 5.19–5.22 (Simulation 3B): throughput dynamics of
+//! three staggered flows per variant, and benchmarks one dynamics run.
+
+use bench::announce;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::experiments::throughput_dynamics;
+use netstack::{SimConfig, TcpVariant};
+use sim_core::SimDuration;
+
+fn regenerate() {
+    let mut body = String::new();
+    for variant in TcpVariant::PAPER {
+        let result = throughput_dynamics(
+            variant,
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(1),
+            SimConfig::default(),
+        );
+        let delivered: Vec<u64> =
+            result.reports.iter().map(|r| r.delivered_segments).collect();
+        body.push_str(&format!(
+            "{:>8}: per-flow segments {:?}, tail fairness {:.3}\n",
+            variant.name(),
+            delivered,
+            result.tail_fairness(10),
+        ));
+    }
+    announce("Figs 5.19-5.22 (three-flow dynamics)", &body);
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig5_19_dynamics");
+    group.sample_size(10);
+    group.bench_function("muzha_3flows_30s", |b| {
+        b.iter(|| {
+            throughput_dynamics(
+                TcpVariant::Muzha,
+                SimDuration::from_secs(30),
+                SimDuration::from_secs(1),
+                SimConfig::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Regenerates Figs. 5.2–5.7: congestion-window traces over 4/8/16-hop
+//! chains, and benchmarks the underlying single-flow simulation.
+
+use bench::announce;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::experiments::cwnd_traces;
+use netstack::{SimConfig, TcpVariant};
+use sim_core::{SimDuration, SimTime};
+
+fn regenerate() {
+    for hops in [4usize, 8, 16] {
+        let traces = cwnd_traces(
+            hops,
+            &TcpVariant::PAPER,
+            SimDuration::from_secs(10),
+            SimConfig::default(),
+        );
+        let mut body = String::new();
+        for t in &traces {
+            body.push_str(&format!(
+                "{:>8}: mean cwnd {:5.2}, oscillation {:5.2}, {} changes\n",
+                t.variant.name(),
+                t.mean_cwnd(SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(10.0)),
+                t.cwnd_std_dev(SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(10.0)),
+                t.trace.len(),
+            ));
+        }
+        announce(&format!("Figs 5.2-5.7 ({hops}-hop cwnd summary)"), &body);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig5_2_cwnd_trace");
+    group.sample_size(10);
+    for hops in [4usize, 8] {
+        group.bench_function(format!("muzha_{hops}hop_10s"), |b| {
+            b.iter(|| {
+                cwnd_traces(
+                    hops,
+                    &[TcpVariant::Muzha],
+                    SimDuration::from_secs(10),
+                    SimConfig::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

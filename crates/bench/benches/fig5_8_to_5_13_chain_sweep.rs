@@ -1,0 +1,39 @@
+//! Regenerates Figs. 5.8–5.13 (Simulation 2): throughput and
+//! retransmissions vs. chain length for advertised windows 4, 8 and 32,
+//! and benchmarks one sweep cell.
+
+use bench::{announce, bench_config};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::experiments::{throughput_vs_hops, SweepMetric};
+use netstack::TcpVariant;
+
+fn regenerate() {
+    let cfg = bench_config();
+    let sweep = throughput_vs_hops(&[4, 8, 16], &[4, 8, 32], &TcpVariant::PAPER, &cfg);
+    for w in [4u32, 8, 32] {
+        announce(
+            &format!("Figs 5.8-5.10 (throughput kbps, window {w})"),
+            &sweep.render(w, SweepMetric::ThroughputKbps),
+        );
+        announce(
+            &format!("Figs 5.11-5.13 (retransmissions, window {w})"),
+            &sweep.render(w, SweepMetric::Retransmissions),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig5_8_chain_sweep");
+    group.sample_size(10);
+    let cfg = bench_config();
+    for (variant, name) in [(TcpVariant::NewReno, "newreno"), (TcpVariant::Muzha, "muzha")] {
+        group.bench_function(format!("{name}_8hop_w32_cell"), |b| {
+            b.iter(|| throughput_vs_hops(&[8], &[32], &[variant], &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Shared helpers for the figure-regeneration benches.
+//!
+//! Each bench in `benches/` regenerates the data behind one group of the
+//! paper's tables/figures and reports how long a representative simulation
+//! takes. Criterion measures the *simulator's* performance; the regenerated
+//! rows/series themselves are printed once per bench run (to stderr) so
+//! `cargo bench` doubles as the reproduction script.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use harness::ExperimentConfig;
+use netstack::SimConfig;
+use sim_core::SimDuration;
+
+/// Experiment configuration used by the benches: fewer seeds and shorter
+/// runs than the full reproduction so `cargo bench` finishes quickly, while
+/// keeping every qualitative shape intact.
+pub fn bench_config() -> ExperimentConfig {
+    ExperimentConfig {
+        seeds: vec![11, 23],
+        duration: SimDuration::from_secs(10),
+        base: SimConfig::default(),
+    }
+}
+
+/// Prints a regenerated artifact once, labelled with its paper reference.
+pub fn announce(figure: &str, body: &str) {
+    eprintln!("\n=== regenerated {figure} ===\n{body}");
+}

@@ -1,0 +1,38 @@
+//! **TCP Muzha** — the paper's primary contribution: router-assisted TCP
+//! congestion control for wireless ad hoc networks.
+//!
+//! In a MANET every node is simultaneously an end host and a router, which
+//! makes router assistance deployable (the paper's core observation). The
+//! mechanism has three cooperating parts:
+//!
+//! 1. **Router side** ([`RouterAgent`], [`DraiComputer`]): every node
+//!    derives a five-level *Data Rate Adjustment Index* (DRAI) from its
+//!    interface-queue occupancy and recent channel utilisation, folds the
+//!    minimum along the path into the `AVBW-S` IP option of passing data
+//!    packets, and *marks* packets when its queue is congested.
+//!
+//! 2. **Receiver side** (in the `tcp` crate's receiver): echoes the path
+//!    minimum ("MRAI") and the congestion mark back in every ACK.
+//!
+//! 3. **Sender side** ([`MuzhaSender`]): no slow start and no bandwidth
+//!    probing. Once per RTT the window moves by the recommendation (paper
+//!    Table 5.2): ×2 / +1 / hold / −1 / ×½. Three *marked* duplicate ACKs
+//!    mean congestion → halve and enter fast retransmit/recovery ("FF"
+//!    phase); three *unmarked* duplicate ACKs mean a random wireless loss →
+//!    retransmit **without** shrinking the window (paper Table 4.1). A
+//!    timeout resets the window to one segment and stays in CA.
+//!
+//! The DRAI formula itself is declared "empirical" by the paper (§4.6);
+//! the thresholds used here are documented on [`DraiConfig`] and exercised
+//! by the ablation benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod drai;
+mod router;
+mod sender;
+
+pub use drai::{DraiComputer, DraiConfig};
+pub use router::{RouterAgent, RouterStats};
+pub use sender::{AdjustmentCadence, MuzhaSender};

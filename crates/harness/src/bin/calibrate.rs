@@ -1,0 +1,86 @@
+//! Calibration driver: runs reduced versions of every experiment and
+//! prints the key paper-shape checks. Used during development; the full
+//! regeneration lives in the bench crate and examples.
+
+use harness::experiments::{
+    coexistence, cwnd_traces, throughput_dynamics, throughput_vs_hops, CoexistKind, SweepMetric,
+};
+use harness::ExperimentConfig;
+use netstack::{SimConfig, TcpVariant};
+use sim_core::{SimDuration, SimTime};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+
+    if which == "sweep" || which == "all" {
+        let cfg = ExperimentConfig {
+            seeds: vec![11, 23, 37, 53, 71],
+            duration: SimDuration::from_secs(30),
+            base: SimConfig::default(),
+        };
+        let sweep = throughput_vs_hops(
+            &[4, 8, 16, 24, 32],
+            &[4, 8, 32],
+            &TcpVariant::PAPER,
+            &cfg,
+        );
+        for w in [4u32, 8, 32] {
+            println!("== Throughput (kbps) vs hops, window_={w} (Fig 5.8-5.10) ==");
+            println!("{}", sweep.render(w, SweepMetric::ThroughputKbps));
+            println!("== Retransmissions vs hops, window_={w} (Fig 5.11-5.13) ==");
+            println!("{}", sweep.render(w, SweepMetric::Retransmissions));
+        }
+    }
+
+    if which == "coexist" || which == "all" {
+        let cfg = ExperimentConfig {
+            seeds: vec![11, 23, 37, 53, 71],
+            duration: SimDuration::from_secs(50),
+            base: SimConfig::default(),
+        };
+        let pairs = [
+            CoexistKind { horizontal: TcpVariant::NewReno, vertical: TcpVariant::Vegas },
+            CoexistKind { horizontal: TcpVariant::NewReno, vertical: TcpVariant::Muzha },
+        ];
+        let result = coexistence(&[4, 6, 8], &pairs, &cfg);
+        println!("== Coexistence on cross topology (Figs 5.16-5.18) ==");
+        println!("{}", result.render());
+    }
+
+    if which == "cwnd" || which == "all" {
+        for hops in [4usize, 8, 16] {
+            let traces = cwnd_traces(
+                hops,
+                &TcpVariant::PAPER,
+                SimDuration::from_secs(10),
+                SimConfig::default(),
+            );
+            println!("== cwnd summary, {hops}-hop chain (Figs 5.2-5.7) ==");
+            for t in traces {
+                let mean =
+                    t.mean_cwnd(SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(10.0));
+                let sd =
+                    t.cwnd_std_dev(SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(10.0));
+                println!("  {:>8}: mean cwnd {:5.2}  std {:5.2}", t.variant.name(), mean, sd);
+            }
+        }
+    }
+
+    if which == "dynamics" || which == "all" {
+        println!("== Throughput dynamics tail fairness (Figs 5.19-5.22) ==");
+        for variant in TcpVariant::PAPER {
+            let result = throughput_dynamics(
+                variant,
+                SimDuration::from_secs(30),
+                SimDuration::from_secs(1),
+                SimConfig::default(),
+            );
+            println!(
+                "  {:>8}: fairness(last 10s of 3-flow phase) = {:.3}",
+                variant.name(),
+                result.tail_fairness(10)
+            );
+        }
+    }
+}

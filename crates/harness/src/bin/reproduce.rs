@@ -1,0 +1,124 @@
+//! One-shot reproduction: regenerates every table and figure of the paper
+//! into an output directory, as both human-readable text and plottable CSV.
+//!
+//! ```sh
+//! cargo run --release -p harness --bin reproduce -- [OUT_DIR] [--quick]
+//! ```
+//!
+//! `OUT_DIR` defaults to `results/`. `--quick` uses fewer seeds and shorter
+//! runs (minutes instead of tens of minutes).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use harness::experiments::{
+    coexistence, cwnd_traces, throughput_dynamics, throughput_vs_hops, CoexistKind, SweepMetric,
+};
+use harness::{export, ExperimentConfig};
+use netstack::{SimConfig, TcpVariant};
+use sim_core::{SimDuration, SimTime};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir: PathBuf = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let (seeds, chain_secs, cross_secs, hops): (Vec<u64>, u64, u64, Vec<usize>) = if quick {
+        (vec![11, 23], 10, 15, vec![4, 8, 16])
+    } else {
+        (vec![11, 23, 37, 53, 71], 30, 50, vec![4, 8, 12, 16, 20, 24, 28, 32])
+    };
+
+    // ---- Figs 5.2–5.7: cwnd traces ------------------------------------
+    println!("[1/4] cwnd traces (Figs 5.2-5.7)...");
+    let mut cwnd_txt = String::new();
+    for h in [4usize, 8, 16] {
+        let traces =
+            cwnd_traces(h, &TcpVariant::PAPER, SimDuration::from_secs(10), SimConfig::default());
+        cwnd_txt.push_str(&format!("== {h}-hop chain ==\n"));
+        for t in &traces {
+            cwnd_txt.push_str(&format!(
+                "{:>8}: mean cwnd {:5.2} (2-10 s), oscillation {:5.2}\n",
+                t.variant.name(),
+                t.mean_cwnd(SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(10.0)),
+                t.cwnd_std_dev(SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(10.0)),
+            ));
+            write(
+                &out_dir,
+                &format!("fig5_2_cwnd_{}_{}hop.csv", t.variant.name().to_lowercase(), h),
+                &export::cwnd_csv(t, 0.1, 10.0),
+            );
+        }
+    }
+    write(&out_dir, "fig5_2_to_5_7_cwnd_summary.txt", &cwnd_txt);
+
+    // ---- Figs 5.8–5.13: chain sweep ------------------------------------
+    println!("[2/4] chain sweep (Figs 5.8-5.13)...");
+    let cfg = ExperimentConfig {
+        seeds: seeds.clone(),
+        duration: SimDuration::from_secs(chain_secs),
+        base: SimConfig::default(),
+    };
+    let sweep = throughput_vs_hops(&hops, &[4, 8, 32], &TcpVariant::PAPER, &cfg);
+    let mut sweep_txt = String::new();
+    for w in [4u32, 8, 32] {
+        sweep_txt.push_str(&format!("== throughput kbps, window {w} (Figs 5.8-5.10) ==\n"));
+        sweep_txt.push_str(&sweep.render(w, SweepMetric::ThroughputKbps));
+        sweep_txt.push_str(&format!("\n== retransmissions, window {w} (Figs 5.11-5.13) ==\n"));
+        sweep_txt.push_str(&sweep.render(w, SweepMetric::Retransmissions));
+        sweep_txt.push('\n');
+    }
+    write(&out_dir, "fig5_8_to_5_13_chain_sweep.txt", &sweep_txt);
+    write(&out_dir, "fig5_8_to_5_13_chain_sweep.csv", &export::sweep_csv(&sweep));
+
+    // ---- Figs 5.15–5.18: coexistence -----------------------------------
+    println!("[3/4] coexistence (Figs 5.15-5.18)...");
+    let cfg = ExperimentConfig {
+        seeds: seeds.clone(),
+        duration: SimDuration::from_secs(cross_secs),
+        base: SimConfig::default(),
+    };
+    let pairs = [
+        CoexistKind { horizontal: TcpVariant::NewReno, vertical: TcpVariant::Vegas },
+        CoexistKind { horizontal: TcpVariant::NewReno, vertical: TcpVariant::Muzha },
+    ];
+    let coexist = coexistence(&[4, 6, 8], &pairs, &cfg);
+    write(&out_dir, "fig5_15_to_5_18_coexistence.txt", &coexist.render());
+    write(&out_dir, "fig5_15_to_5_18_coexistence.csv", &export::coexist_csv(&coexist));
+
+    // ---- Figs 5.19–5.22: dynamics --------------------------------------
+    println!("[4/4] throughput dynamics (Figs 5.19-5.22)...");
+    let mut dyn_txt = String::new();
+    for variant in TcpVariant::PAPER {
+        let result = throughput_dynamics(
+            variant,
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(1),
+            SimConfig::default(),
+        );
+        dyn_txt.push_str(&format!(
+            "{:>8}: tail fairness {:.3}, per-flow segments {:?}\n",
+            variant.name(),
+            result.tail_fairness(10),
+            result.reports.iter().map(|r| r.delivered_segments).collect::<Vec<_>>(),
+        ));
+        write(
+            &out_dir,
+            &format!("fig5_19_dynamics_{}.csv", variant.name().to_lowercase()),
+            &export::dynamics_csv(&result),
+        );
+    }
+    write(&out_dir, "fig5_19_to_5_22_dynamics.txt", &dyn_txt);
+
+    println!("done — results in {}", out_dir.display());
+}
+
+fn write(dir: &Path, name: &str, contents: &str) {
+    let path = dir.join(name);
+    fs::write(&path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}

@@ -1,0 +1,138 @@
+//! Simulation 3A: fairness when two variants coexist on a cross topology
+//! (Figs. 5.15–5.18).
+//!
+//! An h-hop cross (h ∈ {4, 6, 8}); one FTP flow crosses horizontally, the
+//! other vertically, sharing only the centre node. The paper compares
+//! NewReno-vs-Vegas (NewReno steals the channel) against NewReno-vs-Muzha
+//! (fair sharing), reporting per-flow throughput and Jain's fairness index.
+
+use netstack::{topology, FlowSpec, Simulator, TcpVariant};
+use sim_core::stats::jain_fairness_index;
+use sim_core::SimTime;
+
+use crate::{average, render_table, ExperimentConfig, Mean};
+
+/// Which pair of variants coexists.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoexistKind {
+    /// Variant of the horizontal (west → east) flow.
+    pub horizontal: TcpVariant,
+    /// Variant of the vertical (north → south) flow.
+    pub vertical: TcpVariant,
+}
+
+/// Result of one (hops, pair) configuration, averaged over seeds.
+#[derive(Clone, Debug)]
+pub struct CoexistRun {
+    /// Cross arm length in hops.
+    pub hops: usize,
+    /// The coexisting pair.
+    pub kind: CoexistKind,
+    /// Horizontal flow goodput (kbit/s).
+    pub horizontal_kbps: Mean,
+    /// Vertical flow goodput (kbit/s).
+    pub vertical_kbps: Mean,
+    /// Jain fairness index over the two flows, averaged over seeds.
+    pub fairness: Mean,
+    /// Sum of both flows' goodput (kbit/s).
+    pub aggregate_kbps: Mean,
+}
+
+/// All coexistence runs.
+#[derive(Clone, Debug)]
+pub struct CoexistResult {
+    /// One entry per (hops, pair).
+    pub runs: Vec<CoexistRun>,
+}
+
+impl CoexistResult {
+    /// Renders the paper-style table: per-flow throughput and fairness.
+    pub fn render(&self) -> String {
+        let header =
+            ["hops", "pair (horiz / vert)", "horiz kbps", "vert kbps", "aggregate", "Jain"];
+        let rows: Vec<Vec<String>> = self
+            .runs
+            .iter()
+            .map(|r| {
+                vec![
+                    r.hops.to_string(),
+                    format!("{} / {}", r.kind.horizontal.name(), r.kind.vertical.name()),
+                    r.horizontal_kbps.pm(),
+                    r.vertical_kbps.pm(),
+                    r.aggregate_kbps.pm(),
+                    format!("{:.3}", r.fairness.mean),
+                ]
+            })
+            .collect();
+        render_table(&header, &rows)
+    }
+}
+
+/// Runs Simulation 3A for every `(hops, pair)` combination.
+pub fn coexistence(
+    hops_list: &[usize],
+    pairs: &[CoexistKind],
+    cfg: &ExperimentConfig,
+) -> CoexistResult {
+    let mut runs = Vec::new();
+    for &hops in hops_list {
+        for &kind in pairs {
+            let mut h_kbps = Vec::new();
+            let mut v_kbps = Vec::new();
+            let mut fairness = Vec::new();
+            let mut aggregate = Vec::new();
+            for sim_cfg in cfg.sim_configs() {
+                let mut sim = Simulator::new(topology::cross(hops), sim_cfg);
+                let (hs, hd) = topology::cross_horizontal_flow(hops);
+                let (vs, vd) = topology::cross_vertical_flow(hops);
+                let fh = sim.add_flow(FlowSpec::new(hs, hd, kind.horizontal));
+                let fv = sim.add_flow(FlowSpec::new(vs, vd, kind.vertical));
+                sim.run_until(SimTime::ZERO + cfg.duration);
+                let rh = sim.flow_report(fh);
+                let rv = sim.flow_report(fv);
+                let (h, v) = (rh.throughput_kbps(sim.now()), rv.throughput_kbps(sim.now()));
+                h_kbps.push(h);
+                v_kbps.push(v);
+                fairness.push(jain_fairness_index(&[h, v]));
+                aggregate.push(h + v);
+            }
+            runs.push(CoexistRun {
+                hops,
+                kind,
+                horizontal_kbps: average(&h_kbps),
+                vertical_kbps: average(&v_kbps),
+                fairness: average(&fairness),
+                aggregate_kbps: average(&aggregate),
+            });
+        }
+    }
+    CoexistResult { runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netstack::SimConfig;
+    use sim_core::SimDuration;
+
+    #[test]
+    fn coexist_runs_and_renders() {
+        let cfg = ExperimentConfig {
+            seeds: vec![11],
+            duration: SimDuration::from_secs(5),
+            base: SimConfig::default(),
+        };
+        let result = coexistence(
+            &[4],
+            &[CoexistKind { horizontal: TcpVariant::NewReno, vertical: TcpVariant::Muzha }],
+            &cfg,
+        );
+        assert_eq!(result.runs.len(), 1);
+        let r = &result.runs[0];
+        assert!(r.fairness.mean > 0.0 && r.fairness.mean <= 1.0);
+        assert!(r.aggregate_kbps.mean > 0.0, "someone must get through");
+        let s = result.render();
+        assert!(s.contains("NewReno / Muzha"));
+        assert!(s.contains("Jain"));
+    }
+}

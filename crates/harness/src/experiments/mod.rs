@@ -1,0 +1,11 @@
+//! One module per simulation in the paper's Chapter 5.
+
+mod chain_sweep;
+mod coexist;
+mod cwnd;
+mod dynamics;
+
+pub use chain_sweep::{throughput_vs_hops, ChainSweep, SweepMetric, SweepPoint};
+pub use coexist::{coexistence, CoexistKind, CoexistResult, CoexistRun};
+pub use cwnd::{cwnd_traces, CwndTrace};
+pub use dynamics::{throughput_dynamics, DynamicsResult};

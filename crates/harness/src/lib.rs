@@ -1,0 +1,28 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (Chapter 5).
+//!
+//! Each experiment module mirrors one simulation of the paper:
+//!
+//! | Paper artifact | Module / entry point |
+//! |---|---|
+//! | Figs. 5.2–5.7 (cwnd vs. time, 4/8/16-hop chains)   | [`experiments::cwnd_traces`] |
+//! | Figs. 5.8–5.10 (throughput vs. hops, window 4/8/32)| [`experiments::throughput_vs_hops`] |
+//! | Figs. 5.11–5.13 (retransmissions vs. hops)         | same sweep, retransmission column |
+//! | Figs. 5.15–5.18 (coexistence & Jain fairness)      | [`experiments::coexistence`] |
+//! | Figs. 5.19–5.22 (throughput dynamics, 3 flows)     | [`experiments::throughput_dynamics`] |
+//!
+//! Runs are averaged over several seeds (the paper reports single NS2 runs;
+//! we prefer mean ± spread for honesty about variance). All entry points
+//! return plain-data result structs whose `Display` impls print the same
+//! rows/series the paper plots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod export;
+mod runner;
+mod table;
+
+pub use runner::{average, significantly_greater, welch_t, ExperimentConfig, Mean};
+pub use table::{render_series, render_table};

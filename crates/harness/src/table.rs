@@ -1,0 +1,89 @@
+//! Plain-text rendering of result tables and series.
+
+/// Renders a table with a header row, padding every column to its widest
+/// cell.
+///
+/// # Example
+///
+/// ```
+/// use harness::render_table;
+/// let s = render_table(
+///     &["hops", "kbps"],
+///     &[vec!["4".into(), "277.2".into()], vec!["8".into(), "210.1".into()]],
+/// );
+/// assert!(s.contains("hops"));
+/// assert!(s.lines().count() >= 4);
+/// ```
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:>w$} |"));
+        }
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&"-".repeat(w + 2));
+        sep.push('|');
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a `(x, y)` series as aligned two-column text, prefixed with a
+/// series name — the textual equivalent of one curve in a paper figure.
+pub fn render_series(name: &str, points: &[(f64, f64)]) -> String {
+    let mut out = format!("# {name}\n");
+    for (x, y) in points {
+        out.push_str(&format!("{x:>10.3} {y:>12.3}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let s = render_table(
+            &["a", "long"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let _ = render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn series_format() {
+        let s = render_series("Muzha", &[(0.0, 1.0), (1.0, 2.5)]);
+        assert!(s.starts_with("# Muzha\n"));
+        assert_eq!(s.lines().count(), 3);
+    }
+}

@@ -1,0 +1,344 @@
+//! Random Early Detection (RED) queue with optional ECN marking — the
+//! standardised router-assisted mechanism the paper positions DRAI against
+//! (§3.2: RED/ECN give only "single-bit congestion-status information").
+
+use sim_core::stats::Ewma;
+use sim_core::SimRng;
+use std::collections::VecDeque;
+
+use wire::{NodeId, Packet};
+
+use crate::queue::QueueStats;
+
+/// RED parameters (ns-2 defaults scaled to the paper's 50-packet IFQ).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RedConfig {
+    /// Average queue length below which nothing is dropped or marked.
+    pub min_threshold: f64,
+    /// Average queue length at or above which everything is dropped/marked.
+    pub max_threshold: f64,
+    /// Drop/mark probability as the average reaches `max_threshold`.
+    pub max_probability: f64,
+    /// EWMA weight for the average queue length (ns-2 `q_weight_`).
+    pub queue_weight: f64,
+    /// When true, TCP data packets are ECN-marked instead of dropped in the
+    /// early-detection band (they are still dropped at the hard limit).
+    pub ecn: bool,
+    /// Hard capacity in packets.
+    pub capacity: usize,
+}
+
+impl Default for RedConfig {
+    fn default() -> Self {
+        RedConfig {
+            min_threshold: 5.0,
+            max_threshold: 15.0,
+            max_probability: 0.1,
+            queue_weight: 0.002,
+            ecn: true,
+            capacity: 50,
+        }
+    }
+}
+
+impl RedConfig {
+    /// Validates threshold ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inverted thresholds, an out-of-range probability or
+    /// weight, or zero capacity.
+    pub fn validate(&self) {
+        assert!(
+            0.0 <= self.min_threshold && self.min_threshold < self.max_threshold,
+            "RED thresholds must satisfy 0 <= min < max"
+        );
+        assert!((0.0..=1.0).contains(&self.max_probability), "probability out of range");
+        assert!(self.queue_weight > 0.0 && self.queue_weight <= 1.0, "weight out of range");
+        assert!(self.capacity > 0, "capacity must be positive");
+    }
+}
+
+/// What RED decided to do with an arriving packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RedOutcome {
+    /// Stored without interference.
+    Enqueued,
+    /// Stored, but the packet was ECN-marked (early congestion signal).
+    EnqueuedMarked,
+    /// Dropped (early drop, or hard-limit overflow); the packet is
+    /// returned to the caller for statistics.
+    Dropped(Packet),
+}
+
+/// A RED queue with the same interface shape as
+/// [`crate::DropTailQueue`], plus probabilistic early marking/dropping.
+#[derive(Debug)]
+pub struct RedQueue {
+    items: VecDeque<(Packet, NodeId)>,
+    cfg: RedConfig,
+    avg: Ewma,
+    stats: QueueStats,
+    early_marks: u64,
+    early_drops: u64,
+}
+
+impl RedQueue {
+    /// Creates a RED queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is inconsistent.
+    pub fn new(cfg: RedConfig) -> Self {
+        cfg.validate();
+        RedQueue {
+            items: VecDeque::new(),
+            avg: Ewma::new(cfg.queue_weight),
+            cfg,
+            stats: QueueStats::default(),
+            early_marks: 0,
+            early_drops: 0,
+        }
+    }
+
+    /// Enqueues a packet. Control (`priority`) packets bypass RED entirely
+    /// and jump the queue, like in the drop-tail IFQ.
+    pub fn push(
+        &mut self,
+        mut packet: Packet,
+        next_hop: NodeId,
+        priority: bool,
+        rng: &mut SimRng,
+    ) -> RedOutcome {
+        self.avg.update(self.items.len() as f64);
+        if priority {
+            if self.items.len() >= self.cfg.capacity {
+                // Evict newest data to protect routing control.
+                if let Some(idx) = self.items.iter().rposition(|(p, _)| !p.is_control()) {
+                    let (evicted, _) = self.items.remove(idx).expect("index valid");
+                    self.store_front(packet, next_hop);
+                    self.stats.dropped += 1;
+                    return RedOutcome::Dropped(evicted);
+                }
+                self.stats.dropped += 1;
+                return RedOutcome::Dropped(packet);
+            }
+            self.store_front(packet, next_hop);
+            return RedOutcome::Enqueued;
+        }
+        if self.items.len() >= self.cfg.capacity {
+            self.stats.dropped += 1;
+            return RedOutcome::Dropped(packet);
+        }
+        let avg = self.avg.value();
+        if avg >= self.cfg.max_threshold {
+            if self.cfg.ecn && packet.is_tcp_data() {
+                self.mark(&mut packet);
+                self.store_back(packet, next_hop);
+                return RedOutcome::EnqueuedMarked;
+            }
+            self.early_drops += 1;
+            self.stats.dropped += 1;
+            return RedOutcome::Dropped(packet);
+        }
+        if avg > self.cfg.min_threshold {
+            let p = self.cfg.max_probability * (avg - self.cfg.min_threshold)
+                / (self.cfg.max_threshold - self.cfg.min_threshold);
+            if rng.chance(p) {
+                if self.cfg.ecn && packet.is_tcp_data() {
+                    self.mark(&mut packet);
+                    self.store_back(packet, next_hop);
+                    return RedOutcome::EnqueuedMarked;
+                }
+                self.early_drops += 1;
+                self.stats.dropped += 1;
+                return RedOutcome::Dropped(packet);
+            }
+        }
+        self.store_back(packet, next_hop);
+        RedOutcome::Enqueued
+    }
+
+    fn mark(&mut self, packet: &mut Packet) {
+        if let Some(seg) = packet.tcp_mut() {
+            seg.set_congestion_mark();
+        }
+        self.early_marks += 1;
+    }
+
+    fn store_back(&mut self, packet: Packet, next_hop: NodeId) {
+        self.items.push_back((packet, next_hop));
+        self.stats.enqueued += 1;
+        self.stats.max_len = self.stats.max_len.max(self.items.len());
+    }
+
+    fn store_front(&mut self, packet: Packet, next_hop: NodeId) {
+        self.items.push_front((packet, next_hop));
+        self.stats.enqueued += 1;
+        self.stats.max_len = self.stats.max_len.max(self.items.len());
+    }
+
+    /// Removes the packet at the head of the queue.
+    pub fn pop(&mut self) -> Option<(Packet, NodeId)> {
+        self.items.pop_front()
+    }
+
+    /// Current queue length in packets.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Queue statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Packets ECN-marked by early detection.
+    pub fn early_marks(&self) -> u64 {
+        self.early_marks
+    }
+
+    /// Packets dropped by early detection (excludes hard-limit drops).
+    pub fn early_drops(&self) -> u64 {
+        self.early_drops
+    }
+
+    /// The smoothed average queue length RED currently sees.
+    pub fn average_len(&self) -> f64 {
+        self.avg.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::{FlowId, Payload, TcpSegment, TcpSegmentKind};
+
+    fn data(uid: u64) -> Packet {
+        Packet::new(
+            uid,
+            NodeId::new(0),
+            NodeId::new(1),
+            Payload::Tcp(TcpSegment::data(FlowId::new(0), 0, 1460, None)),
+        )
+    }
+
+    fn hop() -> NodeId {
+        NodeId::new(1)
+    }
+
+    fn fast_cfg(ecn: bool) -> RedConfig {
+        // Heavy weight so the average responds within a test.
+        RedConfig { queue_weight: 0.5, ecn, ..RedConfig::default() }
+    }
+
+    fn is_marked(p: &Packet) -> bool {
+        matches!(p.tcp().unwrap().kind, TcpSegmentKind::Data { marked: true, .. })
+    }
+
+    #[test]
+    fn below_min_threshold_nothing_happens() {
+        let mut q = RedQueue::new(fast_cfg(true));
+        let mut rng = SimRng::new(1);
+        for uid in 0..4 {
+            assert_eq!(q.push(data(uid), hop(), false, &mut rng), RedOutcome::Enqueued);
+        }
+        assert_eq!(q.early_marks(), 0);
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn sustained_backlog_marks_with_ecn() {
+        let mut q = RedQueue::new(fast_cfg(true));
+        let mut rng = SimRng::new(1);
+        let mut marked = 0;
+        for uid in 0..60 {
+            match q.push(data(uid), hop(), false, &mut rng) {
+                RedOutcome::EnqueuedMarked => marked += 1,
+                RedOutcome::Dropped(_) => {}
+                RedOutcome::Enqueued => {}
+            }
+        }
+        assert!(marked > 0, "ECN must mark under sustained backlog");
+        assert_eq!(q.early_marks(), marked);
+        assert_eq!(q.early_drops(), 0, "ECN mode never early-drops data");
+    }
+
+    #[test]
+    fn sustained_backlog_drops_without_ecn() {
+        let mut q = RedQueue::new(fast_cfg(false));
+        let mut rng = SimRng::new(1);
+        let mut dropped = 0;
+        for uid in 0..60 {
+            if matches!(q.push(data(uid), hop(), false, &mut rng), RedOutcome::Dropped(_)) {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0);
+        assert!(q.early_drops() > 0);
+        assert_eq!(q.early_marks(), 0);
+    }
+
+    #[test]
+    fn hard_limit_always_drops() {
+        // ECN on, but the hard capacity still protects memory.
+        let cfg = RedConfig { capacity: 10, ..fast_cfg(true) };
+        let mut q = RedQueue::new(cfg);
+        let mut rng = SimRng::new(1);
+        for uid in 0..30 {
+            let _ = q.push(data(uid), hop(), false, &mut rng);
+        }
+        assert!(q.len() <= 10);
+        assert!(q.stats().dropped > 0);
+    }
+
+    #[test]
+    fn marked_packet_carries_the_bit() {
+        let mut q = RedQueue::new(RedConfig {
+            min_threshold: 0.0,
+            max_threshold: 0.5,
+            queue_weight: 1.0,
+            ..fast_cfg(true)
+        });
+        let mut rng = SimRng::new(1);
+        let _ = q.push(data(0), hop(), false, &mut rng);
+        // avg is now 0 -> after update with len 1... push another: avg >= max.
+        let outcome = q.push(data(1), hop(), false, &mut rng);
+        assert_eq!(outcome, RedOutcome::EnqueuedMarked);
+        let _ = q.pop();
+        let (p, _) = q.pop().unwrap();
+        assert!(is_marked(&p), "the stored packet must carry the ECN mark");
+    }
+
+    #[test]
+    fn control_bypasses_red() {
+        use wire::{AodvMessage, RouteError};
+        let cfg = RedConfig { min_threshold: 0.0, max_threshold: 0.1, queue_weight: 1.0, ecn: false, ..RedConfig::default() };
+        let mut q = RedQueue::new(cfg);
+        let mut rng = SimRng::new(1);
+        let _ = q.push(data(0), hop(), false, &mut rng);
+        let ctl = Packet::new(
+            9,
+            NodeId::new(0),
+            NodeId::BROADCAST,
+            Payload::Aodv(AodvMessage::Rerr(RouteError { unreachable: vec![] })),
+        );
+        assert_eq!(q.push(ctl, hop(), true, &mut rng), RedOutcome::Enqueued);
+        assert_eq!(q.pop().unwrap().0.uid, 9, "control jumps the queue");
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds")]
+    fn inverted_thresholds_rejected() {
+        let _ = RedQueue::new(RedConfig {
+            min_threshold: 20.0,
+            max_threshold: 10.0,
+            ..RedConfig::default()
+        });
+    }
+}

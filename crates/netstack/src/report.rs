@@ -1,0 +1,148 @@
+//! Result extraction.
+
+use sim_core::stats::TimeSeries;
+use sim_core::{SimDuration, SimTime};
+use tcp::TcpStats;
+use wire::{FlowId, NodeId};
+
+use crate::TcpVariant;
+
+/// Everything the harness needs about one flow after a run.
+#[derive(Clone, Debug)]
+pub struct FlowReport {
+    /// The flow.
+    pub flow: FlowId,
+    /// Sender variant.
+    pub variant: TcpVariant,
+    /// Source and destination nodes.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// When the flow started.
+    pub start: SimTime,
+    /// Sender-side counters (retransmissions, timeouts, ...).
+    pub sender: TcpStats,
+    /// The sender's smoothed RTT at the end of the run, if measured.
+    pub srtt: Option<SimDuration>,
+    /// In-order segments delivered to the receiver.
+    pub delivered_segments: u64,
+    /// In-order payload bytes delivered (goodput numerator).
+    pub delivered_bytes: u64,
+    /// Congestion-window trace (Figs. 5.2–5.7).
+    pub cwnd_trace: TimeSeries,
+    /// `(time, delivered segments)` trace (Figs. 5.19–5.22).
+    pub delivery_trace: TimeSeries,
+}
+
+impl FlowReport {
+    /// Goodput in bits per second over `[start, end)`.
+    ///
+    /// Returns 0.0 if the interval is empty.
+    pub fn throughput_bps(&self, end: SimTime) -> f64 {
+        let span = end.saturating_since(self.start);
+        if span == SimDuration::ZERO {
+            0.0
+        } else {
+            self.delivered_bytes as f64 * 8.0 / span.as_secs_f64()
+        }
+    }
+
+    /// Goodput in kilobits per second over `[start, end)`.
+    pub fn throughput_kbps(&self, end: SimTime) -> f64 {
+        self.throughput_bps(end) / 1_000.0
+    }
+
+    /// Segments delivered during `[from, to)`, from the delivery trace —
+    /// the basis of windowed throughput-dynamics plots.
+    pub fn delivered_in_window(&self, from: SimTime, to: SimTime) -> u64 {
+        let at = |t: SimTime| -> f64 {
+            // Value of the trace at time t (step function, 0 before start).
+            let samples = self.delivery_trace.samples();
+            let idx = samples.partition_point(|&(st, _)| st < t);
+            if idx == 0 {
+                0.0
+            } else {
+                samples[idx - 1].1
+            }
+        };
+        (at(to) - at(from)).max(0.0) as u64
+    }
+}
+
+/// Per-node summary after a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeSummary {
+    /// Congestion (queue-overflow) drops at this node's IFQ.
+    pub queue_drops: u64,
+    /// Packets dropped by the MAC after exhausting retries (link failures).
+    pub mac_drops: u64,
+    /// Data packets dropped by routing (no route / TTL / discovery failed).
+    pub routing_drops: u64,
+    /// Route discoveries originated by this node.
+    pub discoveries: u64,
+    /// MAC-level collisions observed at this node.
+    pub collisions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(bytes: u64, start_s: f64) -> FlowReport {
+        FlowReport {
+            flow: FlowId::new(0),
+            variant: TcpVariant::Muzha,
+            src: NodeId::new(0),
+            dst: NodeId::new(4),
+            start: SimTime::from_secs_f64(start_s),
+            sender: TcpStats::default(),
+            srtt: None,
+            delivered_segments: bytes / 1460,
+            delivered_bytes: bytes,
+            cwnd_trace: TimeSeries::new(),
+            delivery_trace: TimeSeries::new(),
+        }
+    }
+
+    #[test]
+    fn throughput_computation() {
+        let r = report(1_460_000, 0.0);
+        // 1.46 MB over 10 s = 1.168 Mbps.
+        let bps = r.throughput_bps(SimTime::from_secs_f64(10.0));
+        assert!((bps - 1_168_000.0).abs() < 1.0);
+        assert!((r.throughput_kbps(SimTime::from_secs_f64(10.0)) - 1_168.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn throughput_respects_start_time() {
+        let r = report(1_460_000, 5.0);
+        let bps = r.throughput_bps(SimTime::from_secs_f64(10.0));
+        assert!((bps - 2_336_000.0).abs() < 1.0, "only 5 s elapsed");
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        let r = report(1000, 3.0);
+        assert_eq!(r.throughput_bps(SimTime::from_secs_f64(3.0)), 0.0);
+        assert_eq!(r.throughput_bps(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn windowed_delivery() {
+        let mut r = report(0, 0.0);
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime::from_secs_f64(1.0), 10.0);
+        ts.record(SimTime::from_secs_f64(2.0), 25.0);
+        ts.record(SimTime::from_secs_f64(3.0), 40.0);
+        r.delivery_trace = ts;
+        assert_eq!(
+            r.delivered_in_window(SimTime::from_secs_f64(1.5), SimTime::from_secs_f64(2.5)),
+            15
+        );
+        assert_eq!(r.delivered_in_window(SimTime::ZERO, SimTime::from_secs_f64(10.0)), 40);
+        assert_eq!(
+            r.delivered_in_window(SimTime::from_secs_f64(5.0), SimTime::from_secs_f64(6.0)),
+            0
+        );
+    }
+}

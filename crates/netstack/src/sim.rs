@@ -1,0 +1,1457 @@
+//! The discrete-event simulator: per-node stack assembly and the driver
+//! loop executing layer state-machine outputs.
+
+use std::collections::HashMap;
+
+use aodv::{Aodv, AodvOutput, AodvTimer};
+use mac80211::{Mac, MacOutput, MediumView};
+use muzha::{MuzhaSender, RouterAgent};
+use phy::{Channel, PhyState, Position, RxOutcome, TxId};
+use sim_core::{EventQueue, SimRng, SimTime};
+use tcp::{
+    DoorSender, RenoSender, SackSender, TcpOutput, TcpReceiver, TcpTimer, Transport, VegasSender,
+    VenoSender, WestwoodSender,
+};
+use wire::{FlowId, FrameKind, MacFrame, NodeId, Packet, Payload, TcpSegment, UidGen};
+
+use crate::config::QueueDiscipline;
+use crate::{
+    BusyTracker, DropTailQueue, FlowReport, FlowSpec, NodeSummary, RedOutcome, RedQueue,
+    SimConfig, TcpVariant,
+};
+
+/// Events driving the simulation.
+#[derive(Debug)]
+enum Event {
+    /// A signal starts impinging on `node` with relative received `power`.
+    RxStart { node: NodeId, tx_id: TxId, end: SimTime, decodable: bool, power: f64 },
+    /// The signal ends; `frame` is what was on the air.
+    RxEnd { node: NodeId, tx_id: TxId, frame: MacFrame, in_rx_range: bool },
+    /// `node`'s own transmission left the air.
+    TxDone { node: NodeId },
+    /// MAC timer.
+    MacTimer { node: NodeId, id: mac80211::TimerId },
+    /// AODV discovery timer.
+    AodvTimer { node: NodeId, id: AodvTimer },
+    /// TCP retransmission timer for `flow` at `node`.
+    TcpTimer { node: NodeId, flow: FlowId, id: TcpTimer },
+    /// An FTP source starts.
+    FlowStart { flow: FlowId },
+    /// A jittered broadcast enqueue (AODV flood desynchronisation).
+    JitteredEnqueue { node: NodeId, packet: Packet, next_hop: NodeId },
+    /// Periodic position update for a moving node.
+    MobilityTick { node: NodeId },
+    /// Delayed-ACK release timer at a flow's receiver.
+    DelAckTimer { node: NodeId, flow: FlowId, id: tcp::DelAckTimer },
+    /// Periodic DRAI sampling tick.
+    Sample,
+}
+
+struct SenderEndpoint {
+    dst: NodeId,
+    transport: Box<dyn Transport>,
+}
+
+struct ReceiverEndpoint {
+    receiver: TcpReceiver,
+}
+
+/// The node's interface queue under either discipline.
+#[derive(Debug)]
+enum Ifq {
+    DropTail(DropTailQueue),
+    Red(RedQueue),
+}
+
+impl Ifq {
+    /// Returns the dropped packet, if any.
+    fn push(
+        &mut self,
+        packet: Packet,
+        next_hop: NodeId,
+        priority: bool,
+        rng: &mut SimRng,
+    ) -> Option<Packet> {
+        match self {
+            Ifq::DropTail(q) => q.push(packet, next_hop, priority),
+            Ifq::Red(q) => match q.push(packet, next_hop, priority, rng) {
+                RedOutcome::Enqueued | RedOutcome::EnqueuedMarked => None,
+                RedOutcome::Dropped(p) => Some(p),
+            },
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Packet, NodeId)> {
+        match self {
+            Ifq::DropTail(q) => q.pop(),
+            Ifq::Red(q) => q.pop(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Ifq::DropTail(q) => q.len(),
+            Ifq::Red(q) => q.len(),
+        }
+    }
+
+    fn stats(&self) -> crate::queue::QueueStats {
+        match self {
+            Ifq::DropTail(q) => q.stats(),
+            Ifq::Red(q) => q.stats(),
+        }
+    }
+}
+
+struct Node {
+    phy: PhyState,
+    /// MAC stats snapshot at the previous DRAI sample (for retry deltas).
+    last_mac_stats: mac80211::MacStats,
+    mac: Mac,
+    aodv: Aodv,
+    ifq: Ifq,
+    router: RouterAgent,
+    uid: UidGen,
+    busy: BusyTracker,
+    senders: HashMap<FlowId, SenderEndpoint>,
+    receivers: HashMap<FlowId, ReceiverEndpoint>,
+    routing_drops: u64,
+}
+
+/// The simulator: a set of nodes on a shared radio channel plus the global
+/// event loop.
+///
+/// # Example
+///
+/// ```
+/// use netstack::{topology, FlowSpec, SimConfig, Simulator, TcpVariant};
+/// use sim_core::SimTime;
+///
+/// let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
+/// let (src, dst) = topology::chain_flow(2);
+/// let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno));
+/// sim.run_until(SimTime::from_secs_f64(2.0));
+/// let report = sim.flow_report(flow);
+/// assert!(report.delivered_segments > 0);
+/// ```
+pub struct Simulator {
+    cfg: SimConfig,
+    channel: Channel,
+    nodes: Vec<Node>,
+    events: EventQueue<Event>,
+    rng: SimRng,
+    now: SimTime,
+    next_tx_id: u64,
+    flows: Vec<FlowSpec>,
+    movements: HashMap<NodeId, Movement>,
+    tracer: Option<Tracer>,
+}
+
+/// An active movement: the node heads toward `target` at `speed_mps`; when
+/// it arrives, `plan` (if any) picks the next waypoint.
+#[derive(Clone, Copy, Debug)]
+struct Movement {
+    target: phy::Position,
+    speed_mps: f64,
+    plan: Option<RandomWaypoint>,
+}
+
+/// An observation delivered to a [`Simulator`] tracer (see
+/// [`Simulator::set_tracer`]). Borrowed data points into the simulator's
+/// internal state and is only valid during the callback.
+#[derive(Debug)]
+pub enum TraceEvent<'a> {
+    /// A MAC frame was put on the air by `node`.
+    FrameSent {
+        /// Transmitting node.
+        node: NodeId,
+        /// The frame.
+        frame: &'a MacFrame,
+    },
+    /// A reception finished at `node` with the given outcome.
+    FrameReceived {
+        /// Receiving node.
+        node: NodeId,
+        /// Original transmitter.
+        from: NodeId,
+        /// Frame kind.
+        kind: FrameKind,
+        /// Whether it decoded, collided, or was mere noise.
+        outcome: RxOutcome,
+    },
+    /// A TCP segment reached its final destination's transport layer.
+    SegmentDelivered {
+        /// Destination node.
+        node: NodeId,
+        /// The flow it belongs to.
+        flow: FlowId,
+        /// Data or ACK.
+        is_data: bool,
+    },
+    /// A packet was dropped by a full interface queue (congestion drop).
+    QueueDrop {
+        /// The congested node.
+        node: NodeId,
+        /// The dropped packet's uid.
+        uid: u64,
+    },
+    /// The MAC exhausted its retries toward `next_hop` (link failure).
+    LinkFailure {
+        /// The node that gave up.
+        node: NodeId,
+        /// The unreachable neighbour.
+        next_hop: NodeId,
+    },
+}
+
+/// A tracer callback: receives every [`TraceEvent`] with its virtual time.
+pub type Tracer = Box<dyn FnMut(SimTime, &TraceEvent<'_>)>;
+
+/// Parameters of the classic random-waypoint mobility model.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomWaypoint {
+    /// Nodes roam inside `[0, width] × [0, height]` metres.
+    pub width_m: f64,
+    /// Area height in metres.
+    pub height_m: f64,
+    /// Uniformly drawn speed range in m/s.
+    pub min_speed_mps: f64,
+    /// Maximum speed in m/s.
+    pub max_speed_mps: f64,
+}
+
+/// How often moving nodes' positions are refreshed.
+const MOBILITY_TICK: sim_core::SimDuration = sim_core::SimDuration::from_millis(100);
+
+impl Simulator {
+    /// Creates a simulator with one node per position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is inconsistent or `positions` is empty.
+    pub fn new(positions: Vec<Position>, cfg: SimConfig) -> Self {
+        cfg.validate();
+        assert!(!positions.is_empty(), "need at least one node");
+        let mut rng = SimRng::new(cfg.seed);
+        let channel = Channel::new(positions, cfg.radio);
+        let nodes = (0..channel.node_count())
+            .map(|i| {
+                let id = NodeId::new(i as u16);
+                Node {
+                    phy: PhyState::new(),
+                    last_mac_stats: mac80211::MacStats::default(),
+                    mac: Mac::new(id, cfg.mac, rng.fork()),
+                    aodv: Aodv::new(id, cfg.aodv, UidGen::new(id)),
+                    ifq: match cfg.queue {
+                        QueueDiscipline::DropTail => {
+                            Ifq::DropTail(DropTailQueue::new(cfg.ifq_capacity))
+                        }
+                        QueueDiscipline::Red(red) => Ifq::Red(RedQueue::new(crate::RedConfig {
+                            capacity: cfg.ifq_capacity,
+                            ..red
+                        })),
+                    },
+                    router: RouterAgent::new(cfg.drai),
+                    // Transport packets use a separate uid stream so MAC
+                    // dedup never confuses them with routing packets.
+                    uid: UidGen::with_stream(id, 1),
+                    busy: BusyTracker::new(SimTime::ZERO),
+                    senders: HashMap::new(),
+                    receivers: HashMap::new(),
+                    routing_drops: 0,
+                }
+            })
+            .collect();
+        let mut events = EventQueue::new();
+        events.push(SimTime::ZERO + cfg.sample_interval, Event::Sample);
+        let mut sim = Simulator {
+            cfg,
+            channel,
+            nodes,
+            events,
+            rng,
+            now: SimTime::ZERO,
+            next_tx_id: 0,
+            flows: Vec::new(),
+            movements: HashMap::new(),
+            tracer: if std::env::var("SIM_TRACE").is_ok() {
+                Some(stderr_tracer())
+            } else {
+                None
+            },
+        };
+        // Kick off HELLO beaconing if the AODV config asks for it.
+        if cfg.aodv.hello_interval.is_some() {
+            for i in 0..sim.nodes.len() {
+                let node = NodeId::new(i as u16);
+                let outs = sim.nodes[i].aodv.start_hello(SimTime::ZERO);
+                sim.process_aodv_outputs(node, outs);
+            }
+        }
+        sim
+    }
+
+    /// Installs an observation hook that is called for every frame
+    /// transmission/reception outcome, transport delivery, queue drop and
+    /// link failure, with the virtual time of the event. Replaces any
+    /// previously installed tracer (including the `SIM_TRACE=1` default
+    /// stderr tracer).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes the tracer.
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+    }
+
+    #[inline]
+    fn trace(&mut self, event: TraceEvent<'_>) {
+        if let Some(tracer) = &mut self.tracer {
+            tracer(self.now, &event);
+        }
+    }
+
+    /// Registers a flow; its FTP source starts at `spec.start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if src or dst is out of range or src equals dst.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        assert!(spec.src.index() < self.nodes.len(), "flow src out of range");
+        assert!(spec.dst.index() < self.nodes.len(), "flow dst out of range");
+        assert_ne!(spec.src, spec.dst, "flow endpoints must differ");
+        let flow = FlowId::new(self.flows.len() as u32);
+        let transport: Box<dyn Transport> = match spec.variant {
+            TcpVariant::Tahoe => Box::new(RenoSender::tahoe(flow, spec.tcp)),
+            TcpVariant::Reno => Box::new(RenoSender::reno(flow, spec.tcp)),
+            TcpVariant::NewReno => Box::new(RenoSender::new_reno(flow, spec.tcp)),
+            TcpVariant::Sack => Box::new(SackSender::new(flow, spec.tcp)),
+            TcpVariant::Vegas => Box::new(VegasSender::new(flow, spec.tcp, spec.vegas)),
+            TcpVariant::Veno => Box::new(VenoSender::new(flow, spec.tcp)),
+            TcpVariant::Westwood => Box::new(WestwoodSender::new(flow, spec.tcp)),
+            TcpVariant::Door => Box::new(DoorSender::new(flow, spec.tcp)),
+            TcpVariant::Muzha => {
+                Box::new(MuzhaSender::with_cadence(flow, spec.tcp, spec.muzha_cadence))
+            }
+        };
+        self.nodes[spec.src.index()]
+            .senders
+            .insert(flow, SenderEndpoint { dst: spec.dst, transport });
+        let sack = spec.variant == TcpVariant::Sack;
+        let receiver = if spec.delayed_ack {
+            TcpReceiver::with_delayed_ack(flow, sack)
+        } else {
+            TcpReceiver::new(flow, sack)
+        };
+        self.nodes[spec.dst.index()]
+            .receivers
+            .insert(flow, ReceiverEndpoint { receiver });
+        self.events.push(spec.start.max(self.now), Event::FlowStart { flow });
+        self.flows.push(spec);
+        flow
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Runs the event loop until virtual time `end`.
+    pub fn run_until(&mut self, end: SimTime) {
+        while let Some(t) = self.events.peek_time() {
+            if t > end {
+                break;
+            }
+            let (now, event) = self.events.pop().expect("peeked event vanished");
+            self.now = now;
+            self.dispatch(event);
+        }
+        self.now = end.max(self.now);
+    }
+
+    /// Report for one flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flow` was never added.
+    pub fn flow_report(&self, flow: FlowId) -> FlowReport {
+        let spec = self.flows[flow.index()];
+        let sender = &self.nodes[spec.src.index()].senders[&flow];
+        let receiver = &self.nodes[spec.dst.index()].receivers[&flow];
+        FlowReport {
+            flow,
+            variant: spec.variant,
+            src: spec.src,
+            dst: spec.dst,
+            start: spec.start,
+            sender: sender.transport.stats(),
+            srtt: sender.transport.srtt(),
+            delivered_segments: receiver.receiver.rcv_nxt(),
+            delivered_bytes: receiver.receiver.delivered_bytes(),
+            cwnd_trace: sender.transport.cwnd_trace().clone(),
+            delivery_trace: receiver.receiver.delivery_trace().clone(),
+        }
+    }
+
+    /// Reports for all flows, in registration order.
+    pub fn all_flow_reports(&self) -> Vec<FlowReport> {
+        (0..self.flows.len()).map(|i| self.flow_report(FlowId::new(i as u32))).collect()
+    }
+
+    /// Per-node drop/discovery summary.
+    pub fn node_summary(&self, node: NodeId) -> NodeSummary {
+        let n = &self.nodes[node.index()];
+        NodeSummary {
+            queue_drops: n.ifq.stats().dropped,
+            mac_drops: n.mac.stats().drops,
+            routing_drops: n.routing_drops,
+            discoveries: n.aodv.stats().discoveries,
+            collisions: n.mac.stats().rx_collisions,
+        }
+    }
+
+    /// Summaries for every node.
+    pub fn all_node_summaries(&self) -> Vec<NodeSummary> {
+        (0..self.nodes.len()).map(|i| self.node_summary(NodeId::new(i as u16))).collect()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Moves a node to a new position (mobility hook). Takes effect for
+    /// all transmissions that *start* after the call; signals already on
+    /// the air are unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_position(&mut self, node: NodeId, position: phy::Position) {
+        self.channel.set_position(node, position);
+    }
+
+    /// Starts moving `node` in a straight line toward `target` at
+    /// `speed_mps`, updating its position every 100 ms of virtual time.
+    /// Replaces any movement in progress for the node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed_mps` is not positive.
+    pub fn move_node(&mut self, node: NodeId, target: phy::Position, speed_mps: f64) {
+        assert!(speed_mps > 0.0, "speed must be positive");
+        let fresh = self.movements.insert(node, Movement { target, speed_mps, plan: None });
+        if fresh.is_none() {
+            self.events.push(self.now + MOBILITY_TICK, Event::MobilityTick { node });
+        }
+    }
+
+    /// Puts `node` under the random-waypoint mobility model: it repeatedly
+    /// picks a uniform point in the area and moves there at a uniformly
+    /// drawn speed. Replaces any movement in progress.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the area or the speed range is degenerate.
+    pub fn set_random_waypoint(&mut self, node: NodeId, plan: RandomWaypoint) {
+        assert!(plan.width_m > 0.0 && plan.height_m > 0.0, "area must be positive");
+        assert!(
+            plan.min_speed_mps > 0.0 && plan.min_speed_mps <= plan.max_speed_mps,
+            "speed range must be positive and ordered"
+        );
+        let (target, speed) = self.draw_waypoint(&plan);
+        let fresh =
+            self.movements.insert(node, Movement { target, speed_mps: speed, plan: Some(plan) });
+        if fresh.is_none() {
+            self.events.push(self.now + MOBILITY_TICK, Event::MobilityTick { node });
+        }
+    }
+
+    /// Stops any movement in progress for `node`.
+    pub fn stop_node(&mut self, node: NodeId) {
+        self.movements.remove(&node);
+    }
+
+    fn draw_waypoint(&mut self, plan: &RandomWaypoint) -> (phy::Position, f64) {
+        let x = self.rng.unit_f64() * plan.width_m;
+        let y = self.rng.unit_f64() * plan.height_m;
+        let speed = plan.min_speed_mps
+            + self.rng.unit_f64() * (plan.max_speed_mps - plan.min_speed_mps);
+        (phy::Position::new(x, y), speed)
+    }
+
+    fn mobility_tick(&mut self, node: NodeId) {
+        let Some(movement) = self.movements.get(&node).copied() else { return };
+        let here = self.channel.position(node);
+        let distance = here.distance_to(movement.target);
+        let step = movement.speed_mps * MOBILITY_TICK.as_secs_f64();
+        if distance <= step {
+            // Arrived.
+            self.channel.set_position(node, movement.target);
+            match movement.plan {
+                Some(plan) => {
+                    let (target, speed) = self.draw_waypoint(&plan);
+                    self.movements
+                        .insert(node, Movement { target, speed_mps: speed, plan: Some(plan) });
+                    self.events.push(self.now + MOBILITY_TICK, Event::MobilityTick { node });
+                }
+                None => {
+                    self.movements.remove(&node);
+                }
+            }
+        } else {
+            let frac = step / distance;
+            let next = phy::Position::new(
+                here.x + (movement.target.x - here.x) * frac,
+                here.y + (movement.target.y - here.y) * frac,
+            );
+            self.channel.set_position(node, next);
+            self.events.push(self.now + MOBILITY_TICK, Event::MobilityTick { node });
+        }
+    }
+
+    /// A node's current position.
+    pub fn position(&self, node: NodeId) -> phy::Position {
+        self.channel.position(node)
+    }
+
+    /// Diagnostic view of a node's DRAI inputs:
+    /// `(smoothed queue, smoothed utilisation, smoothed retry ratio, DRAI)`.
+    pub fn router_diag(&self, node: NodeId) -> (f64, f64, f64, wire::Drai) {
+        let d = self.nodes[node.index()].router.drai();
+        (d.smoothed_queue(), d.smoothed_utilisation(), d.smoothed_retry_ratio(), d.current())
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn medium(&self, node: NodeId) -> MediumView {
+        MediumView { busy: self.nodes[node.index()].phy.carrier_busy(self.now) }
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::RxStart { node, tx_id, end, decodable, power } => {
+                let now = self.now;
+                let n = &mut self.nodes[node.index()];
+                n.phy.on_rx_start(tx_id, now, end, decodable, power);
+                n.busy.note(now, end);
+                n.mac.on_medium_busy(now);
+            }
+            Event::RxEnd { node, tx_id, frame, in_rx_range } => {
+                let now = self.now;
+                let outcome = self.nodes[node.index()].phy.on_rx_end(tx_id, now);
+                self.trace(TraceEvent::FrameReceived {
+                    node,
+                    from: frame.src,
+                    kind: frame.kind(),
+                    outcome,
+                });
+                let medium = self.medium(node);
+                let mut outputs = Vec::new();
+                {
+                    let n = &mut self.nodes[node.index()];
+                    match outcome {
+                        RxOutcome::Decoded => {
+                            outputs.extend(n.mac.on_frame_decoded(frame, now, medium));
+                        }
+                        RxOutcome::CollisionLost => n.mac.on_rx_corrupted(now),
+                        RxOutcome::NotDecodable => {
+                            // Any sensed-but-undecodable signal (carrier-
+                            // sense-only neighbours, random loss) triggers
+                            // the EIFS rule, exactly as in ns-2 — this is
+                            // what protects the CTS/ACK response windows of
+                            // exchanges two hops away.
+                            let _ = in_rx_range;
+                            n.mac.on_rx_corrupted(now);
+                        }
+                    }
+                    outputs.extend(n.mac.on_medium_maybe_idle(now, medium));
+                }
+                self.process_mac_outputs(node, outputs);
+            }
+            Event::TxDone { node } => {
+                let now = self.now;
+                let medium = self.medium(node);
+                let outputs = self.nodes[node.index()].mac.on_tx_done(now, medium);
+                self.process_mac_outputs(node, outputs);
+            }
+            Event::MacTimer { node, id } => {
+                let now = self.now;
+                let medium = self.medium(node);
+                let outputs = self.nodes[node.index()].mac.on_timer(id, now, medium);
+                self.process_mac_outputs(node, outputs);
+            }
+            Event::AodvTimer { node, id } => {
+                let now = self.now;
+                let outputs = self.nodes[node.index()].aodv.on_timer(id, now);
+                self.process_aodv_outputs(node, outputs);
+            }
+            Event::TcpTimer { node, flow, id } => {
+                let now = self.now;
+                let spec = self.flows[flow.index()];
+                if spec.elfn
+                    && spec.src == node
+                    && !self.nodes[node.index()].aodv.has_route(spec.dst, now)
+                {
+                    // ELFN freeze: the route is down, so firing the
+                    // retransmission timer would only compound the RTO
+                    // backoff. Probe for a route and re-check shortly.
+                    let outs = self.nodes[node.index()].aodv.ensure_route(spec.dst, now);
+                    self.process_aodv_outputs(node, outs);
+                    self.events.push(
+                        now + sim_core::SimDuration::from_millis(100),
+                        Event::TcpTimer { node, flow, id },
+                    );
+                    return;
+                }
+                let outputs = match self.nodes[node.index()].senders.get_mut(&flow) {
+                    Some(ep) => ep.transport.on_timer(id, now),
+                    None => Vec::new(),
+                };
+                self.process_tcp_outputs(node, flow, outputs);
+            }
+            Event::JitteredEnqueue { node, packet, next_hop } => {
+                self.enqueue_ifq(node, packet, next_hop);
+            }
+            Event::MobilityTick { node } => self.mobility_tick(node),
+            Event::DelAckTimer { node, flow, id } => {
+                let (ack, src) = {
+                    let spec = self.flows[flow.index()];
+                    let n = &mut self.nodes[node.index()];
+                    match n.receivers.get_mut(&flow) {
+                        Some(ep) => (ep.receiver.on_delack_timer(id), spec.src),
+                        None => (None, spec.src),
+                    }
+                };
+                if let Some(segment) = ack {
+                    let uid = self.nodes[node.index()].uid.next();
+                    let packet = ack_packet(uid, node, src, segment);
+                    self.route_local(node, packet);
+                }
+            }
+            Event::FlowStart { flow } => {
+                let now = self.now;
+                let spec = self.flows[flow.index()];
+                let outputs = self.nodes[spec.src.index()]
+                    .senders
+                    .get_mut(&flow)
+                    .expect("flow sender missing")
+                    .transport
+                    .open(now);
+                self.process_tcp_outputs(spec.src, flow, outputs);
+            }
+            Event::Sample => {
+                let now = self.now;
+                for n in &mut self.nodes {
+                    let util = n.busy.sample(now);
+                    n.router.drai_mut().observe_utilisation(util);
+                    let len = n.ifq.len();
+                    n.router.drai_mut().observe_queue(len, now);
+                    // Retry ratio over this window: failed handshakes per
+                    // transmission attempt.
+                    let cur = n.mac.stats();
+                    let prev = n.last_mac_stats;
+                    let attempts = (cur.rts_sent + cur.data_sent)
+                        .saturating_sub(prev.rts_sent + prev.data_sent);
+                    let failures = (cur.cts_timeouts + cur.ack_timeouts)
+                        .saturating_sub(prev.cts_timeouts + prev.ack_timeouts);
+                    if attempts > 0 {
+                        n.router
+                            .drai_mut()
+                            .observe_retry_ratio(failures as f64 / attempts as f64);
+                    }
+                    n.last_mac_stats = cur;
+                }
+                self.events.push(now + self.cfg.sample_interval, Event::Sample);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Output processing
+    // ------------------------------------------------------------------
+
+    fn process_mac_outputs(&mut self, node: NodeId, outputs: Vec<MacOutput>) {
+        for output in outputs {
+            match output {
+                MacOutput::Transmit { frame, airtime } => self.transmit(node, frame, airtime),
+                MacOutput::SetTimer { id, at } => {
+                    self.events.push(at, Event::MacTimer { node, id });
+                }
+                MacOutput::Deliver { packet, from } => {
+                    let now = self.now;
+                    let outs = self.nodes[node.index()].aodv.on_packet_received(packet, from, now);
+                    self.process_aodv_outputs(node, outs);
+                }
+                MacOutput::TxSuccess { .. } => {
+                    // Forwarding succeeded; nothing further to do (stats are
+                    // tracked inside the MAC).
+                }
+                MacOutput::TxFailed { packet, next_hop } => {
+                    let now = self.now;
+                    self.trace(TraceEvent::LinkFailure { node, next_hop });
+                    let outs =
+                        self.nodes[node.index()].aodv.on_link_failure(packet, next_hop, now);
+                    self.process_aodv_outputs(node, outs);
+                }
+                MacOutput::ReadyForNext => self.try_feed_mac(node),
+            }
+        }
+    }
+
+    fn process_aodv_outputs(&mut self, node: NodeId, outputs: Vec<AodvOutput>) {
+        for output in outputs {
+            match output {
+                AodvOutput::Forward { packet, next_hop } => {
+                    if next_hop.is_broadcast() {
+                        // ns-2's AODV jitters every flood (re)broadcast by
+                        // up to 10 ms; without it all neighbours of a
+                        // broadcaster fire after exactly DIFS and collide
+                        // deterministically.
+                        let jitter = sim_core::SimDuration::from_micros(
+                            u64::from(self.rng.below(10_000)),
+                        );
+                        self.events.push(
+                            self.now + jitter,
+                            Event::JitteredEnqueue { node, packet, next_hop },
+                        );
+                    } else {
+                        self.enqueue_ifq(node, packet, next_hop);
+                    }
+                }
+                AodvOutput::DeliverLocal(packet) => self.deliver_transport(node, packet),
+                AodvOutput::SetTimer { id, at } => {
+                    self.events.push(at, Event::AodvTimer { node, id });
+                }
+                AodvOutput::Dropped { .. } => {
+                    self.nodes[node.index()].routing_drops += 1;
+                }
+            }
+        }
+    }
+
+    fn process_tcp_outputs(&mut self, node: NodeId, flow: FlowId, outputs: Vec<TcpOutput>) {
+        for output in outputs {
+            match output {
+                TcpOutput::SendSegment(segment) => {
+                    let n = &mut self.nodes[node.index()];
+                    let dst = n.senders.get(&flow).map(|ep| ep.dst).expect("unknown flow");
+                    let uid = n.uid.next();
+                    let packet = Packet::new(uid, node, dst, Payload::Tcp(segment));
+                    self.route_local(node, packet);
+                }
+                TcpOutput::SetTimer { id, at } => {
+                    self.events.push(at, Event::TcpTimer { node, flow, id });
+                }
+            }
+        }
+    }
+
+    /// Routes a locally-originated packet through AODV.
+    fn route_local(&mut self, node: NodeId, packet: Packet) {
+        let now = self.now;
+        let outs = self.nodes[node.index()].aodv.route_packet(packet, now);
+        self.process_aodv_outputs(node, outs);
+    }
+
+    /// Enqueues a packet on the node's IFQ, applying the Muzha router agent
+    /// (DRAI fold + congestion marking) on the way in.
+    fn enqueue_ifq(&mut self, node: NodeId, mut packet: Packet, next_hop: NodeId) {
+        let now = self.now;
+        let dropped_uid = {
+            let rng = &mut self.rng;
+            let n = &mut self.nodes[node.index()];
+            n.router.process_packet(&mut packet, now);
+            let priority = packet.is_control();
+            let dropped = n.ifq.push(packet, next_hop, priority, rng);
+            if dropped.is_some() {
+                // Congestion drop: future packets get marked (paper §4.7).
+                n.router.drai_mut().note_congestion_drop(now);
+            }
+            let len = n.ifq.len();
+            n.router.drai_mut().observe_queue(len, now);
+            dropped.map(|p| p.uid)
+        };
+        if let Some(uid) = dropped_uid {
+            self.trace(TraceEvent::QueueDrop { node, uid });
+        }
+        self.try_feed_mac(node);
+    }
+
+    /// Moves the head-of-line packet into an idle MAC.
+    fn try_feed_mac(&mut self, node: NodeId) {
+        let now = self.now;
+        let medium = self.medium(node);
+        let outputs = {
+            let n = &mut self.nodes[node.index()];
+            if !n.mac.is_idle() {
+                return;
+            }
+            let Some((packet, next_hop)) = n.ifq.pop() else { return };
+            let len = n.ifq.len();
+            n.router.drai_mut().observe_queue(len, now);
+            n.mac.start_packet(packet, next_hop, now, medium)
+        };
+        self.process_mac_outputs(node, outputs);
+    }
+
+    /// Puts a frame on the air: marks the PHY, schedules receptions at
+    /// every node in carrier-sense range, and the sender's TxDone.
+    fn transmit(&mut self, sender: NodeId, frame: MacFrame, airtime: sim_core::SimDuration) {
+        let now = self.now;
+        self.trace(TraceEvent::FrameSent { node: sender, frame: &frame });
+        let end = now + airtime;
+        self.nodes[sender.index()].phy.begin_transmit(now, end);
+        self.nodes[sender.index()].busy.note(now, end);
+        let tx_id = TxId(self.next_tx_id);
+        self.next_tx_id += 1;
+        let loss_p = self.cfg.radio.per_frame_loss;
+        // Collect receivers first (channel borrows self.channel only).
+        let neighbours: Vec<NodeId> = self.channel.cs_neighbors(sender).to_vec();
+        for nb in neighbours {
+            let distance = self.channel.distance(sender, nb);
+            let prop = phy::RadioParams::propagation_delay(distance);
+            let in_rx_range = self.channel.in_rx_range(sender, nb);
+            // Random channel loss applies to data frames only.
+            let corrupted = in_rx_range
+                && frame.kind() == FrameKind::Data
+                && loss_p > 0.0
+                && self.rng.chance(loss_p);
+            let decodable = in_rx_range && !corrupted;
+            let power = self.cfg.radio.rx_power(distance);
+            let rx_start = now + prop;
+            let rx_end = rx_start + airtime;
+            self.events.push(
+                rx_start,
+                Event::RxStart { node: nb, tx_id, end: rx_end, decodable, power },
+            );
+            self.events.push(
+                rx_end,
+                Event::RxEnd { node: nb, tx_id, frame: frame.clone(), in_rx_range },
+            );
+        }
+        self.events.push(end, Event::TxDone { node: sender });
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("flows", &self.flows.len())
+            .field("pending_events", &self.events.len())
+            .finish()
+    }
+}
+
+/// Builds an ACK packet travelling from the receiver back to the sender.
+fn ack_packet(uid: u64, from: NodeId, to: NodeId, segment: TcpSegment) -> Packet {
+    Packet::new(uid, from, to, Payload::Tcp(segment))
+}
+
+impl Simulator {
+    /// Hands a packet that reached its final destination to the transport
+    /// layer (data → receiver → ACK back; ACK → sender).
+    fn deliver_transport(&mut self, node: NodeId, packet: Packet) {
+        let now = self.now;
+        let Some(segment) = packet.tcp() else { return };
+        let flow = segment.flow;
+        let is_data = segment.is_data();
+        self.trace(TraceEvent::SegmentDelivered { node, flow, is_data });
+        if is_data {
+            let delayed = self.flows[flow.index()].delayed_ack;
+            let (ack_segment, timer) = {
+                let n = &mut self.nodes[node.index()];
+                let Some(ep) = n.receivers.get_mut(&flow) else { return };
+                if delayed {
+                    let out = ep.receiver.on_data_segment_delack(segment, now);
+                    (out.ack, out.set_timer)
+                } else {
+                    (Some(ep.receiver.on_data_segment(segment, now)), None)
+                }
+            };
+            if let Some((id, at)) = timer {
+                self.events.push(at, Event::DelAckTimer { node, flow, id });
+            }
+            if let Some(segment) = ack_segment {
+                let uid = self.nodes[node.index()].uid.next();
+                let ack = ack_packet(uid, node, packet.src, segment);
+                self.route_local(node, ack);
+            }
+        } else {
+            let outputs = {
+                let n = &mut self.nodes[node.index()];
+                match n.senders.get_mut(&flow) {
+                    Some(ep) => ep.transport.on_ack_segment(segment, now),
+                    None => Vec::new(),
+                }
+            };
+            self.process_tcp_outputs(node, flow, outputs);
+        }
+    }
+}
+
+/// The stderr tracer installed by setting the `SIM_TRACE` environment
+/// variable (handy for debugging a run without writing code).
+pub fn stderr_tracer() -> Tracer {
+    Box::new(|now, event| match event {
+        TraceEvent::FrameSent { node, frame } => {
+            eprintln!(
+                "{now} TX {node} -> {} {:?} nav_until={}ns",
+                frame.dst,
+                frame.kind(),
+                frame.nav_until_nanos
+            );
+        }
+        TraceEvent::FrameReceived { node, from, kind, outcome } => {
+            eprintln!("{now} RX {node} <- {from} {kind:?} outcome={outcome:?}");
+        }
+        TraceEvent::SegmentDelivered { node, flow, is_data } => {
+            eprintln!(
+                "{now} DLV {node} {flow} {}",
+                if *is_data { "data" } else { "ack" }
+            );
+        }
+        TraceEvent::QueueDrop { node, uid } => {
+            eprintln!("{now} DROP {node} uid={uid}");
+        }
+        TraceEvent::LinkFailure { node, next_hop } => {
+            eprintln!("{now} LINKFAIL {node} -> {next_hop}");
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+    
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn run_chain(hops: usize, variant: TcpVariant, duration: f64) -> (FlowReport, Simulator) {
+        let mut sim = Simulator::new(topology::chain(hops), SimConfig::default());
+        let (src, dst) = topology::chain_flow(hops);
+        let flow = sim.add_flow(FlowSpec::new(src, dst, variant));
+        sim.run_until(secs(duration));
+        (sim.flow_report(flow), sim)
+    }
+
+    #[test]
+    fn one_hop_newreno_delivers_data() {
+        let (report, _sim) = run_chain(1, TcpVariant::NewReno, 3.0);
+        assert!(
+            report.delivered_segments > 100,
+            "1-hop chain should move plenty of data, got {}",
+            report.delivered_segments
+        );
+    }
+
+    #[test]
+    fn four_hop_chain_all_variants_make_progress() {
+        for variant in TcpVariant::ALL {
+            let (report, _sim) = run_chain(4, variant, 3.0);
+            assert!(
+                report.delivered_segments > 10,
+                "{variant}: only {} segments over 4 hops",
+                report.delivered_segments
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_decreases_with_hops() {
+        let (short, _) = run_chain(2, TcpVariant::NewReno, 5.0);
+        let (long, _) = run_chain(8, TcpVariant::NewReno, 5.0);
+        assert!(
+            short.delivered_bytes > long.delivered_bytes,
+            "2-hop ({}) should beat 8-hop ({})",
+            short.delivered_bytes,
+            long.delivered_bytes
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, _) = run_chain(4, TcpVariant::Muzha, 3.0);
+        let (b, _) = run_chain(4, TcpVariant::Muzha, 3.0);
+        assert_eq!(a.delivered_segments, b.delivered_segments);
+        assert_eq!(a.sender.segments_sent, b.sender.segments_sent);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| {
+            let cfg = SimConfig { seed, ..SimConfig::default() };
+            let mut sim = Simulator::new(topology::chain(4), cfg);
+            let (src, dst) = topology::chain_flow(4);
+            let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno));
+            sim.run_until(secs(3.0));
+            sim.flow_report(flow).sender.segments_sent
+        };
+        // Not guaranteed in general, but overwhelmingly likely; fixed seeds
+        // keep this deterministic.
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn muzha_cwnd_trace_recorded() {
+        let (report, _) = run_chain(4, TcpVariant::Muzha, 3.0);
+        assert!(report.cwnd_trace.len() > 2, "cwnd should have moved");
+        assert!(report.delivery_trace.len() > 2);
+    }
+
+    #[test]
+    fn random_loss_still_delivers() {
+        let radio = phy::RadioParams { per_frame_loss: 0.02, ..Default::default() };
+        let cfg = SimConfig::default().with_radio(radio);
+        let mut sim = Simulator::new(topology::chain(4), cfg);
+        let (src, dst) = topology::chain_flow(4);
+        let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+        sim.run_until(secs(5.0));
+        let report = sim.flow_report(flow);
+        assert!(report.delivered_segments > 10, "got {}", report.delivered_segments);
+    }
+
+    #[test]
+    fn two_flows_on_cross_topology() {
+        let mut sim = Simulator::new(topology::cross(4), SimConfig::default());
+        let (hs, hd) = topology::cross_horizontal_flow(4);
+        let (vs, vd) = topology::cross_vertical_flow(4);
+        let f1 = sim.add_flow(FlowSpec::new(hs, hd, TcpVariant::NewReno));
+        let f2 = sim.add_flow(FlowSpec::new(vs, vd, TcpVariant::Muzha));
+        sim.run_until(secs(5.0));
+        let r1 = sim.flow_report(f1);
+        let r2 = sim.flow_report(f2);
+        assert!(r1.delivered_segments > 5, "NewReno starved: {}", r1.delivered_segments);
+        assert!(r2.delivered_segments > 5, "Muzha starved: {}", r2.delivered_segments);
+    }
+
+    #[test]
+    fn delayed_flow_start() {
+        let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
+        let (src, dst) = topology::chain_flow(2);
+        let flow = sim.add_flow(
+            FlowSpec::new(src, dst, TcpVariant::NewReno).starting_at(secs(2.0)),
+        );
+        sim.run_until(secs(1.5));
+        assert_eq!(sim.flow_report(flow).delivered_segments, 0, "not started yet");
+        sim.run_until(secs(4.0));
+        assert!(sim.flow_report(flow).delivered_segments > 0);
+    }
+
+    #[test]
+    fn node_summaries_available() {
+        let (_, sim) = run_chain(4, TcpVariant::NewReno, 3.0);
+        let summaries = sim.all_node_summaries();
+        assert_eq!(summaries.len(), 5);
+        let total_disc: u64 = summaries.iter().map(|s| s.discoveries).sum();
+        assert!(total_disc >= 1, "at least the initial route discovery");
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints must differ")]
+    fn self_flow_rejected() {
+        let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
+        sim.add_flow(FlowSpec::new(NodeId::new(0), NodeId::new(0), TcpVariant::Reno));
+    }
+
+    #[test]
+    fn run_until_is_monotone() {
+        let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
+        sim.run_until(secs(1.0));
+        assert_eq!(sim.now(), secs(1.0));
+        sim.run_until(secs(0.5)); // no-op, must not go backwards
+        assert_eq!(sim.now(), secs(1.0));
+    }
+
+    #[test]
+    fn advertised_window_caps_flight_everywhere() {
+        let mut sim = Simulator::new(topology::chain(4), SimConfig::default());
+        let (src, dst) = topology::chain_flow(4);
+        let f_small = sim.add_flow(
+            FlowSpec::new(src, dst, TcpVariant::NewReno).with_window(4),
+        );
+        sim.run_until(secs(5.0));
+        let small = sim.flow_report(f_small);
+        // With window 4 the cwnd trace must never exceed... cwnd may exceed
+        // awnd numerically for Reno, but flight is capped; at least verify
+        // data flowed.
+        assert!(small.delivered_segments > 10);
+    }
+}
+
+
+#[cfg(test)]
+mod mobility_tests {
+    use super::*;
+    use crate::topology;
+    use phy::Position;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn linear_motion_reaches_target_and_stops() {
+        let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
+        let node = NodeId::new(2);
+        // 100 m away at 20 m/s: arrives at t = 5 s.
+        let start = sim.position(node);
+        let target = Position::new(start.x + 100.0, start.y);
+        sim.move_node(node, target, 20.0);
+        sim.run_until(secs(2.5));
+        let mid = sim.position(node);
+        assert!(mid.x > start.x && mid.x < target.x, "mid-flight at {mid}");
+        sim.run_until(secs(6.0));
+        assert_eq!(sim.position(node), target);
+        // No further drift after arrival.
+        sim.run_until(secs(10.0));
+        assert_eq!(sim.position(node), target);
+    }
+
+    #[test]
+    fn movement_speed_is_respected() {
+        let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
+        let node = NodeId::new(0);
+        let start = sim.position(node);
+        sim.move_node(node, Position::new(start.x + 1000.0, 0.0), 10.0);
+        sim.run_until(secs(10.0));
+        let moved = sim.position(node).distance_to(start);
+        assert!((moved - 100.0).abs() < 2.0, "10 m/s for 10 s ≈ 100 m, got {moved}");
+    }
+
+    #[test]
+    fn random_waypoint_stays_in_area() {
+        let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
+        let node = NodeId::new(1);
+        sim.set_random_waypoint(
+            node,
+            RandomWaypoint { width_m: 500.0, height_m: 500.0, min_speed_mps: 50.0, max_speed_mps: 100.0 },
+        );
+        for step in 1..=60 {
+            sim.run_until(secs(step as f64));
+            let p = sim.position(node);
+            assert!(
+                (-1.0..=501.0).contains(&p.x) && (-1.0..=501.0).contains(&p.y),
+                "escaped the area: {p}"
+            );
+        }
+        // It actually moved.
+        assert_ne!(sim.position(node), Position::new(250.0, 0.0));
+        sim.stop_node(node);
+        let frozen = sim.position(node);
+        sim.run_until(secs(65.0));
+        assert_eq!(sim.position(node), frozen);
+    }
+
+    #[test]
+    fn replacing_a_movement_does_not_double_tick() {
+        let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
+        let node = NodeId::new(0);
+        sim.move_node(node, Position::new(1000.0, 0.0), 10.0);
+        // Redirect mid-flight; speed unchanged, so distance covered in a
+        // fixed time must not exceed speed × time (a double tick chain
+        // would move the node twice per tick).
+        sim.run_until(secs(1.0));
+        sim.move_node(node, Position::new(0.0, 1000.0), 10.0);
+        let at_redirect = sim.position(node);
+        sim.run_until(secs(6.0));
+        let moved = sim.position(node).distance_to(at_redirect);
+        assert!(moved <= 51.0, "5 s at 10 m/s must cover ≤ 50 m, got {moved}");
+    }
+
+    #[test]
+    fn mobile_relay_flow_survives_with_rediscovery() {
+        // 5-node chain; the flow runs 0 -> 4. Node 2 wanders slowly around
+        // its home; AODV re-discovers through node positions as needed.
+        let mut sim = Simulator::new(topology::chain(4), SimConfig::default());
+        let (src, dst) = topology::chain_flow(4);
+        let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+        sim.run_until(secs(3.0));
+        // Drift node 2 100 m north and back; connectivity is preserved
+        // (neighbours at 250 m spacing, range 250 m... moving north breaks
+        // 1-2 and 2-3 links at ~? sqrt(250^2+100^2)=269>250: breaks!) so
+        // the route must fail and recover.
+        let home = sim.position(NodeId::new(2));
+        sim.move_node(NodeId::new(2), Position::new(home.x, 100.0), 25.0);
+        sim.run_until(secs(8.0));
+        sim.move_node(NodeId::new(2), home, 25.0);
+        sim.run_until(secs(20.0));
+        let r = sim.flow_report(flow);
+        let tail = r.delivered_in_window(secs(15.0), secs(20.0));
+        assert!(tail > 5, "flow must recover after the relay returns, got {tail}");
+    }
+}
+
+#[cfg(test)]
+mod tracer_tests {
+    use super::*;
+    use crate::topology;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn tracer_observes_all_event_classes() {
+        let counts = Rc::new(RefCell::new((0u32, 0u32, 0u32))); // sent, received, delivered
+        let c2 = Rc::clone(&counts);
+        let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
+        sim.set_tracer(Box::new(move |_now, event| {
+            let mut c = c2.borrow_mut();
+            match event {
+                TraceEvent::FrameSent { .. } => c.0 += 1,
+                TraceEvent::FrameReceived { .. } => c.1 += 1,
+                TraceEvent::SegmentDelivered { .. } => c.2 += 1,
+                _ => {}
+            }
+        }));
+        let (src, dst) = topology::chain_flow(2);
+        let _ = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        let c = counts.borrow();
+        assert!(c.0 > 10, "frames sent traced: {}", c.0);
+        assert!(c.1 >= c.0, "every transmission has receivers in range");
+        assert!(c.2 > 10, "deliveries traced: {}", c.2);
+        // Clearing stops the stream.
+        drop(c);
+        sim.clear_tracer();
+        let before = counts.borrow().0;
+        sim.run_until(SimTime::from_secs_f64(3.0));
+        assert_eq!(counts.borrow().0, before);
+    }
+}
+
+#[cfg(test)]
+mod red_integration_tests {
+    use super::*;
+    use crate::topology;
+    use crate::{QueueDiscipline, RedConfig};
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn red_discipline_carries_traffic() {
+        let cfg = SimConfig {
+            queue: QueueDiscipline::Red(RedConfig::default()),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(topology::chain(4), cfg);
+        let (src, dst) = topology::chain_flow(4);
+        let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno));
+        sim.run_until(secs(5.0));
+        assert!(sim.flow_report(flow).delivered_segments > 20);
+    }
+
+    #[test]
+    fn red_ecn_marks_reach_a_muzha_sender() {
+        // An aggressive RED (tiny thresholds, heavy averaging) on every
+        // node: Muzha's data is ECN-marked in the queue, so its dup-ACK
+        // discrimination sees "congestion" even without Muzha's own
+        // marking (queue thresholds here are far below the DRAI mark_at).
+        let red = RedConfig {
+            min_threshold: 0.0,
+            max_threshold: 1.0,
+            queue_weight: 0.9,
+            ecn: true,
+            ..RedConfig::default()
+        };
+        let cfg = SimConfig { queue: QueueDiscipline::Red(red), ..SimConfig::default() };
+        let mut sim = Simulator::new(topology::chain(2), cfg);
+        let (src, dst) = topology::chain_flow(2);
+        let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+        sim.run_until(secs(5.0));
+        // Flow still works end to end with ECN marking in the path.
+        assert!(sim.flow_report(flow).delivered_segments > 20);
+        let marked: u64 = (0..sim.node_count())
+            .map(|i| match &sim.nodes[i].ifq {
+                Ifq::Red(q) => q.early_marks(),
+                Ifq::DropTail(_) => 0,
+            })
+            .sum();
+        assert!(marked > 0, "aggressive RED must have marked something");
+    }
+
+    #[test]
+    fn red_without_ecn_drops_early() {
+        let red = RedConfig {
+            min_threshold: 0.0,
+            max_threshold: 2.0,
+            queue_weight: 0.9,
+            ecn: false,
+            ..RedConfig::default()
+        };
+        let cfg = SimConfig { queue: QueueDiscipline::Red(red), ..SimConfig::default() };
+        let mut sim = Simulator::new(topology::chain(2), cfg);
+        let (src, dst) = topology::chain_flow(2);
+        let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno));
+        sim.run_until(secs(10.0));
+        let report = sim.flow_report(flow);
+        assert!(report.delivered_segments > 10, "flow survives RED drops");
+        let early: u64 = (0..sim.node_count())
+            .map(|i| match &sim.nodes[i].ifq {
+                Ifq::Red(q) => q.early_drops(),
+                Ifq::DropTail(_) => 0,
+            })
+            .sum();
+        assert!(early > 0, "early drops expected with tiny thresholds");
+    }
+}
+
+#[cfg(test)]
+mod elfn_tests {
+    use super::*;
+    use crate::topology;
+    use phy::Position;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    /// Runs the mobile-relay outage scenario and reports (delivered in the
+    /// post-recovery tail, sender timeouts).
+    fn outage_run(elfn: bool) -> (u64, u64) {
+        let mut sim = Simulator::new(topology::chain(4), SimConfig::default());
+        let (src, dst) = topology::chain_flow(4);
+        let mut spec = FlowSpec::new(src, dst, TcpVariant::NewReno);
+        if elfn {
+            spec = spec.with_elfn();
+        }
+        let flow = sim.add_flow(spec);
+        sim.run_until(secs(3.0));
+        // 12-second outage: long enough for several unassisted RTO doublings.
+        let home = sim.position(NodeId::new(2));
+        sim.set_position(NodeId::new(2), Position::new(10_000.0, 10_000.0));
+        sim.run_until(secs(15.0));
+        sim.set_position(NodeId::new(2), home);
+        sim.run_until(secs(30.0));
+        let r = sim.flow_report(flow);
+        (r.delivered_in_window(secs(15.0), secs(30.0)), r.sender.timeouts)
+    }
+
+    #[test]
+    fn elfn_recovers_faster_after_an_outage() {
+        let (plain_tail, plain_timeouts) = outage_run(false);
+        let (elfn_tail, elfn_timeouts) = outage_run(true);
+        // The frozen timer means strictly fewer blind timeouts during the
+        // outage (the unassisted sender keeps firing into the void)...
+        assert!(
+            elfn_timeouts < plain_timeouts,
+            "ELFN timeouts {elfn_timeouts} vs plain {plain_timeouts}"
+        );
+        // ...and the flow resumes with comparable vigour once the route
+        // heals (exact counts differ run to run as recovery timing shifts
+        // the contention pattern).
+        assert!(elfn_tail > 20, "ELFN flow must resume, got {elfn_tail}");
+        assert!(
+            elfn_tail * 2 > plain_tail,
+            "ELFN tail {elfn_tail} unreasonably below plain {plain_tail}"
+        );
+    }
+
+    #[test]
+    fn elfn_is_inert_on_a_stable_route() {
+        let run = |elfn: bool| {
+            let mut sim = Simulator::new(topology::chain(3), SimConfig::default());
+            let (src, dst) = topology::chain_flow(3);
+            let mut spec = FlowSpec::new(src, dst, TcpVariant::Muzha);
+            if elfn {
+                spec = spec.with_elfn();
+            }
+            let flow = sim.add_flow(spec);
+            sim.run_until(secs(10.0));
+            sim.flow_report(flow).delivered_segments
+        };
+        let plain = run(false);
+        let with = run(true);
+        let diff = plain.abs_diff(with);
+        // Identical routes throughout: ELFN may only shift the initial
+        // discovery timing slightly.
+        assert!(
+            diff * 20 <= plain,
+            "ELFN changed a stable run too much: {plain} vs {with}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod delack_integration_tests {
+    use super::*;
+    use crate::topology;
+
+    #[test]
+    fn delayed_ack_flow_works_and_halves_ack_traffic() {
+        let run = |delayed: bool| {
+            let mut sim = Simulator::new(topology::chain(4), SimConfig::default());
+            let (src, dst) = topology::chain_flow(4);
+            let mut spec = FlowSpec::new(src, dst, TcpVariant::NewReno);
+            if delayed {
+                spec = spec.with_delayed_ack();
+            }
+            let flow = sim.add_flow(spec);
+            sim.run_until(SimTime::from_secs_f64(10.0));
+            let r = sim.flow_report(flow);
+            let acks = sim.nodes[dst.index()].receivers[&flow].receiver.stats().acks_sent;
+            (r.delivered_segments, acks)
+        };
+        let (plain_segs, plain_acks) = run(false);
+        let (delack_segs, delack_acks) = run(true);
+        assert!(delack_segs > 50, "delayed-ACK flow must carry data: {delack_segs}");
+        // Immediate mode: one ACK per received segment. Delayed: roughly half.
+        assert!(plain_acks >= plain_segs);
+        assert!(
+            (delack_acks as f64) < 0.75 * delack_segs as f64,
+            "delack {delack_acks} ACKs for {delack_segs} segments"
+        );
+    }
+
+    #[test]
+    fn delayed_ack_with_muzha_keeps_feedback_loop() {
+        let mut sim = Simulator::new(topology::chain(4), SimConfig::default());
+        let (src, dst) = topology::chain_flow(4);
+        let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha).with_delayed_ack());
+        sim.run_until(SimTime::from_secs_f64(10.0));
+        let r = sim.flow_report(flow);
+        assert!(r.delivered_segments > 50, "{}", r.delivered_segments);
+        // MRAI feedback still drove the window above its initial value.
+        assert!(r.cwnd_trace.samples().iter().any(|&(_, w)| w > 2.0));
+    }
+}
+
+#[cfg(test)]
+mod hello_integration_tests {
+    use super::*;
+    use crate::topology;
+    use sim_core::SimDuration;
+
+    #[test]
+    fn hello_beacons_detect_a_vanished_neighbour() {
+        let aodv = aodv::AodvConfig {
+            hello_interval: Some(SimDuration::from_millis(500)),
+            allowed_hello_loss: 2,
+            ..aodv::AodvConfig::default()
+        };
+        let cfg = SimConfig { aodv, ..SimConfig::default() };
+        let mut sim = Simulator::new(topology::chain(3), cfg);
+        let (src, dst) = topology::chain_flow(3);
+        let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+        sim.run_until(SimTime::from_secs_f64(3.0));
+        assert!(sim.flow_report(flow).delivered_segments > 20, "beacons must not break traffic");
+        // Vanish node 1; with no data in flight the MAC gives no feedback,
+        // so only HELLO loss can tear the route down.
+        sim.set_position(NodeId::new(1), phy::Position::new(50_000.0, 0.0));
+        sim.run_until(SimTime::from_secs_f64(6.0));
+        assert!(
+            !sim.nodes[0].aodv.has_route(NodeId::new(1), sim.now())
+                || !sim.nodes[0].aodv.has_route(dst, sim.now()),
+            "silent neighbour should have been invalidated somewhere"
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! The paper's network topologies.
+
+use phy::Position;
+use wire::NodeId;
+
+/// Node spacing used throughout the paper: exactly the 250 m transmission
+/// range, so each node connects only to its immediate neighbours.
+pub const SPACING_M: f64 = 250.0;
+
+/// An `hops`-hop chain: `hops + 1` nodes in a straight line, 250 m apart
+/// (paper Fig. 5.1). Node 0 is the conventional source, node `hops` the
+/// destination.
+///
+/// # Example
+///
+/// ```
+/// use netstack::topology;
+/// let positions = topology::chain(4);
+/// assert_eq!(positions.len(), 5);
+/// assert_eq!(positions[4].x, 1000.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `hops` is zero.
+pub fn chain(hops: usize) -> Vec<Position> {
+    assert!(hops > 0, "a chain needs at least one hop");
+    (0..=hops).map(|i| Position::new(i as f64 * SPACING_M, 0.0)).collect()
+}
+
+/// Endpoints of the single flow on a [`chain`].
+pub fn chain_flow(hops: usize) -> (NodeId, NodeId) {
+    (NodeId::new(0), NodeId::new(hops as u16))
+}
+
+/// An `hops`-hop cross: a horizontal and a vertical chain sharing their
+/// centre node (paper Fig. 5.15 — 4 hops, 9 nodes, 2 flows). `hops` must
+/// be even so the centre lands on a node.
+///
+/// Node layout: indices `0..=hops` form the horizontal chain (west→east);
+/// indices `hops+1 ..= 2*hops` form the vertical chain (north→south),
+/// with the centre shared with horizontal node `hops/2`.
+///
+/// # Example
+///
+/// ```
+/// use netstack::topology;
+/// let positions = topology::cross(4);
+/// assert_eq!(positions.len(), 9); // 2*(4+1) - 1 shared centre
+/// ```
+///
+/// # Panics
+///
+/// Panics if `hops` is zero or odd.
+pub fn cross(hops: usize) -> Vec<Position> {
+    assert!(hops > 0 && hops.is_multiple_of(2), "cross topology needs an even, positive hop count");
+    let mut positions = chain(hops);
+    let centre_x = (hops / 2) as f64 * SPACING_M;
+    for j in 0..=hops {
+        if j == hops / 2 {
+            continue; // shared centre node
+        }
+        let y = (hops / 2) as f64 * SPACING_M - j as f64 * SPACING_M;
+        positions.push(Position::new(centre_x, y));
+    }
+    positions
+}
+
+/// Endpoints of the horizontal flow on a [`cross`] (west → east).
+pub fn cross_horizontal_flow(hops: usize) -> (NodeId, NodeId) {
+    (NodeId::new(0), NodeId::new(hops as u16))
+}
+
+/// Endpoints of the vertical flow on a [`cross`] (north → south).
+pub fn cross_vertical_flow(hops: usize) -> (NodeId, NodeId) {
+    let first_vertical = hops as u16 + 1;
+    let last_vertical = 2 * hops as u16;
+    (NodeId::new(first_vertical), NodeId::new(last_vertical))
+}
+
+/// An `rows × cols` grid with 250 m spacing — a denser testbed than the
+/// paper's chain/cross, useful for exercising AODV path diversity (the
+/// chain has none: every break partitions the network).
+///
+/// Node `(r, c)` has index `r * cols + c`.
+///
+/// # Example
+///
+/// ```
+/// use netstack::topology;
+/// let p = topology::grid(3, 4);
+/// assert_eq!(p.len(), 12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(rows: usize, cols: usize) -> Vec<Position> {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut positions = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            positions.push(Position::new(c as f64 * SPACING_M, r as f64 * SPACING_M));
+        }
+    }
+    positions
+}
+
+/// The node at grid coordinate `(row, col)` of a [`grid`] with `cols`
+/// columns.
+pub fn grid_node(row: usize, col: usize, cols: usize) -> NodeId {
+    NodeId::new((row * cols + col) as u16)
+}
+
+/// `count` parallel `hops`-hop chains stacked 500 m apart (outside
+/// receive range but inside carrier-sense/interference range of their
+/// neighbours) — the classic inter-flow interference scenario.
+///
+/// Chain `k`'s nodes are indices `k*(hops+1) ..= k*(hops+1)+hops`.
+///
+/// # Panics
+///
+/// Panics if `count` or `hops` is zero.
+pub fn parallel_chains(count: usize, hops: usize) -> Vec<Position> {
+    assert!(count > 0, "need at least one chain");
+    assert!(hops > 0, "a chain needs at least one hop");
+    let mut positions = Vec::new();
+    for k in 0..count {
+        let y = k as f64 * 2.0 * SPACING_M;
+        for i in 0..=hops {
+            positions.push(Position::new(i as f64 * SPACING_M, y));
+        }
+    }
+    positions
+}
+
+/// Endpoints of chain `k`'s flow on [`parallel_chains`].
+pub fn parallel_chain_flow(k: usize, hops: usize) -> (NodeId, NodeId) {
+    let base = (k * (hops + 1)) as u16;
+    (NodeId::new(base), NodeId::new(base + hops as u16))
+}
+
+/// `count` nodes placed uniformly at random in a `width × height` area,
+/// re-sampled (up to a bounded number of attempts) until the topology is
+/// connected under the given transmission range. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if no connected placement is found within 1000 attempts —
+/// choose a denser configuration.
+pub fn random_connected(
+    count: usize,
+    width_m: f64,
+    height_m: f64,
+    range_m: f64,
+    seed: u64,
+) -> Vec<Position> {
+    assert!(count > 0, "need at least one node");
+    let mut rng = sim_core::SimRng::new(seed);
+    for _ in 0..1000 {
+        let positions: Vec<Position> = (0..count)
+            .map(|_| Position::new(rng.unit_f64() * width_m, rng.unit_f64() * height_m))
+            .collect();
+        if is_connected(&positions, range_m) {
+            return positions;
+        }
+    }
+    panic!("no connected placement found in 1000 attempts; increase density");
+}
+
+/// Whether the unit-disc graph over `positions` with radius `range_m` is
+/// connected.
+pub fn is_connected(positions: &[Position], range_m: f64) -> bool {
+    if positions.is_empty() {
+        return true;
+    }
+    let n = positions.len();
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut visited = 1;
+    while let Some(i) = stack.pop() {
+        for j in 0..n {
+            if !seen[j] && positions[i].distance_to(positions[j]) <= range_m {
+                seen[j] = true;
+                visited += 1;
+                stack.push(j);
+            }
+        }
+    }
+    visited == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_geometry() {
+        let p = chain(8);
+        assert_eq!(p.len(), 9);
+        for (i, pos) in p.iter().enumerate() {
+            assert_eq!(pos.x, i as f64 * 250.0);
+            assert_eq!(pos.y, 0.0);
+        }
+        let (s, d) = chain_flow(8);
+        assert_eq!((s.index(), d.index()), (0, 8));
+    }
+
+    #[test]
+    fn cross_geometry_4_hops() {
+        let p = cross(4);
+        assert_eq!(p.len(), 9, "paper Fig. 5.15: 9 nodes");
+        // Horizontal chain on y = 0.
+        for pos in &p[0..=4] {
+            assert_eq!(pos.y, 0.0);
+        }
+        // Vertical nodes share x with the centre (node 2 at x = 500).
+        for pos in &p[5..9] {
+            assert_eq!(pos.x, 500.0);
+        }
+        // Vertical chain spans ±500 m, skipping the shared centre.
+        let ys: Vec<f64> = p[5..9].iter().map(|q| q.y).collect();
+        assert_eq!(ys, vec![500.0, 250.0, -250.0, -500.0]);
+    }
+
+    #[test]
+    fn cross_flows_are_node_disjoint_except_centre() {
+        let (hs, hd) = cross_horizontal_flow(4);
+        let (vs, vd) = cross_vertical_flow(4);
+        assert_eq!((hs.index(), hd.index()), (0, 4));
+        assert_eq!((vs.index(), vd.index()), (5, 8));
+    }
+
+    #[test]
+    fn cross_vertical_adjacency() {
+        // Nodes 5(y=500) and 6(y=250) are 250 m apart; node 6 and the
+        // centre (2, y=0) likewise; the flow path is 5-6-2-7-8.
+        let p = cross(4);
+        assert_eq!(p[5].distance_to(p[6]), 250.0);
+        assert_eq!(p[6].distance_to(p[2]), 250.0);
+        assert_eq!(p[2].distance_to(p[7]), 250.0);
+        assert_eq!(p[7].distance_to(p[8]), 250.0);
+    }
+
+    #[test]
+    fn grid_geometry() {
+        let p = grid(3, 4);
+        assert_eq!(p.len(), 12);
+        assert_eq!(p[grid_node(2, 3, 4).index()], Position::new(750.0, 500.0));
+        assert_eq!(p[0], Position::new(0.0, 0.0));
+        assert!(is_connected(&p, 250.0));
+    }
+
+    #[test]
+    fn parallel_chains_geometry() {
+        let p = parallel_chains(3, 4);
+        assert_eq!(p.len(), 15);
+        let (s, d) = parallel_chain_flow(1, 4);
+        assert_eq!(p[s.index()], Position::new(0.0, 500.0));
+        assert_eq!(p[d.index()], Position::new(1000.0, 500.0));
+        // Chains are out of receive range of each other...
+        assert!(p[0].distance_to(p[5]) > 250.0);
+        // ...but within carrier-sense range (550 m).
+        assert!(p[0].distance_to(p[5]) <= 550.0);
+    }
+
+    #[test]
+    fn random_connected_is_deterministic_and_connected() {
+        let a = random_connected(12, 800.0, 800.0, 250.0, 7);
+        let b = random_connected(12, 800.0, 800.0, 250.0, 7);
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x, y, "same seed, same placement");
+        }
+        assert!(is_connected(&a, 250.0));
+        let c = random_connected(12, 800.0, 800.0, 250.0, 8);
+        assert!(a.iter().zip(&c).any(|(x, y)| x != y), "different seeds differ");
+    }
+
+    #[test]
+    fn connectivity_check() {
+        assert!(is_connected(&[], 100.0));
+        let split = vec![Position::new(0.0, 0.0), Position::new(1000.0, 0.0)];
+        assert!(!is_connected(&split, 250.0));
+        let joined = vec![
+            Position::new(0.0, 0.0),
+            Position::new(200.0, 0.0),
+            Position::new(400.0, 0.0),
+        ];
+        assert!(is_connected(&joined, 250.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_cross_rejected() {
+        let _ = cross(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn zero_chain_rejected() {
+        let _ = chain(0);
+    }
+}

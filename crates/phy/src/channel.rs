@@ -1,0 +1,208 @@
+//! The shared radio channel: who hears whom.
+
+use wire::NodeId;
+
+use crate::{Position, RadioParams};
+
+/// The radio channel connecting all nodes.
+///
+/// Precomputes, for every node, the set of nodes inside its transmission
+/// range (potential receivers) and inside its carrier-sense range (nodes
+/// whose medium it occupies). Positions can be updated (mobility hook), which
+/// recomputes the adjacency.
+///
+/// # Example
+///
+/// ```
+/// use phy::{Channel, Position, RadioParams};
+/// use wire::NodeId;
+///
+/// // A 3-node chain at 250 m spacing: 0 and 2 can't hear each other.
+/// let positions = vec![
+///     Position::new(0.0, 0.0),
+///     Position::new(250.0, 0.0),
+///     Position::new(500.0, 0.0),
+/// ];
+/// let ch = Channel::new(positions, RadioParams::default());
+/// assert!(ch.in_rx_range(NodeId::new(0), NodeId::new(1)));
+/// assert!(!ch.in_rx_range(NodeId::new(0), NodeId::new(2)));
+/// // ...but node 0's transmissions are *sensed* at node 2 (inside 550 m).
+/// assert!(ch.in_cs_range(NodeId::new(0), NodeId::new(2)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Channel {
+    params: RadioParams,
+    positions: Vec<Position>,
+    rx_neighbors: Vec<Vec<NodeId>>,
+    cs_neighbors: Vec<Vec<NodeId>>,
+}
+
+impl Channel {
+    /// Creates a channel for nodes at the given positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are inconsistent (see [`RadioParams::validate`]).
+    pub fn new(positions: Vec<Position>, params: RadioParams) -> Self {
+        params.validate();
+        let mut ch = Channel {
+            params,
+            positions,
+            rx_neighbors: Vec::new(),
+            cs_neighbors: Vec::new(),
+        };
+        ch.recompute();
+        ch
+    }
+
+    /// Number of nodes attached to the channel.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The radio parameters.
+    pub fn params(&self) -> &RadioParams {
+        &self.params
+    }
+
+    /// A node's position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn position(&self, node: NodeId) -> Position {
+        self.positions[node.index()]
+    }
+
+    /// Moves a node and recomputes adjacency (mobility hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_position(&mut self, node: NodeId, position: Position) {
+        self.positions[node.index()] = position;
+        self.recompute();
+    }
+
+    /// Nodes that can *decode* transmissions from `node` (inside tx range),
+    /// excluding the node itself.
+    pub fn rx_neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.rx_neighbors[node.index()]
+    }
+
+    /// Nodes that *sense* transmissions from `node` (inside carrier-sense
+    /// range — a superset of [`Self::rx_neighbors`]), excluding the node
+    /// itself.
+    pub fn cs_neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.cs_neighbors[node.index()]
+    }
+
+    /// Whether `b` can decode `a`'s transmissions.
+    pub fn in_rx_range(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.distance(a, b) <= self.params.tx_range_m
+    }
+
+    /// Whether `b` senses `a`'s transmissions.
+    pub fn in_cs_range(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.distance(a, b) <= self.params.cs_range_m
+    }
+
+    /// Distance between two nodes in metres.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        self.positions[a.index()].distance_to(self.positions[b.index()])
+    }
+
+    fn recompute(&mut self) {
+        let n = self.positions.len();
+        self.rx_neighbors = vec![Vec::new(); n];
+        self.cs_neighbors = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let d = self.positions[i].distance_to(self.positions[j]);
+                let (a, b) = (NodeId::new(i as u16), NodeId::new(j as u16));
+                if d <= self.params.tx_range_m {
+                    self.rx_neighbors[a.index()].push(b);
+                }
+                if d <= self.params.cs_range_m {
+                    self.cs_neighbors[a.index()].push(b);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn chain(count: usize, spacing: f64) -> Channel {
+        let positions =
+            (0..count).map(|i| Position::new(i as f64 * spacing, 0.0)).collect();
+        Channel::new(positions, RadioParams::default())
+    }
+
+    #[test]
+    fn chain_adjacency() {
+        let ch = chain(5, 250.0);
+        assert_eq!(ch.node_count(), 5);
+        // Node 2 decodes only 1 and 3.
+        assert_eq!(ch.rx_neighbors(n(2)), &[n(1), n(3)]);
+        // ...but senses 0, 1, 3, 4 (500 m <= 550 m).
+        assert_eq!(ch.cs_neighbors(n(2)), &[n(0), n(1), n(3), n(4)]);
+    }
+
+    #[test]
+    fn endpoints_have_fewer_neighbors() {
+        let ch = chain(5, 250.0);
+        assert_eq!(ch.rx_neighbors(n(0)), &[n(1)]);
+        assert_eq!(ch.cs_neighbors(n(0)), &[n(1), n(2)]);
+    }
+
+    #[test]
+    fn symmetry() {
+        let ch = chain(6, 250.0);
+        for i in 0..6u16 {
+            for j in 0..6u16 {
+                if i != j {
+                    assert_eq!(ch.in_rx_range(n(i), n(j)), ch.in_rx_range(n(j), n(i)));
+                    assert_eq!(ch.in_cs_range(n(i), n(j)), ch.in_cs_range(n(j), n(i)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rx_implies_cs() {
+        let ch = chain(8, 200.0);
+        for i in 0..8u16 {
+            for &j in ch.rx_neighbors(n(i)) {
+                assert!(ch.in_cs_range(n(i), j));
+            }
+        }
+    }
+
+    #[test]
+    fn mobility_recomputes() {
+        let mut ch = chain(3, 250.0);
+        assert!(!ch.in_rx_range(n(0), n(2)));
+        ch.set_position(n(2), Position::new(200.0, 0.0));
+        assert!(ch.in_rx_range(n(0), n(2)));
+        assert_eq!(ch.position(n(2)), Position::new(200.0, 0.0));
+    }
+
+    #[test]
+    fn node_never_its_own_neighbor() {
+        let ch = chain(4, 100.0);
+        for i in 0..4u16 {
+            assert!(!ch.rx_neighbors(n(i)).contains(&n(i)));
+            assert!(!ch.in_rx_range(n(i), n(i)));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Node placement geometry.
+
+use std::fmt;
+
+/// A node's position on the plane, in metres.
+///
+/// # Example
+///
+/// ```
+/// use phy::Position;
+/// let a = Position::new(0.0, 0.0);
+/// let b = Position::new(3.0, 4.0);
+/// assert_eq!(a.distance_to(b), 5.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Position {
+    /// X coordinate in metres.
+    pub x: f64,
+    /// Y coordinate in metres.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other` in metres.
+    pub fn distance_to(self, other: Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx.hypot(dy)
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_to_self() {
+        let a = Position::new(1.0, 2.0);
+        let b = Position::new(4.0, 6.0);
+        assert_eq!(a.distance_to(b), b.distance_to(a));
+        assert_eq!(a.distance_to(a), 0.0);
+        assert_eq!(a.distance_to(b), 5.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Position::new(250.0, 0.0).to_string(), "(250.0, 0.0)");
+    }
+}

@@ -1,0 +1,143 @@
+//! Radio parameterisation (paper Table 5.1 defaults).
+
+use sim_core::SimDuration;
+
+/// Physical-layer parameters of every radio in the network.
+///
+/// Defaults reproduce the paper's NS2 setup: 2 Mbps data rate, 1 Mbps basic
+/// rate for control frames and the PLCP preamble/header (192 µs, the 802.11b
+/// long preamble), 250 m transmission range, 550 m carrier-sense range, no
+/// random loss.
+///
+/// # Example
+///
+/// ```
+/// use phy::RadioParams;
+/// let p = RadioParams::default();
+/// // A 1500-byte packet plus 34 bytes MAC overhead at 2 Mbps + PLCP:
+/// assert_eq!(p.data_tx_time(1534).as_micros(), 192 + 6136);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RadioParams {
+    /// Bit rate for DATA frames (bits per second).
+    pub data_rate_bps: u64,
+    /// Bit rate for RTS/CTS/ACK control frames.
+    pub basic_rate_bps: u64,
+    /// Fixed PLCP preamble + header time prepended to every frame.
+    pub plcp_overhead: SimDuration,
+    /// Distance within which a frame can be decoded (metres).
+    pub tx_range_m: f64,
+    /// Distance within which a transmission is sensed and interferes
+    /// (metres). Must be at least `tx_range_m`.
+    pub cs_range_m: f64,
+    /// Probability that an individual otherwise-receivable frame is
+    /// corrupted by channel error ("random loss"). Applied per receiver.
+    pub per_frame_loss: f64,
+}
+
+impl Default for RadioParams {
+    fn default() -> Self {
+        RadioParams {
+            data_rate_bps: 2_000_000,
+            basic_rate_bps: 1_000_000,
+            plcp_overhead: SimDuration::from_micros(192),
+            tx_range_m: 250.0,
+            cs_range_m: 550.0,
+            per_frame_loss: 0.0,
+        }
+    }
+}
+
+impl RadioParams {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates are zero, ranges are non-positive or inverted, or the
+    /// loss probability is outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.data_rate_bps > 0, "data rate must be positive");
+        assert!(self.basic_rate_bps > 0, "basic rate must be positive");
+        assert!(self.tx_range_m > 0.0, "tx range must be positive");
+        assert!(
+            self.cs_range_m >= self.tx_range_m,
+            "carrier-sense range must cover the tx range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.per_frame_loss),
+            "loss probability must be in [0, 1]"
+        );
+    }
+
+    /// Airtime of a DATA frame of `bytes` bytes (PLCP + payload at the data
+    /// rate).
+    pub fn data_tx_time(&self, bytes: u32) -> SimDuration {
+        self.plcp_overhead + SimDuration::for_bits(u64::from(bytes) * 8, self.data_rate_bps)
+    }
+
+    /// Airtime of a control frame of `bytes` bytes (PLCP + payload at the
+    /// basic rate).
+    pub fn control_tx_time(&self, bytes: u32) -> SimDuration {
+        self.plcp_overhead + SimDuration::for_bits(u64::from(bytes) * 8, self.basic_rate_bps)
+    }
+
+    /// Propagation delay over `distance_m` metres at the speed of light.
+    pub fn propagation_delay(distance_m: f64) -> SimDuration {
+        const C: f64 = 299_792_458.0;
+        SimDuration::from_secs_f64(distance_m.max(0.0) / C)
+    }
+
+    /// Relative received power at `distance_m`, using the two-ray-ground
+    /// `1/d⁴` law normalised to 1.0 at the edge of the transmission range
+    /// (absolute scale is irrelevant — the capture model only compares
+    /// ratios). A frame from 250 m is 16× stronger than interference from
+    /// 500 m, which clears the 10× capture threshold, exactly as in ns-2.
+    pub fn rx_power(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(1.0);
+        (self.tx_range_m / d).powi(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let p = RadioParams::default();
+        p.validate();
+        assert_eq!(p.data_rate_bps, 2_000_000);
+        assert_eq!(p.tx_range_m, 250.0);
+    }
+
+    #[test]
+    fn tx_times() {
+        let p = RadioParams::default();
+        // 20-byte RTS at 1 Mbps = 160 us + 192 us PLCP.
+        assert_eq!(p.control_tx_time(20).as_micros(), 352);
+        // 1534 bytes at 2 Mbps = 6136 us + 192 us PLCP.
+        assert_eq!(p.data_tx_time(1534).as_micros(), 6328);
+    }
+
+    #[test]
+    fn propagation() {
+        let d = RadioParams::propagation_delay(250.0);
+        // 250 m / c ≈ 834 ns.
+        assert!(d.as_nanos() > 800 && d.as_nanos() < 900, "{}", d.as_nanos());
+        assert_eq!(RadioParams::propagation_delay(-5.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "carrier-sense range")]
+    fn inverted_ranges_rejected() {
+        let p = RadioParams { cs_range_m: 100.0, ..RadioParams::default() };
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn bad_loss_rejected() {
+        let p = RadioParams { per_frame_loss: 1.5, ..RadioParams::default() };
+        p.validate();
+    }
+}

@@ -1,0 +1,405 @@
+//! Per-node PHY reception state machine.
+
+use sim_core::SimTime;
+
+/// Identifies one over-the-air transmission (one frame, all its receivers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxId(pub u64);
+
+/// The result of a completed reception.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RxOutcome {
+    /// The frame arrived intact and can be handed to the MAC.
+    Decoded,
+    /// The frame overlapped another signal at this receiver (or the receiver
+    /// was transmitting) and was corrupted.
+    CollisionLost,
+    /// The signal was sensed (energy) but was never decodable here: sender
+    /// out of tx range, or the frame was corrupted by random channel error.
+    NotDecodable,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Reception {
+    tx_id: TxId,
+    decodable: bool,
+    corrupted: bool,
+    power: f64,
+}
+
+/// The radio state of one node: whether it is transmitting, which signals
+/// currently impinge on it, and whether its carrier-sense reports busy.
+///
+/// The collision model includes *capture*, mirroring ns-2's wireless PHY:
+/// when two signals overlap at a receiver, the earlier one survives if it is
+/// at least `capture_ratio` times stronger than the newcomer (the receiver
+/// stays locked on); a newcomer that much stronger than the current signal
+/// corrupts both (the receiver cannot re-lock mid-frame); comparable powers
+/// corrupt both. A node that is transmitting cannot decode anything
+/// (half duplex).
+///
+/// # Example
+///
+/// ```
+/// use phy::{PhyState, RxOutcome, TxId};
+/// use sim_core::SimTime;
+///
+/// let mut phy = PhyState::new();
+/// let t0 = SimTime::from_nanos(0);
+/// let t1 = SimTime::from_nanos(1_000);
+/// phy.on_rx_start(TxId(1), t0, t1, true, 1.0);
+/// assert!(phy.carrier_busy(t0));
+/// assert_eq!(phy.on_rx_end(TxId(1), t1), RxOutcome::Decoded);
+/// assert!(!phy.carrier_busy(t1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PhyState {
+    transmitting_until: Option<SimTime>,
+    receptions: Vec<Reception>,
+    /// Latest instant at which any sensed signal (decodable or not) ends.
+    energy_until: SimTime,
+    /// Power ratio above which the stronger frame survives an overlap
+    /// (ns-2's `CPThresh_`, 10 = 10 dB).
+    capture_ratio: f64,
+}
+
+impl Default for PhyState {
+    fn default() -> Self {
+        PhyState {
+            transmitting_until: None,
+            receptions: Vec::new(),
+            energy_until: SimTime::ZERO,
+            capture_ratio: 10.0,
+        }
+    }
+}
+
+impl PhyState {
+    /// Creates an idle radio.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the node as transmitting until `until`.
+    ///
+    /// Any reception in progress is corrupted (the radio is half duplex).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is already transmitting — the MAC must serialise
+    /// its own transmissions.
+    pub fn begin_transmit(&mut self, now: SimTime, until: SimTime) {
+        assert!(
+            !self.is_transmitting(now),
+            "PHY asked to transmit while already transmitting"
+        );
+        for r in &mut self.receptions {
+            r.corrupted = true;
+        }
+        self.transmitting_until = Some(until);
+    }
+
+    /// Whether the node's own transmission is still on the air.
+    pub fn is_transmitting(&self, now: SimTime) -> bool {
+        self.transmitting_until.is_some_and(|t| now < t)
+    }
+
+    /// Registers the start of an incoming signal with relative received
+    /// `power` (any consistent unit; only ratios matter).
+    ///
+    /// `decodable` is false when the sender is out of tx range or the frame
+    /// was corrupted by random channel error; such signals still interfere.
+    /// Capture rule per overlapping pair (ns-2 semantics): the ongoing
+    /// reception survives a newcomer weaker by at least the capture ratio;
+    /// any other overlap corrupts both.
+    pub fn on_rx_start(&mut self, tx_id: TxId, now: SimTime, end: SimTime, decodable: bool, power: f64) {
+        let corrupted_by_tx = self.is_transmitting(now);
+        let mut new_corrupted = corrupted_by_tx;
+        for r in &mut self.receptions {
+            if r.power >= power * self.capture_ratio {
+                // Receiver stays locked on the clearly stronger signal;
+                // the weak newcomer is lost, the current frame survives.
+                new_corrupted = true;
+            } else {
+                // Comparable power, or a late stronger arrival: the
+                // receiver cannot separate them — both are lost.
+                r.corrupted = true;
+                new_corrupted = true;
+            }
+        }
+        self.receptions.push(Reception { tx_id, decodable, corrupted: new_corrupted, power });
+        self.energy_until = self.energy_until.max(end);
+    }
+
+    /// Completes a reception and reports its outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx_id` does not match a registered reception (an event
+    /// plumbing bug).
+    pub fn on_rx_end(&mut self, tx_id: TxId, _now: SimTime) -> RxOutcome {
+        let idx = self
+            .receptions
+            .iter()
+            .position(|r| r.tx_id == tx_id)
+            .expect("rx end without matching rx start");
+        let r = self.receptions.swap_remove(idx);
+        if !r.decodable {
+            RxOutcome::NotDecodable
+        } else if r.corrupted {
+            RxOutcome::CollisionLost
+        } else {
+            RxOutcome::Decoded
+        }
+    }
+
+    /// Physical carrier sense: busy while transmitting or while any sensed
+    /// signal is on the air.
+    pub fn carrier_busy(&self, now: SimTime) -> bool {
+        self.is_transmitting(now) || !self.receptions.is_empty() || now < self.energy_until
+    }
+
+    /// The earliest instant at which the medium could be idle again given
+    /// current knowledge (own tx end vs. sensed energy end).
+    pub fn idle_at(&self, now: SimTime) -> SimTime {
+        let tx_end = self.transmitting_until.filter(|&t| t > now).unwrap_or(now);
+        tx_end.max(self.energy_until).max(now)
+    }
+
+    /// Number of signals currently impinging on this node (test/diagnostic).
+    pub fn active_receptions(&self) -> usize {
+        self.receptions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn clean_reception_decodes() {
+        let mut phy = PhyState::new();
+        phy.on_rx_start(TxId(1), t(0), t(100), true, 1.0);
+        assert_eq!(phy.active_receptions(), 1);
+        assert_eq!(phy.on_rx_end(TxId(1), t(100)), RxOutcome::Decoded);
+        assert_eq!(phy.active_receptions(), 0);
+    }
+
+    #[test]
+    fn overlapping_receptions_collide() {
+        let mut phy = PhyState::new();
+        phy.on_rx_start(TxId(1), t(0), t(100), true, 1.0);
+        phy.on_rx_start(TxId(2), t(50), t(150), true, 1.0);
+        assert_eq!(phy.on_rx_end(TxId(1), t(100)), RxOutcome::CollisionLost);
+        assert_eq!(phy.on_rx_end(TxId(2), t(150)), RxOutcome::CollisionLost);
+    }
+
+    #[test]
+    fn interference_from_undecodable_signal_still_corrupts() {
+        let mut phy = PhyState::new();
+        // A far-away (carrier-sense-only) signal...
+        phy.on_rx_start(TxId(1), t(0), t(100), false, 1.0);
+        // ...overlaps a frame we would otherwise decode.
+        phy.on_rx_start(TxId(2), t(10), t(90), true, 1.0);
+        assert_eq!(phy.on_rx_end(TxId(2), t(90)), RxOutcome::CollisionLost);
+        assert_eq!(phy.on_rx_end(TxId(1), t(100)), RxOutcome::NotDecodable);
+    }
+
+    #[test]
+    fn sequential_receptions_both_decode() {
+        let mut phy = PhyState::new();
+        phy.on_rx_start(TxId(1), t(0), t(100), true, 1.0);
+        assert_eq!(phy.on_rx_end(TxId(1), t(100)), RxOutcome::Decoded);
+        phy.on_rx_start(TxId(2), t(100), t(200), true, 1.0);
+        assert_eq!(phy.on_rx_end(TxId(2), t(200)), RxOutcome::Decoded);
+    }
+
+    #[test]
+    fn transmission_corrupts_concurrent_reception() {
+        let mut phy = PhyState::new();
+        phy.on_rx_start(TxId(1), t(0), t(100), true, 1.0);
+        phy.begin_transmit(t(10), t(50));
+        assert_eq!(phy.on_rx_end(TxId(1), t(100)), RxOutcome::CollisionLost);
+    }
+
+    #[test]
+    fn reception_starting_during_tx_is_lost() {
+        let mut phy = PhyState::new();
+        phy.begin_transmit(t(0), t(100));
+        phy.on_rx_start(TxId(1), t(50), t(150), true, 1.0);
+        assert_eq!(phy.on_rx_end(TxId(1), t(150)), RxOutcome::CollisionLost);
+    }
+
+    #[test]
+    fn reception_after_tx_ends_is_fine() {
+        let mut phy = PhyState::new();
+        phy.begin_transmit(t(0), t(100));
+        phy.on_rx_start(TxId(1), t(100), t(200), true, 1.0);
+        assert_eq!(phy.on_rx_end(TxId(1), t(200)), RxOutcome::Decoded);
+    }
+
+    #[test]
+    fn random_loss_is_not_decodable() {
+        let mut phy = PhyState::new();
+        phy.on_rx_start(TxId(1), t(0), t(100), false, 1.0);
+        assert_eq!(phy.on_rx_end(TxId(1), t(100)), RxOutcome::NotDecodable);
+    }
+
+    #[test]
+    fn carrier_sense_tracks_energy() {
+        let mut phy = PhyState::new();
+        assert!(!phy.carrier_busy(t(0)));
+        phy.on_rx_start(TxId(1), t(0), t(100), false, 1.0);
+        assert!(phy.carrier_busy(t(50)));
+        assert_eq!(phy.on_rx_end(TxId(1), t(100)), RxOutcome::NotDecodable);
+        assert!(!phy.carrier_busy(t(100)));
+        assert_eq!(phy.idle_at(t(100)), t(100));
+    }
+
+    #[test]
+    fn idle_at_accounts_for_tx_and_energy() {
+        let mut phy = PhyState::new();
+        phy.begin_transmit(t(0), t(100));
+        assert_eq!(phy.idle_at(t(10)), t(100));
+        phy.on_rx_start(TxId(1), t(20), t(150), false, 1.0);
+        assert_eq!(phy.idle_at(t(30)), t(150));
+        let _ = phy.on_rx_end(TxId(1), t(150));
+        assert_eq!(phy.idle_at(t(200)), t(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "already transmitting")]
+    fn double_transmit_panics() {
+        let mut phy = PhyState::new();
+        phy.begin_transmit(t(0), t(100));
+        phy.begin_transmit(t(10), t(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching rx start")]
+    fn unmatched_rx_end_panics() {
+        let mut phy = PhyState::new();
+        let _ = phy.on_rx_end(TxId(9), t(0));
+    }
+
+    #[test]
+    fn three_way_collision() {
+        let mut phy = PhyState::new();
+        phy.on_rx_start(TxId(1), t(0), t(100), true, 1.0);
+        phy.on_rx_start(TxId(2), t(10), t(110), true, 1.0);
+        phy.on_rx_start(TxId(3), t(20), t(120), true, 1.0);
+        for (id, end) in [(1, 100), (2, 110), (3, 120)] {
+            assert_eq!(phy.on_rx_end(TxId(id), t(end)), RxOutcome::CollisionLost);
+        }
+    }
+}
+
+#[cfg(test)]
+mod capture_tests {
+    use super::*;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn strong_first_frame_survives_weak_interference() {
+        let mut phy = PhyState::default();
+        // Neighbour at 250 m (power 1.0) vs interferer at 500 m (1/16).
+        phy.on_rx_start(TxId(1), t(0), t(100), true, 1.0);
+        phy.on_rx_start(TxId(2), t(10), t(110), false, 1.0 / 16.0);
+        assert_eq!(phy.on_rx_end(TxId(1), t(100)), RxOutcome::Decoded, "captured");
+        assert_eq!(phy.on_rx_end(TxId(2), t(110)), RxOutcome::NotDecodable);
+    }
+
+    #[test]
+    fn weak_frame_lost_to_strong_ongoing() {
+        let mut phy = PhyState::default();
+        phy.on_rx_start(TxId(1), t(0), t(100), true, 16.0);
+        phy.on_rx_start(TxId(2), t(10), t(110), true, 1.0);
+        assert_eq!(phy.on_rx_end(TxId(1), t(100)), RxOutcome::Decoded);
+        assert_eq!(phy.on_rx_end(TxId(2), t(110)), RxOutcome::CollisionLost);
+    }
+
+    #[test]
+    fn late_strong_arrival_kills_both() {
+        let mut phy = PhyState::default();
+        // Receiver locked onto the weak frame; a much stronger late frame
+        // cannot be re-locked onto: both are lost (ns-2 semantics).
+        phy.on_rx_start(TxId(1), t(0), t(100), true, 1.0);
+        phy.on_rx_start(TxId(2), t(10), t(110), true, 16.0);
+        assert_eq!(phy.on_rx_end(TxId(1), t(100)), RxOutcome::CollisionLost);
+        assert_eq!(phy.on_rx_end(TxId(2), t(110)), RxOutcome::CollisionLost);
+    }
+
+    #[test]
+    fn comparable_powers_collide() {
+        let mut phy = PhyState::default();
+        phy.on_rx_start(TxId(1), t(0), t(100), true, 1.0);
+        phy.on_rx_start(TxId(2), t(10), t(110), true, 2.0);
+        assert_eq!(phy.on_rx_end(TxId(1), t(100)), RxOutcome::CollisionLost);
+        assert_eq!(phy.on_rx_end(TxId(2), t(110)), RxOutcome::CollisionLost);
+    }
+
+    #[test]
+    fn exactly_at_threshold_captures() {
+        let mut phy = PhyState::default();
+        phy.on_rx_start(TxId(1), t(0), t(100), true, 10.0);
+        phy.on_rx_start(TxId(2), t(10), t(110), true, 1.0);
+        assert_eq!(phy.on_rx_end(TxId(1), t(100)), RxOutcome::Decoded);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any schedule of receptions: at most one frame in any overlapping
+        /// group decodes, and a frame decodes only if it overlapped nothing.
+        #[test]
+        fn no_capture_invariant(
+            frames in proptest::collection::vec((0u64..1000, 1u64..500), 1..20)
+        ) {
+            // Build (start, end) intervals and replay them in start order.
+            let mut intervals: Vec<(u64, u64)> =
+                frames.iter().map(|&(s, d)| (s, s + d)).collect();
+            intervals.sort_unstable();
+            let mut phy = PhyState::new();
+            // Interleave starts and ends in global time order.
+            let mut evs: Vec<(u64, usize, bool)> = Vec::new(); // (time, idx, is_start)
+            for (i, &(s, e)) in intervals.iter().enumerate() {
+                evs.push((s, i, true));
+                evs.push((e, i, false));
+            }
+            // Ends before starts at the same instant (back-to-back frames don't collide).
+            evs.sort_by_key(|&(time, idx, is_start)| (time, is_start, idx));
+            let mut outcome = vec![None; intervals.len()];
+            for (time, idx, is_start) in evs {
+                if is_start {
+                    phy.on_rx_start(TxId(idx as u64), SimTime::from_nanos(time),
+                        SimTime::from_nanos(intervals[idx].1), true, 1.0);
+                } else {
+                    outcome[idx] = Some(phy.on_rx_end(TxId(idx as u64), SimTime::from_nanos(time)));
+                }
+            }
+            for (i, &(s1, e1)) in intervals.iter().enumerate() {
+                let overlaps_any = intervals.iter().enumerate().any(|(j, &(s2, e2))| {
+                    i != j && s1 < e2 && s2 < e1
+                });
+                match outcome[i].unwrap() {
+                    RxOutcome::Decoded => prop_assert!(!overlaps_any,
+                        "frame {i} decoded despite overlap"),
+                    RxOutcome::CollisionLost => prop_assert!(overlaps_any,
+                        "frame {i} lost without overlap"),
+                    RxOutcome::NotDecodable => unreachable!(),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The stable, timed event queue at the heart of the simulator.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A priority queue of `(SimTime, E)` pairs that pops events in time order,
+/// breaking ties by insertion order (FIFO).
+///
+/// The FIFO tie-break is what makes simulations deterministic: two events
+/// scheduled for the same instant are always delivered in the order they were
+/// scheduled, independent of heap internals.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let t = SimTime::from_nanos(10);
+/// q.push(t, 'a');
+/// q.push(t, 'b');
+/// assert_eq!(q.pop(), Some((t, 'a')));
+/// assert_eq!(q.pop(), Some((t, 'b')));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, last_popped: SimTime::ZERO }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the last popped event — scheduling
+    /// into the past is always a simulation bug.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.last_popped,
+            "scheduled event at {time} before current time {}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.last_popped, "event queue went backwards");
+        self.last_popped = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// The virtual time of the most recently popped event.
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), 3);
+        q.push(t(10), 1);
+        q.push(t(20), 2);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(t(10), 'a');
+        assert_eq!(q.pop(), Some((t(10), 'a')));
+        q.push(t(10), 'b'); // same instant as "now" is allowed
+        q.push(t(15), 'c');
+        assert_eq!(q.pop(), Some((t(10), 'b')));
+        assert_eq!(q.pop(), Some((t(15), 'c')));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(t(10), ());
+        q.pop();
+        q.push(t(9), ());
+    }
+
+    #[test]
+    fn now_and_len_track_state() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.push(t(42), ());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(t(42)));
+        q.pop();
+        assert_eq!(q.now(), t(42));
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping the whole queue yields times in nondecreasing order, and
+        /// equal-time events preserve insertion order.
+        #[test]
+        fn pop_order_is_stable(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &nanos) in times.iter().enumerate() {
+                q.push(SimTime::from_nanos(nanos), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((time, idx)) = q.pop() {
+                if let Some((lt, lidx)) = last {
+                    prop_assert!(time >= lt);
+                    if time == lt {
+                        prop_assert!(idx > lidx, "FIFO violated on tie");
+                    }
+                }
+                last = Some((time, idx));
+            }
+        }
+
+        /// The queue never loses or duplicates events.
+        #[test]
+        fn conservation(times in proptest::collection::vec(0u64..100, 0..100)) {
+            let mut q = EventQueue::new();
+            for &nanos in &times {
+                q.push(SimTime::from_nanos(nanos), nanos);
+            }
+            let mut popped = Vec::new();
+            while let Some((_, v)) = q.pop() {
+                popped.push(v);
+            }
+            let mut expected = times.clone();
+            expected.sort_unstable();
+            popped.sort_unstable();
+            prop_assert_eq!(popped, expected);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Deterministic discrete-event simulation core for the TCP Muzha reproduction.
+//!
+//! This crate provides the engine primitives every other crate in the workspace
+//! builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time,
+//! * [`EventQueue`] — a stable (FIFO-on-tie) priority queue of timed events,
+//! * [`SimRng`] — a seeded, reproducible random number generator,
+//! * [`stats`] — small online statistics helpers (EWMA, time series).
+//!
+//! The simulation is single-threaded and bit-for-bit deterministic for a given
+//! seed: events that fire at the same virtual time are delivered in insertion
+//! order.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_core::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.push(SimTime::ZERO + SimDuration::from_millis(5), "b");
+//! q.push(SimTime::ZERO + SimDuration::from_millis(1), "a");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t.as_micros(), ev), (1_000, "a"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod rng;
+pub mod stats;
+mod time;
+
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,54 @@
+//! TCP transport agents: the baselines the paper evaluates against.
+//!
+//! Like ns-2 (which the paper used), TCP is modelled with *one-way agents at
+//! segment granularity*: a sender paired with a receiver ("sink"); sequence
+//! numbers count segments; the congestion window is in segments. An infinite
+//! backlog (FTP) is assumed — the sender always has data.
+//!
+//! Implemented senders:
+//!
+//! * [`RenoSender`] — slow start, congestion avoidance, fast retransmit,
+//!   fast recovery; with the NewReno partial-ACK modification toggled on it
+//!   becomes **TCP NewReno** (the paper's main baseline),
+//! * [`SackSender`] — selective acknowledgements with a scoreboard and pipe
+//!   algorithm (ns-2 `sack1` style),
+//! * [`VegasSender`] — RTT-based congestion avoidance with α/β thresholds,
+//!   slow-start every other RTT and the γ early-exit,
+//! * [`VenoSender`] — the paper's cited end-to-end rival (\[22\]): Vegas's
+//!   backlog estimate used to *discriminate* random from congestion losses,
+//! * [`WestwoodSender`] — bandwidth-estimation decrease (\[24\]),
+//! * [`DoorSender`] — TCP-DOOR (\[39\]): out-of-order delivery treated as a
+//!   route-change signal (§3.1).
+//!
+//! TCP Muzha lives in the `muzha` crate and implements the same
+//! [`Transport`] interface.
+//!
+//! All agents are pure state machines: the `netstack` crate wraps emitted
+//! segments into packets, routes them, and fires timers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+mod config;
+mod door;
+mod output;
+mod receiver;
+mod reno;
+mod rtt;
+mod sack;
+mod vegas;
+mod veno;
+mod westwood;
+
+pub use common::SendState;
+pub use config::{TcpConfig, VegasConfig};
+pub use door::DoorSender;
+pub use output::{TcpOutput, TcpStats, TcpTimer, Transport};
+pub use receiver::{DelAckTimer, ReceiverOutput, TcpReceiver};
+pub use reno::{RenoFlavor, RenoSender};
+pub use rtt::RttEstimator;
+pub use sack::SackSender;
+pub use vegas::VegasSender;
+pub use veno::VenoSender;
+pub use westwood::WestwoodSender;

@@ -1,0 +1,78 @@
+//! The interface between transport agents and the network stack driver.
+
+use sim_core::stats::TimeSeries;
+use sim_core::SimTime;
+use wire::{FlowId, TcpSegment};
+
+/// Identifies one transport timer (retransmission timer). The driver
+/// schedules an event at the requested time and calls
+/// [`Transport::on_timer`]; stale ids must be ignored by the agent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TcpTimer(pub u64);
+
+/// Actions a transport agent asks the driver to perform.
+#[derive(Clone, Debug)]
+pub enum TcpOutput {
+    /// Hand this segment to the network layer for routing.
+    SendSegment(TcpSegment),
+    /// Call [`Transport::on_timer`] with `id` at `at`.
+    SetTimer {
+        /// Timer identity to echo back.
+        id: TcpTimer,
+        /// Absolute firing time.
+        at: SimTime,
+    },
+}
+
+/// Counters every sender maintains; the paper's evaluation metrics are
+/// computed from these (retransmissions: Figs. 5.11–5.13).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TcpStats {
+    /// Data segments transmitted, including retransmissions.
+    pub segments_sent: u64,
+    /// Retransmitted data segments (fast retransmit + timeout resends).
+    pub retransmissions: u64,
+    /// Retransmission timeouts fired.
+    pub timeouts: u64,
+    /// Fast-retransmit events entered.
+    pub fast_retransmits: u64,
+    /// Highest cumulatively acknowledged segment.
+    pub acked_segments: u64,
+    /// Duplicate ACKs received.
+    pub dupacks: u64,
+}
+
+/// A one-way TCP sender agent with an infinite (FTP) backlog.
+///
+/// Implementations: [`crate::RenoSender`] (Reno / NewReno),
+/// [`crate::SackSender`], [`crate::VegasSender`], and `muzha::MuzhaSender`.
+pub trait Transport: std::fmt::Debug {
+    /// Human-readable variant name ("NewReno", "Vegas", ...).
+    fn name(&self) -> &'static str;
+
+    /// The flow this sender drives.
+    fn flow(&self) -> FlowId;
+
+    /// Starts the flow; returns the initial transmissions.
+    fn open(&mut self, now: SimTime) -> Vec<TcpOutput>;
+
+    /// Processes an incoming ACK segment.
+    fn on_ack_segment(&mut self, segment: &TcpSegment, now: SimTime) -> Vec<TcpOutput>;
+
+    /// A timer set via [`TcpOutput::SetTimer`] fired.
+    fn on_timer(&mut self, id: TcpTimer, now: SimTime) -> Vec<TcpOutput>;
+
+    /// Current congestion window in segments.
+    fn cwnd(&self) -> f64;
+
+    /// Counters.
+    fn stats(&self) -> TcpStats;
+
+    /// The congestion-window trace recorded so far (Figs. 5.2–5.7).
+    fn cwnd_trace(&self) -> &TimeSeries;
+
+    /// The smoothed round-trip time, once at least one valid sample exists.
+    fn srtt(&self) -> Option<sim_core::SimDuration> {
+        None
+    }
+}

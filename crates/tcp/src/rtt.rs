@@ -1,0 +1,179 @@
+//! Round-trip-time estimation (Jacobson/Karels with Karn's algorithm).
+
+use sim_core::SimDuration;
+
+/// RTT estimator maintaining a smoothed RTT and mean deviation, producing
+/// the retransmission timeout `RTO = srtt + 4 × rttvar`, clamped to
+/// configured bounds, with binary exponential backoff on timeouts.
+///
+/// Karn's algorithm (never sample retransmitted segments) is enforced by the
+/// *caller*, which only feeds samples from unambiguous segments.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::SimDuration;
+/// use tcp::RttEstimator;
+///
+/// let mut est = RttEstimator::new(
+///     SimDuration::from_secs(3),
+///     SimDuration::from_millis(200),
+///     SimDuration::from_secs(60),
+/// );
+/// assert_eq!(est.rto(), SimDuration::from_secs(3));
+/// est.sample(SimDuration::from_millis(100));
+/// assert!(est.rto() < SimDuration::from_secs(3));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    initial_rto: SimDuration,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+    backoff: u32,
+}
+
+impl RttEstimator {
+    /// Creates an estimator with no samples yet.
+    pub fn new(initial_rto: SimDuration, min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            initial_rto,
+            min_rto,
+            max_rto,
+            backoff: 0,
+        }
+    }
+
+    /// Feeds a fresh RTT measurement and clears any timeout backoff.
+    pub fn sample(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RFC 6298 with α = 1/8, β = 1/4, in integer nanoseconds.
+                let err = if rtt > srtt { rtt - srtt } else { srtt - rtt };
+                self.rttvar = (self.rttvar * 3 + err) / 4;
+                self.srtt = Some((srtt * 7 + rtt) / 8);
+            }
+        }
+        self.backoff = 0;
+    }
+
+    /// Current smoothed RTT, if any sample has been taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// The retransmission timeout, including any backoff.
+    pub fn rto(&self) -> SimDuration {
+        let base = match self.srtt {
+            None => self.initial_rto,
+            Some(srtt) => {
+                let raw = srtt + self.rttvar * 4;
+                raw.max(self.min_rto)
+            }
+        };
+        let backed = base.saturating_mul(1u64 << self.backoff.min(16));
+        backed.min(self.max_rto)
+    }
+
+    /// Doubles the RTO (called on each retransmission timeout).
+    pub fn back_off(&mut self) {
+        self.backoff = (self.backoff + 1).min(16);
+    }
+
+    /// The current backoff exponent (diagnostics).
+    pub fn backoff_level(&self) -> u32 {
+        self.backoff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RttEstimator {
+        RttEstimator::new(
+            SimDuration::from_secs(3),
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn initial_rto_before_samples() {
+        assert_eq!(est().rto(), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn first_sample_sets_srtt_and_var() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(100));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
+        // RTO = 100 + 4*50 = 300 ms.
+        assert_eq!(e.rto(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn converges_on_stable_rtt() {
+        let mut e = est();
+        for _ in 0..100 {
+            e.sample(SimDuration::from_millis(80));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.as_millis() as i64 - 80).abs() <= 1);
+        // Variance decays; RTO clamps to min_rto.
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn rto_respects_min() {
+        let mut e = est();
+        for _ in 0..50 {
+            e.sample(SimDuration::from_millis(1));
+        }
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(100)); // RTO 300ms
+        e.back_off();
+        assert_eq!(e.rto(), SimDuration::from_millis(600));
+        e.back_off();
+        assert_eq!(e.rto(), SimDuration::from_millis(1200));
+        for _ in 0..20 {
+            e.back_off();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(60)); // max clamp
+        assert_eq!(e.backoff_level(), 16);
+    }
+
+    #[test]
+    fn sample_clears_backoff() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(100));
+        e.back_off();
+        e.back_off();
+        e.sample(SimDuration::from_millis(100));
+        assert_eq!(e.backoff_level(), 0);
+        assert!(e.rto() <= SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn variance_grows_with_jitter() {
+        let mut stable = est();
+        let mut jittery = est();
+        for i in 0..50 {
+            stable.sample(SimDuration::from_millis(100));
+            jittery.sample(SimDuration::from_millis(if i % 2 == 0 { 50 } else { 150 }));
+        }
+        assert!(jittery.rto() > stable.rto());
+    }
+}

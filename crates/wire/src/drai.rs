@@ -1,0 +1,171 @@
+//! The Data Rate Adjustment Index (DRAI) — TCP Muzha's `AVBW-S` IP option.
+//!
+//! Each node publishes a DRAI: a quantised recommendation to passing flows to
+//! speed up or slow down (paper §4.5–4.6, Table 5.2). A data packet carries
+//! the minimum DRAI seen along its path ("MRAI"); the receiver echoes it to
+//! the sender in ACKs.
+
+use std::fmt;
+
+/// A five-level data rate adjustment recommendation (paper Table 5.2).
+///
+/// Levels order from most congested (`AggressiveDeceleration`) to most idle
+/// (`AggressiveAcceleration`); the numeric codes match the paper (1..=5).
+/// Lower is "slower", so folding a path's recommendation is a `min`.
+///
+/// # Example
+///
+/// ```
+/// use wire::Drai;
+/// let path = Drai::AggressiveAcceleration.fold(Drai::ModerateDeceleration);
+/// assert_eq!(path, Drai::ModerateDeceleration);
+/// assert_eq!(path.code(), 2);
+/// assert!(path.is_deceleration());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Drai {
+    /// Level 1: halve the congestion window (`cwnd *= 1/2`).
+    AggressiveDeceleration = 1,
+    /// Level 2: shrink the congestion window by one segment (`cwnd -= 1`).
+    ModerateDeceleration = 2,
+    /// Level 3: hold the congestion window (`cwnd = cwnd`).
+    Stabilizing = 3,
+    /// Level 4: grow the congestion window by one segment (`cwnd += 1`).
+    ModerateAcceleration = 4,
+    /// Level 5: double the congestion window (`cwnd *= 2`).
+    AggressiveAcceleration = 5,
+}
+
+impl Drai {
+    /// The most permissive level, used to initialise the `AVBW-S` option at
+    /// the sender before the path folds in router recommendations.
+    pub const MAX: Drai = Drai::AggressiveAcceleration;
+
+    /// All levels, slowest first.
+    pub const ALL: [Drai; 5] = [
+        Drai::AggressiveDeceleration,
+        Drai::ModerateDeceleration,
+        Drai::Stabilizing,
+        Drai::ModerateAcceleration,
+        Drai::AggressiveAcceleration,
+    ];
+
+    /// The numeric level code used in the paper (1..=5).
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a numeric level code.
+    ///
+    /// Returns `None` for codes outside `1..=5`.
+    pub fn from_code(code: u8) -> Option<Drai> {
+        Some(match code {
+            1 => Drai::AggressiveDeceleration,
+            2 => Drai::ModerateDeceleration,
+            3 => Drai::Stabilizing,
+            4 => Drai::ModerateAcceleration,
+            5 => Drai::AggressiveAcceleration,
+            _ => return None,
+        })
+    }
+
+    /// Folds another node's recommendation into a path minimum — the
+    /// bottleneck (minimum) recommendation governs the whole path.
+    #[must_use]
+    pub fn fold(self, other: Drai) -> Drai {
+        self.min(other)
+    }
+
+    /// Whether this level tells the sender to slow down.
+    pub fn is_deceleration(self) -> bool {
+        matches!(self, Drai::AggressiveDeceleration | Drai::ModerateDeceleration)
+    }
+
+    /// Whether this level tells the sender to speed up.
+    pub fn is_acceleration(self) -> bool {
+        matches!(self, Drai::ModerateAcceleration | Drai::AggressiveAcceleration)
+    }
+}
+
+impl fmt::Display for Drai {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Drai::AggressiveDeceleration => "aggressive-decel",
+            Drai::ModerateDeceleration => "moderate-decel",
+            Drai::Stabilizing => "stabilizing",
+            Drai::ModerateAcceleration => "moderate-accel",
+            Drai::AggressiveAcceleration => "aggressive-accel",
+        };
+        write!(f, "{name}({})", self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for level in Drai::ALL {
+            assert_eq!(Drai::from_code(level.code()), Some(level));
+        }
+        assert_eq!(Drai::from_code(0), None);
+        assert_eq!(Drai::from_code(6), None);
+    }
+
+    #[test]
+    fn ordering_matches_codes() {
+        for pair in Drai::ALL.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn fold_takes_minimum() {
+        assert_eq!(Drai::MAX.fold(Drai::Stabilizing), Drai::Stabilizing);
+        assert_eq!(
+            Drai::AggressiveDeceleration.fold(Drai::MAX),
+            Drai::AggressiveDeceleration
+        );
+        // Idempotent.
+        assert_eq!(Drai::Stabilizing.fold(Drai::Stabilizing), Drai::Stabilizing);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Drai::AggressiveDeceleration.is_deceleration());
+        assert!(Drai::ModerateDeceleration.is_deceleration());
+        assert!(!Drai::Stabilizing.is_deceleration());
+        assert!(!Drai::Stabilizing.is_acceleration());
+        assert!(Drai::ModerateAcceleration.is_acceleration());
+        assert!(Drai::AggressiveAcceleration.is_acceleration());
+    }
+
+    #[test]
+    fn display_includes_code() {
+        assert_eq!(Drai::Stabilizing.to_string(), "stabilizing(3)");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn any_drai() -> impl Strategy<Value = Drai> {
+        (1u8..=5).prop_map(|c| Drai::from_code(c).unwrap())
+    }
+
+    proptest! {
+        /// fold is commutative, associative, and bounded by its inputs —
+        /// i.e. it is a meet semilattice, which is what lets routers fold in
+        /// any order along the path.
+        #[test]
+        fn fold_is_semilattice(a in any_drai(), b in any_drai(), c in any_drai()) {
+            prop_assert_eq!(a.fold(b), b.fold(a));
+            prop_assert_eq!(a.fold(b).fold(c), a.fold(b.fold(c)));
+            prop_assert!(a.fold(b) <= a && a.fold(b) <= b);
+            prop_assert_eq!(a.fold(Drai::MAX), a);
+        }
+    }
+}

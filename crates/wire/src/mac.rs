@@ -1,0 +1,177 @@
+//! IEEE 802.11 MAC frames as exchanged over the radio channel.
+
+use crate::{NodeId, Packet};
+
+/// The four frame kinds used by the DCF exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Request to send.
+    Rts,
+    /// Clear to send.
+    Cts,
+    /// A data frame carrying a network-layer packet.
+    Data,
+    /// Link-layer acknowledgement.
+    Ack,
+}
+
+/// Frame contents: control frames carry no payload, data frames carry a
+/// network-layer [`Packet`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameBody {
+    /// RTS/CTS/ACK control frame — no payload.
+    Control(FrameKind),
+    /// DATA frame wrapping a packet.
+    Data(Packet),
+}
+
+/// Size in bytes of an RTS frame (802.11: 20 B).
+pub const RTS_BYTES: u32 = 20;
+/// Size in bytes of a CTS frame (802.11: 14 B).
+pub const CTS_BYTES: u32 = 14;
+/// Size in bytes of a MAC-level ACK frame (802.11: 14 B).
+pub const MAC_ACK_BYTES: u32 = 14;
+/// MAC header + FCS overhead added to each DATA frame (24 B header + 4 B FCS
+/// + 6 B LLC/SNAP, mirroring ns-2's 802.11 data frame overhead).
+pub const DATA_OVERHEAD_BYTES: u32 = 34;
+
+/// A frame on the air.
+///
+/// `nav_until_nanos` is the 802.11 *duration* field, expressed as an absolute
+/// virtual time (nanoseconds since simulation start) up to which overhearing
+/// stations must defer — this is how the network allocation vector (NAV) is
+/// communicated.
+///
+/// # Example
+///
+/// ```
+/// use wire::{FrameBody, FrameKind, MacFrame, NodeId};
+/// let rts = MacFrame {
+///     src: NodeId::new(0),
+///     dst: NodeId::new(1),
+///     body: FrameBody::Control(FrameKind::Rts),
+///     nav_until_nanos: 5_000_000,
+/// };
+/// assert_eq!(rts.size_bytes(), 20);
+/// assert_eq!(rts.kind(), FrameKind::Rts);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MacFrame {
+    /// Transmitting station.
+    pub src: NodeId,
+    /// Receiving station ([`NodeId::BROADCAST`] for broadcast data).
+    pub dst: NodeId,
+    /// Frame contents.
+    pub body: FrameBody,
+    /// Absolute virtual time (ns) until which third parties must set their
+    /// NAV. Zero for frames that do not reserve the medium.
+    pub nav_until_nanos: u64,
+}
+
+impl MacFrame {
+    /// The frame kind.
+    pub fn kind(&self) -> FrameKind {
+        match &self.body {
+            FrameBody::Control(kind) => *kind,
+            FrameBody::Data(_) => FrameKind::Data,
+        }
+    }
+
+    /// Size on the wire in bytes (excluding the PLCP preamble/header, which
+    /// the PHY accounts for separately as time).
+    pub fn size_bytes(&self) -> u32 {
+        match &self.body {
+            FrameBody::Control(FrameKind::Rts) => RTS_BYTES,
+            FrameBody::Control(FrameKind::Cts) => CTS_BYTES,
+            FrameBody::Control(FrameKind::Ack) => MAC_ACK_BYTES,
+            FrameBody::Control(FrameKind::Data) => {
+                unreachable!("DATA frames always use FrameBody::Data")
+            }
+            FrameBody::Data(pkt) => pkt.size_bytes() + DATA_OVERHEAD_BYTES,
+        }
+    }
+
+    /// Whether this frame is addressed to `node` (directly or by broadcast).
+    pub fn addressed_to(&self, node: NodeId) -> bool {
+        self.dst == node || self.dst.is_broadcast()
+    }
+
+    /// The packet inside a DATA frame, if any.
+    pub fn packet(&self) -> Option<&Packet> {
+        match &self.body {
+            FrameBody::Data(pkt) => Some(pkt),
+            FrameBody::Control(_) => None,
+        }
+    }
+
+    /// Consumes the frame and returns the packet inside, if any.
+    pub fn into_packet(self) -> Option<Packet> {
+        match self.body {
+            FrameBody::Data(pkt) => Some(pkt),
+            FrameBody::Control(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlowId, Payload, TcpSegment};
+
+    fn data_frame() -> MacFrame {
+        MacFrame {
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            body: FrameBody::Data(Packet::new(
+                1,
+                NodeId::new(0),
+                NodeId::new(4),
+                Payload::Tcp(TcpSegment::data(FlowId::new(0), 0, 1460, None)),
+            )),
+            nav_until_nanos: 0,
+        }
+    }
+
+    #[test]
+    fn control_sizes() {
+        let mk = |k| MacFrame {
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            body: FrameBody::Control(k),
+            nav_until_nanos: 0,
+        };
+        assert_eq!(mk(FrameKind::Rts).size_bytes(), 20);
+        assert_eq!(mk(FrameKind::Cts).size_bytes(), 14);
+        assert_eq!(mk(FrameKind::Ack).size_bytes(), 14);
+    }
+
+    #[test]
+    fn data_size_includes_overhead() {
+        assert_eq!(data_frame().size_bytes(), 1500 + DATA_OVERHEAD_BYTES);
+        assert_eq!(data_frame().kind(), FrameKind::Data);
+    }
+
+    #[test]
+    fn addressing() {
+        let f = data_frame();
+        assert!(f.addressed_to(NodeId::new(1)));
+        assert!(!f.addressed_to(NodeId::new(2)));
+        let bcast = MacFrame { dst: NodeId::BROADCAST, ..data_frame() };
+        assert!(bcast.addressed_to(NodeId::new(2)));
+    }
+
+    #[test]
+    fn packet_extraction() {
+        let f = data_frame();
+        assert_eq!(f.packet().unwrap().uid, 1);
+        assert_eq!(f.into_packet().unwrap().uid, 1);
+        let rts = MacFrame {
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            body: FrameBody::Control(FrameKind::Rts),
+            nav_until_nanos: 0,
+        };
+        assert!(rts.packet().is_none());
+        assert!(rts.into_packet().is_none());
+    }
+}

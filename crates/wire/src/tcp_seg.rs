@@ -1,0 +1,247 @@
+//! TCP segments as carried by the simulator.
+//!
+//! Like ns-2's one-way TCP agents (which the paper used), segments are
+//! modelled at *segment granularity*: sequence and acknowledgement numbers
+//! count segments, not bytes, and every data segment carries the same
+//! payload size. The congestion window is therefore in segments, matching
+//! the figures in the paper.
+
+use crate::{Drai, FlowId, TCP_ACK_BYTES, TCP_IP_HEADER_BYTES};
+
+/// One contiguous block of received-out-of-order segments, reported by a
+/// SACK receiver. Half-open: covers `start..end`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SackBlock {
+    /// First segment covered by the block.
+    pub start: u64,
+    /// One past the last segment covered by the block.
+    pub end: u64,
+}
+
+impl SackBlock {
+    /// Creates a block covering `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is empty or inverted.
+    pub fn new(start: u64, end: u64) -> Self {
+        assert!(start < end, "SACK block must be non-empty: {start}..{end}");
+        SackBlock { start, end }
+    }
+
+    /// Number of segments covered.
+    pub fn len(self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether `seq` falls in this block.
+    pub fn contains(self, seq: u64) -> bool {
+        (self.start..self.end).contains(&seq)
+    }
+
+    /// `SackBlock` is never empty by construction; kept for API symmetry.
+    pub fn is_empty(self) -> bool {
+        false
+    }
+}
+
+/// Direction-specific contents of a [`TcpSegment`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TcpSegmentKind {
+    /// A data segment carrying one payload's worth of bytes.
+    Data {
+        /// Segment sequence number (segment granularity).
+        seq: u64,
+        /// Payload size in bytes.
+        payload_bytes: u32,
+        /// The Muzha `AVBW-S` option: minimum DRAI seen so far along the
+        /// path. Initialised to [`Drai::MAX`] by a Muzha sender; `None` for
+        /// non-Muzha flows (option absent).
+        avbw: Option<Drai>,
+        /// Congestion-experienced mark set by routers whose queue is
+        /// congested (Muzha's packet marking scheme, §4.7).
+        marked: bool,
+        /// Whether this transmission is a retransmission (Karn's algorithm
+        /// needs the sender to know; real TCP infers it locally — we carry
+        /// it for tracing convenience only).
+        retransmit: bool,
+    },
+    /// A cumulative acknowledgement travelling back to the sender.
+    Ack {
+        /// Next expected in-order segment (i.e. segments `< ack` received).
+        ack: u64,
+        /// Echo of the minimum DRAI ("MRAI") observed on the forward path,
+        /// for Muzha flows.
+        mrai: Option<Drai>,
+        /// Whether the segment that triggered this ACK (or the loss event it
+        /// reports) was congestion-marked.
+        marked: bool,
+        /// Whether the triggering data segment arrived *out of order*
+        /// without being a retransmission — TCP-DOOR's route-change signal
+        /// (paper §3.1, ref. \[39\]).
+        ooo: bool,
+        /// SACK blocks describing out-of-order data at the receiver
+        /// (empty for non-SACK flows).
+        sack: Vec<SackBlock>,
+    },
+}
+
+/// A TCP segment in flight.
+///
+/// # Example
+///
+/// ```
+/// use wire::{FlowId, TcpSegment, TcpSegmentKind, Drai};
+/// let seg = TcpSegment::data(FlowId::new(0), 3, 1460, Some(Drai::MAX));
+/// assert_eq!(seg.size_bytes(), 1500);
+/// assert!(seg.is_data());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// The connection this segment belongs to.
+    pub flow: FlowId,
+    /// Data or ACK contents.
+    pub kind: TcpSegmentKind,
+}
+
+impl TcpSegment {
+    /// Creates a fresh (non-retransmitted) data segment.
+    pub fn data(flow: FlowId, seq: u64, payload_bytes: u32, avbw: Option<Drai>) -> Self {
+        TcpSegment {
+            flow,
+            kind: TcpSegmentKind::Data { seq, payload_bytes, avbw, marked: false, retransmit: false },
+        }
+    }
+
+    /// Creates a plain cumulative ACK with no Muzha or SACK information.
+    pub fn ack(flow: FlowId, ack: u64) -> Self {
+        TcpSegment {
+            flow,
+            kind: TcpSegmentKind::Ack {
+                ack,
+                mrai: None,
+                marked: false,
+                ooo: false,
+                sack: Vec::new(),
+            },
+        }
+    }
+
+    /// Total size on the wire (payload plus TCP/IP headers) in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        match &self.kind {
+            TcpSegmentKind::Data { payload_bytes, .. } => payload_bytes + TCP_IP_HEADER_BYTES,
+            TcpSegmentKind::Ack { .. } => TCP_ACK_BYTES,
+        }
+    }
+
+    /// Whether this is a data segment.
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, TcpSegmentKind::Data { .. })
+    }
+
+    /// Whether this is an acknowledgement.
+    pub fn is_ack(&self) -> bool {
+        matches!(self.kind, TcpSegmentKind::Ack { .. })
+    }
+
+    /// The data sequence number, if this is a data segment.
+    pub fn seq(&self) -> Option<u64> {
+        match self.kind {
+            TcpSegmentKind::Data { seq, .. } => Some(seq),
+            TcpSegmentKind::Ack { .. } => None,
+        }
+    }
+
+    /// Folds a router's DRAI recommendation into the `AVBW-S` option of a
+    /// data segment (no-op for ACKs or non-Muzha segments).
+    pub fn fold_drai(&mut self, level: Drai) {
+        if let TcpSegmentKind::Data { avbw: Some(current), .. } = &mut self.kind {
+            *current = current.fold(level);
+        }
+    }
+
+    /// Sets the congestion-experienced mark on a data segment (no-op for
+    /// ACKs).
+    pub fn set_congestion_mark(&mut self) {
+        if let TcpSegmentKind::Data { marked, .. } = &mut self.kind {
+            *marked = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Drai;
+
+    fn flow() -> FlowId {
+        FlowId::new(1)
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(TcpSegment::data(flow(), 0, 1460, None).size_bytes(), 1500);
+        assert_eq!(TcpSegment::data(flow(), 0, 512, None).size_bytes(), 552);
+        assert_eq!(TcpSegment::ack(flow(), 5).size_bytes(), 40);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        let d = TcpSegment::data(flow(), 9, 1460, None);
+        assert!(d.is_data() && !d.is_ack());
+        assert_eq!(d.seq(), Some(9));
+        let a = TcpSegment::ack(flow(), 3);
+        assert!(a.is_ack() && !a.is_data());
+        assert_eq!(a.seq(), None);
+    }
+
+    #[test]
+    fn fold_drai_updates_option() {
+        let mut seg = TcpSegment::data(flow(), 0, 1460, Some(Drai::MAX));
+        seg.fold_drai(Drai::Stabilizing);
+        seg.fold_drai(Drai::ModerateAcceleration); // higher level: no effect
+        match seg.kind {
+            TcpSegmentKind::Data { avbw, .. } => assert_eq!(avbw, Some(Drai::Stabilizing)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn fold_drai_ignores_non_muzha_and_acks() {
+        let mut plain = TcpSegment::data(flow(), 0, 1460, None);
+        plain.fold_drai(Drai::AggressiveDeceleration);
+        match plain.kind {
+            TcpSegmentKind::Data { avbw, .. } => assert_eq!(avbw, None),
+            _ => unreachable!(),
+        }
+        let mut ack = TcpSegment::ack(flow(), 0);
+        ack.fold_drai(Drai::AggressiveDeceleration); // must not panic
+        assert!(ack.is_ack());
+    }
+
+    #[test]
+    fn congestion_mark() {
+        let mut seg = TcpSegment::data(flow(), 0, 1460, Some(Drai::MAX));
+        seg.set_congestion_mark();
+        match seg.kind {
+            TcpSegmentKind::Data { marked, .. } => assert!(marked),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn sack_block_invariants() {
+        let b = SackBlock::new(3, 7);
+        assert_eq!(b.len(), 4);
+        assert!(b.contains(3) && b.contains(6));
+        assert!(!b.contains(7) && !b.contains(2));
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sack_block_panics() {
+        let _ = SackBlock::new(4, 4);
+    }
+}

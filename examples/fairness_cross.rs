@@ -1,0 +1,52 @@
+//! Simulation 3A (paper Figs. 5.15–5.18): two flows crossing at a shared
+//! centre node — does the pair share the channel fairly?
+//!
+//! The paper's claim: NewReno starves Vegas, while NewReno and Muzha share
+//! fairly thanks to the router feedback making Muzha yield under contention.
+//!
+//! ```sh
+//! cargo run --release --example fairness_cross
+//! ```
+
+use tcp_muzha::experiments::{coexistence, CoexistKind, ExperimentConfig};
+use tcp_muzha::export;
+use tcp_muzha::net::TcpVariant;
+use tcp_muzha::sim::SimDuration;
+
+fn main() {
+    let cfg = ExperimentConfig {
+        seeds: vec![11, 23, 37, 53, 71],
+        duration: SimDuration::from_secs(50), // the paper's 50 s runs
+        ..ExperimentConfig::default()
+    };
+    let pairs = [
+        CoexistKind { horizontal: TcpVariant::NewReno, vertical: TcpVariant::Vegas },
+        CoexistKind { horizontal: TcpVariant::NewReno, vertical: TcpVariant::Muzha },
+        // Self-pairings as additional reference points.
+        CoexistKind { horizontal: TcpVariant::Muzha, vertical: TcpVariant::Muzha },
+    ];
+    println!("Simulation 3A: h-hop cross topology, two 50 s FTP flows\n");
+    let result = coexistence(&[4, 6, 8], &pairs, &cfg);
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", export::coexist_csv(&result));
+        return;
+    }
+    println!("{}", result.render());
+    println!(
+        "Expected shape (Fig 5.18): the NewReno/Muzha rows score a higher\n\
+         Jain index than the NewReno/Vegas rows at every hop count."
+    );
+    // Summarise the headline comparison.
+    let mean = |h: TcpVariant, v: TcpVariant| -> f64 {
+        let rs: Vec<f64> = result
+            .runs
+            .iter()
+            .filter(|r| r.kind.horizontal == h && r.kind.vertical == v)
+            .map(|r| r.fairness.mean)
+            .collect();
+        rs.iter().sum::<f64>() / rs.len() as f64
+    };
+    let vegas = mean(TcpVariant::NewReno, TcpVariant::Vegas);
+    let muzha = mean(TcpVariant::NewReno, TcpVariant::Muzha);
+    println!("\nmean Jain fairness:  NewReno/Vegas = {vegas:.3}   NewReno/Muzha = {muzha:.3}");
+}

@@ -1,0 +1,80 @@
+//! Randomised end-to-end robustness: arbitrary connected topologies, flow
+//! mixes, loss rates and mobility must never panic the simulator or violate
+//! its structural invariants.
+
+use proptest::prelude::*;
+use tcp_muzha::net::{topology, FlowSpec, SimConfig, Simulator, TcpVariant};
+use tcp_muzha::phy::{Position, RadioParams};
+use tcp_muzha::sim::SimTime;
+use tcp_muzha::wire::NodeId;
+
+fn variant_from(idx: u8) -> TcpVariant {
+    TcpVariant::ALL[idx as usize % TcpVariant::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case simulates ~2 virtual seconds
+        ..ProptestConfig::default()
+    })]
+
+    /// Random connected topology, random flows, random loss: the simulator
+    /// completes, stays deterministic, and every flow satisfies
+    /// delivered ≤ sent and retransmissions ≤ segments sent.
+    #[test]
+    fn random_scenarios_uphold_invariants(
+        node_count in 3usize..10,
+        topo_seed in 0u64..50,
+        sim_seed in 0u64..50,
+        loss_milli in 0u64..40, // up to 4% frame loss
+        flow_picks in proptest::collection::vec((0u8..8, any::<bool>()), 1..4),
+        wander in any::<bool>(),
+    ) {
+        let positions = topology::random_connected(
+            node_count,
+            700.0,
+            700.0,
+            250.0,
+            topo_seed,
+        );
+        let radio = RadioParams {
+            per_frame_loss: loss_milli as f64 / 1000.0,
+            ..RadioParams::default()
+        };
+        let cfg = SimConfig { seed: sim_seed, ..SimConfig::default() }.with_radio(radio);
+        let mut sim = Simulator::new(positions, cfg);
+        let mut flows = Vec::new();
+        for (i, (vidx, elfn)) in flow_picks.iter().enumerate() {
+            let src = NodeId::new((i % node_count) as u16);
+            let dst = NodeId::new(((i + 1 + node_count / 2) % node_count) as u16);
+            if src == dst {
+                continue;
+            }
+            let mut spec = FlowSpec::new(src, dst, variant_from(*vidx));
+            if *elfn {
+                spec = spec.with_elfn();
+            }
+            flows.push(sim.add_flow(spec));
+        }
+        if wander {
+            sim.move_node(NodeId::new(0), Position::new(350.0, 350.0), 40.0);
+        }
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        for &flow in &flows {
+            let r = sim.flow_report(flow);
+            prop_assert!(
+                r.delivered_segments <= r.sender.segments_sent,
+                "delivered {} > sent {}",
+                r.delivered_segments,
+                r.sender.segments_sent
+            );
+            prop_assert!(r.sender.retransmissions <= r.sender.segments_sent);
+            // Delivery trace is a nondecreasing step function.
+            for pair in r.delivery_trace.samples().windows(2) {
+                prop_assert!(pair[0].1 < pair[1].1);
+            }
+        }
+        // Virtual time never exceeds the requested horizon... it equals it.
+        prop_assert_eq!(sim.now(), SimTime::from_secs_f64(2.0));
+    }
+}
