@@ -77,10 +77,7 @@ impl AodvConfig {
         assert!(self.ring_ttl_start > 0, "ring TTL start must be positive");
         assert!(self.ring_ttl_increment > 0, "ring TTL increment must be positive");
         assert!(self.buffer_capacity > 0, "buffer capacity must be positive");
-        assert!(
-            self.net_traversal_time > SimDuration::ZERO,
-            "net traversal time must be positive"
-        );
+        assert!(self.net_traversal_time > SimDuration::ZERO, "net traversal time must be positive");
         if let Some(interval) = self.hello_interval {
             assert!(interval > SimDuration::ZERO, "hello interval must be positive");
             assert!(self.allowed_hello_loss > 0, "allowed hello loss must be positive");

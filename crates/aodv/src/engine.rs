@@ -1,11 +1,11 @@
 //! The per-node AODV routing engine.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use sim_core::DetMap;
 
 use sim_core::SimTime;
-use wire::{
-    AodvMessage, NodeId, Packet, Payload, RouteError, RouteReply, RouteRequest, UidGen,
-};
+use wire::{AodvMessage, NodeId, Packet, Payload, RouteError, RouteReply, RouteRequest, UidGen};
 
 use crate::{AodvConfig, RouteTable};
 
@@ -89,11 +89,11 @@ pub struct Aodv {
     table: RouteTable,
     seq: u32,
     bcast_id: u32,
-    seen: HashMap<(NodeId, u32), SimTime>,
-    pending: HashMap<NodeId, Pending>,
+    seen: DetMap<(NodeId, u32), SimTime>,
+    pending: DetMap<NodeId, Pending>,
     /// Last time each neighbour was heard (any packet), for HELLO-based
     /// liveness when beacons are enabled.
-    last_heard: HashMap<NodeId, SimTime>,
+    last_heard: DetMap<NodeId, SimTime>,
     hello_timer: Option<AodvTimer>,
     next_timer: u64,
     uid: UidGen,
@@ -114,9 +114,9 @@ impl Aodv {
             table: RouteTable::new(),
             seq: 0,
             bcast_id: 0,
-            seen: HashMap::new(),
-            pending: HashMap::new(),
-            last_heard: HashMap::new(),
+            seen: DetMap::new(),
+            pending: DetMap::new(),
+            last_heard: DetMap::new(),
             hello_timer: None,
             next_timer: 0,
             uid,
@@ -289,13 +289,10 @@ impl Aodv {
             self.fire_hello(now, &mut out);
             return out;
         }
-        let dst = self
-            .pending
-            .iter()
-            .find(|(_, p)| p.timer == id)
-            .map(|(dst, _)| *dst);
-        let Some(dst) = dst else { return out }; // stale timer
-        // Did a route appear in the meantime? Flush and finish.
+        let dst = self.pending.iter().find(|(_, p)| p.timer == id).map(|(dst, _)| *dst);
+        // A stale timer carries no destination; otherwise check whether a
+        // route appeared in the meantime — flush and finish if so.
+        let Some(dst) = dst else { return out };
         if self.table.lookup(dst, now).is_some() {
             self.finish_discovery(dst, now, &mut out);
             return out;
@@ -360,8 +357,8 @@ impl Aodv {
     /// The flood TTL for a given retry attempt (expanding-ring search,
     /// RFC 3561 §6.4).
     fn ring_ttl(&self, retries: u32) -> u8 {
-        let ttl = u32::from(self.cfg.ring_ttl_start)
-            + retries * u32::from(self.cfg.ring_ttl_increment);
+        let ttl =
+            u32::from(self.cfg.ring_ttl_start) + retries * u32::from(self.cfg.ring_ttl_increment);
         if ttl > u32::from(self.cfg.ring_ttl_threshold) {
             self.cfg.rreq_ttl
         } else {
@@ -435,12 +432,8 @@ impl Aodv {
             if self.seq <= rreq.dst_seq {
                 self.seq = rreq.dst_seq + 1;
             }
-            let rrep = RouteReply {
-                origin: rreq.origin,
-                dst: self.addr,
-                dst_seq: self.seq,
-                hop_count: 0,
-            };
+            let rrep =
+                RouteReply { origin: rreq.origin, dst: self.addr, dst_seq: self.seq, hop_count: 0 };
             self.unicast_rrep(rrep, prev_hop, out);
             return;
         }
@@ -613,7 +606,12 @@ mod tests {
     }
 
     fn data(uid: u64, src: u16, dst: u16) -> Packet {
-        Packet::new(uid, n(src), n(dst), Payload::Tcp(TcpSegment::data(FlowId::new(0), 0, 1460, None)))
+        Packet::new(
+            uid,
+            n(src),
+            n(dst),
+            Payload::Tcp(TcpSegment::data(FlowId::new(0), 0, 1460, None)),
+        )
     }
 
     fn t0() -> SimTime {
@@ -665,7 +663,13 @@ mod tests {
             dst_seq: 0,
             hop_count: 0,
         };
-        let pkt = Packet::with_ttl(9, n(0), NodeId::BROADCAST, 64, Payload::Aodv(AodvMessage::Rreq(rreq)));
+        let pkt = Packet::with_ttl(
+            9,
+            n(0),
+            NodeId::BROADCAST,
+            64,
+            Payload::Aodv(AodvMessage::Rreq(rreq)),
+        );
         let out = b.on_packet_received(pkt, n(1), t0());
         let (rrep_pkt, hop) = find_rrep(&out).expect("destination must reply");
         assert_eq!(hop, n(1));
@@ -692,7 +696,13 @@ mod tests {
             dst_seq: 0,
             hop_count: 0,
         };
-        let pkt = Packet::with_ttl(9, n(0), NodeId::BROADCAST, 64, Payload::Aodv(AodvMessage::Rreq(rreq)));
+        let pkt = Packet::with_ttl(
+            9,
+            n(0),
+            NodeId::BROADCAST,
+            64,
+            Payload::Aodv(AodvMessage::Rreq(rreq)),
+        );
         let out = m.on_packet_received(pkt.clone(), n(0), t0());
         let fwd = find_rreq(&out).expect("must rebroadcast");
         match &fwd.payload {
@@ -738,7 +748,13 @@ mod tests {
             dst_seq: 0,
             hop_count: 0,
         };
-        let pkt = Packet::with_ttl(8, n(0), NodeId::BROADCAST, 64, Payload::Aodv(AodvMessage::Rreq(rreq)));
+        let pkt = Packet::with_ttl(
+            8,
+            n(0),
+            NodeId::BROADCAST,
+            64,
+            Payload::Aodv(AodvMessage::Rreq(rreq)),
+        );
         let _ = m.on_packet_received(pkt, n(0), t0());
         // The RREP from 2 arrives; must be forwarded to 0.
         let rrep = RouteReply { origin: n(0), dst: n(2), dst_seq: 1, hop_count: 0 };
@@ -757,7 +773,13 @@ mod tests {
     #[test]
     fn transit_data_forwarded_with_ttl_decrement() {
         let mut m = mk(1);
-        m.table_mut_for_tests().update(n(2), n(2), 1, 1, t0() + sim_core::SimDuration::from_secs(10));
+        m.table_mut_for_tests().update(
+            n(2),
+            n(2),
+            1,
+            1,
+            t0() + sim_core::SimDuration::from_secs(10),
+        );
         let out = m.on_packet_received(data(5, 0, 2), n(0), t0());
         match &out[0] {
             AodvOutput::Forward { packet, next_hop } => {
@@ -796,7 +818,13 @@ mod tests {
     #[test]
     fn link_failure_invalidates_and_rediscovers_for_source() {
         let mut a = mk(0);
-        a.table_mut_for_tests().update(n(2), n(1), 2, 1, t0() + sim_core::SimDuration::from_secs(10));
+        a.table_mut_for_tests().update(
+            n(2),
+            n(1),
+            2,
+            1,
+            t0() + sim_core::SimDuration::from_secs(10),
+        );
         let out = a.on_link_failure(data(5, 0, 2), n(1), t0());
         assert!(!a.has_route(n(2), t0()));
         // RERR went out and a fresh discovery started.
@@ -812,7 +840,13 @@ mod tests {
     #[test]
     fn link_failure_mid_path_drops_foreign_packet() {
         let mut m = mk(1);
-        m.table_mut_for_tests().update(n(2), n(2), 1, 1, t0() + sim_core::SimDuration::from_secs(10));
+        m.table_mut_for_tests().update(
+            n(2),
+            n(2),
+            1,
+            1,
+            t0() + sim_core::SimDuration::from_secs(10),
+        );
         let out = m.on_link_failure(data(5, 0, 2), n(2), t0());
         assert!(out
             .iter()
@@ -823,9 +857,16 @@ mod tests {
     #[test]
     fn rerr_propagates_when_route_used() {
         let mut a = mk(0);
-        a.table_mut_for_tests().update(n(5), n(1), 3, 4, t0() + sim_core::SimDuration::from_secs(10));
+        a.table_mut_for_tests().update(
+            n(5),
+            n(1),
+            3,
+            4,
+            t0() + sim_core::SimDuration::from_secs(10),
+        );
         let rerr = RouteError { unreachable: vec![(n(5), 5)] };
-        let pkt = Packet::with_ttl(9, n(1), NodeId::BROADCAST, 1, Payload::Aodv(AodvMessage::Rerr(rerr)));
+        let pkt =
+            Packet::with_ttl(9, n(1), NodeId::BROADCAST, 1, Payload::Aodv(AodvMessage::Rerr(rerr)));
         let out = a.on_packet_received(pkt, n(1), t0());
         assert!(!a.has_route(n(5), t0()));
         assert!(out.iter().any(|o| matches!(
@@ -835,7 +876,13 @@ mod tests {
         )));
         // A RERR about routes we don't use is not propagated.
         let rerr2 = RouteError { unreachable: vec![(n(9), 1)] };
-        let pkt2 = Packet::with_ttl(10, n(1), NodeId::BROADCAST, 1, Payload::Aodv(AodvMessage::Rerr(rerr2)));
+        let pkt2 = Packet::with_ttl(
+            10,
+            n(1),
+            NodeId::BROADCAST,
+            1,
+            Payload::Aodv(AodvMessage::Rerr(rerr2)),
+        );
         let out2 = a.on_packet_received(pkt2, n(1), t0());
         assert!(out2.iter().all(|o| !matches!(
             o,
@@ -872,10 +919,9 @@ mod tests {
         let mut gave_up = false;
         for _ in 0..AodvConfig::default().rreq_retries + 1 {
             let out = a.on_timer(id, at);
-            if out.iter().any(|o| matches!(
-                o,
-                AodvOutput::Dropped { reason: DropReason::DiscoveryFailed, .. }
-            )) {
+            if out.iter().any(|o| {
+                matches!(o, AodvOutput::Dropped { reason: DropReason::DiscoveryFailed, .. })
+            }) {
                 gave_up = true;
                 break;
             }
@@ -1060,11 +1106,13 @@ mod hello_tests {
         for _ in 0..4 {
             let out = a.on_timer(id, at);
             let got = timer_of(&out);
-            let torn = out.iter().any(|o| matches!(
-                o,
-                AodvOutput::Forward { packet, .. }
-                    if matches!(packet.payload, Payload::Aodv(AodvMessage::Rerr(_)))
-            ));
+            let torn = out.iter().any(|o| {
+                matches!(
+                    o,
+                    AodvOutput::Forward { packet, .. }
+                        if matches!(packet.payload, Payload::Aodv(AodvMessage::Rerr(_)))
+                )
+            });
             if torn {
                 assert!(a.table().lookup(n(5), at).is_none(), "route via 1 gone");
                 return;

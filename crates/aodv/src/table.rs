@@ -1,6 +1,6 @@
 //! The AODV routing table.
 
-use std::collections::{HashMap, HashSet};
+use sim_core::{DetMap, DetSet};
 
 use sim_core::{SimDuration, SimTime};
 use wire::NodeId;
@@ -19,7 +19,7 @@ pub struct Route {
     /// Instant after which the route is considered stale.
     pub expires: SimTime,
     /// Neighbours that route through us to this destination (told on break).
-    pub precursors: HashSet<NodeId>,
+    pub precursors: DetSet<NodeId>,
 }
 
 /// The per-node routing table.
@@ -38,7 +38,7 @@ pub struct Route {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct RouteTable {
-    routes: HashMap<NodeId, Route>,
+    routes: DetMap<NodeId, Route>,
 }
 
 impl RouteTable {
@@ -97,7 +97,7 @@ impl RouteTable {
                         dst_seq,
                         valid: true,
                         expires,
-                        precursors: HashSet::new(),
+                        precursors: DetSet::new(),
                     },
                 );
                 true
@@ -124,7 +124,7 @@ impl RouteTable {
                         dst_seq: 0,
                         valid: true,
                         expires,
-                        precursors: HashSet::new(),
+                        precursors: DetSet::new(),
                     },
                 );
             }
@@ -304,7 +304,7 @@ mod proptests {
             ops in proptest::collection::vec((0u16..8, 0u16..8, 1u8..10, 0u32..20), 1..64)
         ) {
             let mut table = RouteTable::new();
-            let mut best_seq = std::collections::HashMap::new();
+            let mut best_seq = std::collections::BTreeMap::new();
             let expires = SimTime::from_nanos(1_000_000_000);
             for (dst, hop, hops, seq) in ops {
                 let dst = nid(dst);

@@ -25,8 +25,12 @@ use sim_core::SimTime;
 fn drai_variants() -> Vec<(&'static str, DraiConfig)> {
     let full = DraiConfig::default();
     let no_marking = DraiConfig { mark_at: f64::INFINITY, mark_retry_above: 2.0, ..full };
-    let no_util_cap =
-        DraiConfig { util_moderate_above: 2.0, util_stable_above: 2.0, util_decel_above: 2.0, ..full };
+    let no_util_cap = DraiConfig {
+        util_moderate_above: 2.0,
+        util_stable_above: 2.0,
+        util_decel_above: 2.0,
+        ..full
+    };
     let queue_only = DraiConfig {
         util_moderate_above: 2.0,
         util_stable_above: 2.0,
@@ -58,9 +62,7 @@ fn chain_throughput_cadence(cadence: muzha::AdjustmentCadence, seed: u64) -> f64
     let cfg = SimConfig { seed, ..SimConfig::default() };
     let mut sim = Simulator::new(topology::chain(4), cfg);
     let (src, dst) = topology::chain_flow(4);
-    let flow = sim.add_flow(
-        FlowSpec::new(src, dst, TcpVariant::Muzha).with_muzha_cadence(cadence),
-    );
+    let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha).with_muzha_cadence(cadence));
     sim.run_until(SimTime::from_secs_f64(15.0));
     sim.flow_report(flow).throughput_kbps(sim.now())
 }
@@ -96,11 +98,7 @@ fn regenerate() {
         .map(|(name, drai)| {
             let kbps: Vec<f64> = seeds.iter().map(|&s| chain_throughput(drai, s)).collect();
             let fair: Vec<f64> = seeds.iter().map(|&s| cross_fairness(drai, s)).collect();
-            vec![
-                name.to_string(),
-                average(&kbps).pm(),
-                format!("{:.3}", average(&fair).mean),
-            ]
+            vec![name.to_string(), average(&kbps).pm(), format!("{:.3}", average(&fair).mean)]
         })
         .collect();
     announce(
@@ -126,9 +124,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
     for (name, drai) in drai_variants() {
-        group.bench_function(format!("chain_{name}"), |b| {
-            b.iter(|| chain_throughput(drai, 11))
-        });
+        group.bench_function(format!("chain_{name}"), |b| b.iter(|| chain_throughput(drai, 11)));
     }
     group.finish();
 }

@@ -18,10 +18,7 @@ fn regenerate() {
     let mut cfg = bench_config();
     cfg.duration = SimDuration::from_secs(30);
     let result = coexistence(&[4, 6, 8], &pairs(), &cfg);
-    announce(
-        "Figs 5.15-5.18 (coexistence throughput + Jain fairness)",
-        &result.render(),
-    );
+    announce("Figs 5.15-5.18 (coexistence throughput + Jain fairness)", &result.render());
 }
 
 fn bench(c: &mut Criterion) {

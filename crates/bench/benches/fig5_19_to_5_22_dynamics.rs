@@ -16,8 +16,7 @@ fn regenerate() {
             SimDuration::from_secs(1),
             SimConfig::default(),
         );
-        let delivered: Vec<u64> =
-            result.reports.iter().map(|r| r.delivered_segments).collect();
+        let delivered: Vec<u64> = result.reports.iter().map(|r| r.delivered_segments).collect();
         body.push_str(&format!(
             "{:>8}: per-flow segments {:?}, tail fairness {:.3}\n",
             variant.name(),

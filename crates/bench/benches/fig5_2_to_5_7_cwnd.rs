@@ -9,12 +9,8 @@ use sim_core::{SimDuration, SimTime};
 
 fn regenerate() {
     for hops in [4usize, 8, 16] {
-        let traces = cwnd_traces(
-            hops,
-            &TcpVariant::PAPER,
-            SimDuration::from_secs(10),
-            SimConfig::default(),
-        );
+        let traces =
+            cwnd_traces(hops, &TcpVariant::PAPER, SimDuration::from_secs(10), SimConfig::default());
         let mut body = String::new();
         for t in &traces {
             body.push_str(&format!(

@@ -99,9 +99,9 @@ impl DraiConfig {
     /// wireless-aware (utilisation / retry) signal is used.
     pub fn ecn_like() -> Self {
         DraiConfig {
-            accel_fast_below: 0.0,   // never aggressive
-            accel_below: 12.0,       // q < 12  -> +1
-            stable_below: 12.0,      // (empty band)
+            accel_fast_below: 0.0,      // never aggressive
+            accel_below: 12.0,          // q < 12  -> +1
+            stable_below: 12.0,         // (empty band)
             decel_below: f64::INFINITY, // q >= 12 -> -1, never x1/2
             mark_at: 12.0,
             util_moderate_above: 2.0, // disabled

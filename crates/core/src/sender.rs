@@ -363,20 +363,35 @@ mod tests {
     }
 
     fn mk_awnd(awnd: u32) -> MuzhaSender {
-        MuzhaSender::new(FlowId::new(0), TcpConfig { advertised_window: awnd, ..TcpConfig::default() })
+        MuzhaSender::new(
+            FlowId::new(0),
+            TcpConfig { advertised_window: awnd, ..TcpConfig::default() },
+        )
     }
 
     fn ack(n: u64, mrai: Drai) -> TcpSegment {
         TcpSegment {
             flow: FlowId::new(0),
-            kind: TcpSegmentKind::Ack { ack: n, mrai: Some(mrai), marked: false, ooo: false, sack: Vec::new() },
+            kind: TcpSegmentKind::Ack {
+                ack: n,
+                mrai: Some(mrai),
+                marked: false,
+                ooo: false,
+                sack: Vec::new(),
+            },
         }
     }
 
     fn marked_ack(n: u64, mrai: Drai) -> TcpSegment {
         TcpSegment {
             flow: FlowId::new(0),
-            kind: TcpSegmentKind::Ack { ack: n, mrai: Some(mrai), marked: true, ooo: false, sack: Vec::new() },
+            kind: TcpSegmentKind::Ack {
+                ack: n,
+                mrai: Some(mrai),
+                marked: true,
+                ooo: false,
+                sack: Vec::new(),
+            },
         }
     }
 

@@ -19,12 +19,7 @@ fn main() {
             duration: SimDuration::from_secs(30),
             base: SimConfig::default(),
         };
-        let sweep = throughput_vs_hops(
-            &[4, 8, 16, 24, 32],
-            &[4, 8, 32],
-            &TcpVariant::PAPER,
-            &cfg,
-        );
+        let sweep = throughput_vs_hops(&[4, 8, 16, 24, 32], &[4, 8, 32], &TcpVariant::PAPER, &cfg);
         for w in [4u32, 8, 32] {
             println!("== Throughput (kbps) vs hops, window_={w} (Fig 5.8-5.10) ==");
             println!("{}", sweep.render(w, SweepMetric::ThroughputKbps));
@@ -58,10 +53,8 @@ fn main() {
             );
             println!("== cwnd summary, {hops}-hop chain (Figs 5.2-5.7) ==");
             for t in traces {
-                let mean =
-                    t.mean_cwnd(SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(10.0));
-                let sd =
-                    t.cwnd_std_dev(SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(10.0));
+                let mean = t.mean_cwnd(SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(10.0));
+                let sd = t.cwnd_std_dev(SimTime::from_secs_f64(2.0), SimTime::from_secs_f64(10.0));
                 println!("  {:>8}: mean cwnd {:5.2}  std {:5.2}", t.variant.name(), mean, sd);
             }
         }

@@ -41,9 +41,7 @@ impl ChainSweep {
 
     /// The point for an exact (hops, window, variant) triple.
     pub fn point(&self, hops: usize, window: u32, variant: TcpVariant) -> Option<&SweepPoint> {
-        self.points
-            .iter()
-            .find(|p| p.hops == hops && p.window == window && p.variant == variant)
+        self.points.iter().find(|p| p.hops == hops && p.window == window && p.variant == variant)
     }
 
     /// Renders the paper-style table for one window: rows = hops, columns =
@@ -114,8 +112,7 @@ pub fn throughput_vs_hops(
                 for sim_cfg in cfg.sim_configs() {
                     let mut sim = Simulator::new(topology::chain(hops), sim_cfg);
                     let (src, dst) = topology::chain_flow(hops);
-                    let flow =
-                        sim.add_flow(FlowSpec::new(src, dst, variant).with_window(window));
+                    let flow = sim.add_flow(FlowSpec::new(src, dst, variant).with_window(window));
                     sim.run_until(SimTime::ZERO + cfg.duration);
                     let report = sim.flow_report(flow);
                     kbps.push(report.throughput_kbps(sim.now()));
@@ -152,12 +149,8 @@ mod tests {
 
     #[test]
     fn sweep_produces_all_points() {
-        let sweep = throughput_vs_hops(
-            &[2, 4],
-            &[4],
-            &[TcpVariant::NewReno, TcpVariant::Muzha],
-            &tiny(),
-        );
+        let sweep =
+            throughput_vs_hops(&[2, 4], &[4], &[TcpVariant::NewReno, TcpVariant::Muzha], &tiny());
         assert_eq!(sweep.points.len(), 4);
         let p = sweep.point(4, 4, TcpVariant::Muzha).unwrap();
         assert!(p.throughput_kbps.mean > 0.0);

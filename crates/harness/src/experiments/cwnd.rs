@@ -44,11 +44,8 @@ impl CwndTrace {
     /// markedly steadier than NewReno's or SACK's.
     pub fn cwnd_std_dev(&self, from: SimTime, to: SimTime) -> f64 {
         let pts = self.resampled(SimDuration::from_millis(100), to);
-        let pts: Vec<f64> = pts
-            .into_iter()
-            .filter(|&(t, _)| t >= from.as_secs_f64())
-            .map(|(_, v)| v)
-            .collect();
+        let pts: Vec<f64> =
+            pts.into_iter().filter(|&(t, _)| t >= from.as_secs_f64()).map(|(_, v)| v).collect();
         crate::average(&pts).std_dev
     }
 }
@@ -94,12 +91,8 @@ mod tests {
 
     #[test]
     fn resampling_is_uniform_grid() {
-        let traces = cwnd_traces(
-            2,
-            &[TcpVariant::NewReno],
-            SimDuration::from_secs(2),
-            SimConfig::default(),
-        );
+        let traces =
+            cwnd_traces(2, &[TcpVariant::NewReno], SimDuration::from_secs(2), SimConfig::default());
         let pts = traces[0].resampled(SimDuration::from_millis(500), SimTime::from_secs_f64(2.0));
         assert_eq!(pts.len(), 4);
         assert_eq!(pts[1].0, 0.5);
@@ -107,12 +100,8 @@ mod tests {
 
     #[test]
     fn mean_and_stability_computable() {
-        let traces = cwnd_traces(
-            2,
-            &[TcpVariant::Muzha],
-            SimDuration::from_secs(3),
-            SimConfig::default(),
-        );
+        let traces =
+            cwnd_traces(2, &[TcpVariant::Muzha], SimDuration::from_secs(3), SimConfig::default());
         let m = traces[0].mean_cwnd(SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(3.0));
         assert!(m >= 1.0, "mean cwnd {m}");
         let _ = traces[0].cwnd_std_dev(SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(3.0));

@@ -115,11 +115,7 @@ mod tests {
         );
         assert_eq!(result.series.len(), 3);
         // Flow 1 has delivered something before flow 2 starts.
-        let early: f64 = result.series[0]
-            .iter()
-            .filter(|&&(t, _)| t <= 9.0)
-            .map(|&(_, y)| y)
-            .sum();
+        let early: f64 = result.series[0].iter().filter(|&&(t, _)| t <= 9.0).map(|&(_, y)| y).sum();
         assert!(early > 0.0, "first flow idle before 9 s");
         // Flow 3 (starts at 20 s) has delivered nothing in a 12 s run.
         let f3: f64 = result.series[2].iter().map(|&(_, y)| y).sum();

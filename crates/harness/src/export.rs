@@ -29,8 +29,9 @@ pub fn series_csv(x_name: &str, y_name: &str, points: &[(f64, f64)]) -> String {
 /// The chain sweep (Figs. 5.8–5.13) as long-format CSV:
 /// `window,hops,variant,throughput_kbps,throughput_sd,retransmissions,timeouts`.
 pub fn sweep_csv(sweep: &ChainSweep) -> String {
-    let mut out =
-        String::from("window,hops,variant,throughput_kbps,throughput_sd,retransmissions,timeouts\n");
+    let mut out = String::from(
+        "window,hops,variant,throughput_kbps,throughput_sd,retransmissions,timeouts\n",
+    );
     for p in &sweep.points {
         out.push_str(&format!(
             "{},{},{},{:.3},{:.3},{:.2},{:.2}\n",
@@ -49,7 +50,8 @@ pub fn sweep_csv(sweep: &ChainSweep) -> String {
 /// The coexistence results (Figs. 5.15–5.18) as CSV:
 /// `hops,horizontal,vertical,horiz_kbps,vert_kbps,aggregate_kbps,jain`.
 pub fn coexist_csv(result: &CoexistResult) -> String {
-    let mut out = String::from("hops,horizontal,vertical,horiz_kbps,vert_kbps,aggregate_kbps,jain\n");
+    let mut out =
+        String::from("hops,horizontal,vertical,horiz_kbps,vert_kbps,aggregate_kbps,jain\n");
     for r in &result.runs {
         out.push_str(&format!(
             "{},{},{},{:.3},{:.3},{:.3},{:.4}\n",

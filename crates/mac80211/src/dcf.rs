@@ -1,7 +1,5 @@
 //! The DCF medium-access state machine.
 
-use std::collections::HashMap;
-
 use sim_core::{SimDuration, SimRng, SimTime};
 use wire::{FrameBody, FrameKind, MacFrame, NodeId, Packet};
 
@@ -178,7 +176,7 @@ pub struct Mac {
 
     /// Last delivered packet uid per transmitter, for duplicate filtering
     /// when our MAC ACK was lost and the peer retransmitted.
-    rx_dedup: HashMap<NodeId, u64>,
+    rx_dedup: sim_core::DetMap<NodeId, u64>,
 
     stats: MacStats,
 }
@@ -220,7 +218,7 @@ impl Mac {
             nav_reset_timer: None,
             nav_reset_armed_at: SimTime::ZERO,
             last_busy: None,
-            rx_dedup: HashMap::new(),
+            rx_dedup: sim_core::DetMap::new(),
             stats: MacStats::default(),
         }
     }
@@ -361,11 +359,8 @@ impl Mac {
             }
             TxKind::AttemptData => {
                 debug_assert_eq!(self.phase, Phase::TxData);
-                let broadcast = self
-                    .current
-                    .as_ref()
-                    .map(|c| c.next_hop.is_broadcast())
-                    .unwrap_or(false);
+                let broadcast =
+                    self.current.as_ref().map(|c| c.next_hop.is_broadcast()).unwrap_or(false);
                 if broadcast {
                     self.finish_success(now, &mut out);
                 } else {
@@ -739,7 +734,12 @@ mod tests {
     }
 
     fn data_packet(uid: u64, src: u16, dst: u16) -> Packet {
-        Packet::new(uid, n(src), n(dst), Payload::Tcp(TcpSegment::data(FlowId::new(0), 0, 1460, None)))
+        Packet::new(
+            uid,
+            n(src),
+            n(dst),
+            Payload::Tcp(TcpSegment::data(FlowId::new(0), 0, 1460, None)),
+        )
     }
 
     fn t(us: u64) -> SimTime {
@@ -837,7 +837,11 @@ mod tests {
             body: FrameBody::Control(FrameKind::Ack),
             nav_until_nanos: 0,
         };
-        let out = mac.on_frame_decoded(ack, data_done + SimDuration::from_micros(320), MediumView::idle());
+        let out = mac.on_frame_decoded(
+            ack,
+            data_done + SimDuration::from_micros(320),
+            MediumView::idle(),
+        );
         assert!(out.iter().any(|o| matches!(o, MacOutput::TxSuccess { .. })));
         assert!(out.iter().any(|o| matches!(o, MacOutput::ReadyForNext)));
         assert!(mac.is_idle());
@@ -853,13 +857,10 @@ mod tests {
             let (id, at) = timer_of(&out);
             now = at;
             out = mac.on_timer(id, now, MediumView::idle());
-            if let Some((frame, air)) = out
-                .iter()
-                .find_map(|o| match o {
-                    MacOutput::Transmit { frame, airtime } => Some((frame.clone(), *airtime)),
-                    _ => None,
-                })
-            {
+            if let Some((frame, air)) = out.iter().find_map(|o| match o {
+                MacOutput::Transmit { frame, airtime } => Some((frame.clone(), *airtime)),
+                _ => None,
+            }) {
                 assert_eq!(frame.kind(), FrameKind::Rts);
                 now += air;
                 out = mac.on_tx_done(now, MediumView::idle());
@@ -931,9 +932,9 @@ mod tests {
             nav_until_nanos: 0,
         };
         let out = mac.on_frame_decoded(frame, t(0), MediumView::idle());
-        assert!(out
-            .iter()
-            .any(|o| matches!(o, MacOutput::Deliver { packet, from } if packet.uid == 9 && *from == n(0))));
+        assert!(out.iter().any(
+            |o| matches!(o, MacOutput::Deliver { packet, from } if packet.uid == 9 && *from == n(0))
+        ));
         let (id, at) = timer_of(&out);
         let out = mac.on_timer(id, at, MediumView::idle());
         let (frame, _) = transmit_of(&out);
@@ -989,7 +990,7 @@ mod tests {
         let (_, fire1) = timer_of(&out);
         // Deferral happened, so a random backoff [0,31] was drawn on resume.
         let total1 = fire1 - t(1_050); // slots * 20us
-        // Freeze partway through the countdown, after IFS + 1 slot.
+                                       // Freeze partway through the countdown, after IFS + 1 slot.
         let freeze_at = t(1_050) + SimDuration::from_micros(20);
         if freeze_at < fire1 {
             mac.on_medium_busy(freeze_at);

@@ -125,7 +125,10 @@ impl MacParams {
     pub fn validate(&self) {
         assert!(self.data_rate_bps > 0 && self.basic_rate_bps > 0, "rates must be positive");
         assert!(self.cw_min > 0 && self.cw_min <= self.cw_max, "invalid contention window");
-        assert!(self.short_retry_limit > 0 && self.long_retry_limit > 0, "retry limits must be positive");
+        assert!(
+            self.short_retry_limit > 0 && self.long_retry_limit > 0,
+            "retry limits must be positive"
+        );
     }
 }
 

@@ -26,11 +26,7 @@ pub struct BusyTracker {
 impl BusyTracker {
     /// Creates a tracker whose first window starts at `start`.
     pub fn new(start: SimTime) -> Self {
-        BusyTracker {
-            busy_until: start,
-            accumulated: SimDuration::ZERO,
-            window_start: start,
-        }
+        BusyTracker { busy_until: start, accumulated: SimDuration::ZERO, window_start: start }
     }
 
     /// Records that the medium is occupied from `now` until `end`.
@@ -47,11 +43,8 @@ impl BusyTracker {
     /// `[0, 1]`. Returns 0.0 for an empty window.
     pub fn sample(&mut self, now: SimTime) -> f64 {
         let window = now.saturating_since(self.window_start);
-        let util = if window == SimDuration::ZERO {
-            0.0
-        } else {
-            self.accumulated.ratio(window).min(1.0)
-        };
+        let util =
+            if window == SimDuration::ZERO { 0.0 } else { self.accumulated.ratio(window).min(1.0) };
         self.accumulated = SimDuration::ZERO;
         self.window_start = now;
         util

@@ -318,7 +318,13 @@ mod tests {
     #[test]
     fn control_bypasses_red() {
         use wire::{AodvMessage, RouteError};
-        let cfg = RedConfig { min_threshold: 0.0, max_threshold: 0.1, queue_weight: 1.0, ecn: false, ..RedConfig::default() };
+        let cfg = RedConfig {
+            min_threshold: 0.0,
+            max_threshold: 0.1,
+            queue_weight: 1.0,
+            ecn: false,
+            ..RedConfig::default()
+        };
         let mut q = RedQueue::new(cfg);
         let mut rng = SimRng::new(1);
         let _ = q.push(data(0), hop(), false, &mut rng);

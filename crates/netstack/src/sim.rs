@@ -1,7 +1,7 @@
 //! The discrete-event simulator: per-node stack assembly and the driver
 //! loop executing layer state-machine outputs.
 
-use std::collections::HashMap;
+use sim_core::{DetMap, TraceHash};
 
 use aodv::{Aodv, AodvOutput, AodvTimer};
 use mac80211::{Mac, MacOutput, MediumView};
@@ -16,8 +16,8 @@ use wire::{FlowId, FrameKind, MacFrame, NodeId, Packet, Payload, TcpSegment, Uid
 
 use crate::config::QueueDiscipline;
 use crate::{
-    BusyTracker, DropTailQueue, FlowReport, FlowSpec, NodeSummary, RedOutcome, RedQueue,
-    SimConfig, TcpVariant,
+    BusyTracker, DropTailQueue, FlowReport, FlowSpec, NodeSummary, RedOutcome, RedQueue, SimConfig,
+    TcpVariant,
 };
 
 /// Events driving the simulation.
@@ -45,6 +45,58 @@ enum Event {
     DelAckTimer { node: NodeId, flow: FlowId, id: tcp::DelAckTimer },
     /// Periodic DRAI sampling tick.
     Sample,
+}
+
+/// Folds one dispatched event into the running trace digest. Every variant
+/// contributes a distinct tag plus its scheduling-relevant fields, so any
+/// reordering or content change between two same-seed runs flips the digest.
+fn fold_event(hash: &mut TraceHash, now: SimTime, event: &Event) {
+    hash.write_u64(now.as_nanos());
+    match event {
+        Event::RxStart { node, tx_id, end, decodable, power } => {
+            hash.write_u64(1)
+                .write_u64(node.index() as u64)
+                .write_u64(tx_id.0)
+                .write_u64(end.as_nanos())
+                .write_u64(u64::from(*decodable))
+                .write_f64(*power);
+        }
+        Event::RxEnd { node, tx_id, frame, in_rx_range } => {
+            hash.write_u64(2)
+                .write_u64(node.index() as u64)
+                .write_u64(tx_id.0)
+                .write_u64(frame.src.index() as u64)
+                .write_u64(frame.dst.index() as u64)
+                .write_u64(u64::from(*in_rx_range));
+        }
+        Event::TxDone { node } => {
+            hash.write_u64(3).write_u64(node.index() as u64);
+        }
+        Event::MacTimer { node, .. } => {
+            hash.write_u64(4).write_u64(node.index() as u64);
+        }
+        Event::AodvTimer { node, .. } => {
+            hash.write_u64(5).write_u64(node.index() as u64);
+        }
+        Event::TcpTimer { node, flow, .. } => {
+            hash.write_u64(6).write_u64(node.index() as u64).write_u64(flow.index() as u64);
+        }
+        Event::FlowStart { flow } => {
+            hash.write_u64(7).write_u64(flow.index() as u64);
+        }
+        Event::JitteredEnqueue { node, next_hop, .. } => {
+            hash.write_u64(8).write_u64(node.index() as u64).write_u64(next_hop.index() as u64);
+        }
+        Event::MobilityTick { node } => {
+            hash.write_u64(9).write_u64(node.index() as u64);
+        }
+        Event::DelAckTimer { node, flow, .. } => {
+            hash.write_u64(10).write_u64(node.index() as u64).write_u64(flow.index() as u64);
+        }
+        Event::Sample => {
+            hash.write_u64(11);
+        }
+    }
 }
 
 struct SenderEndpoint {
@@ -113,8 +165,8 @@ struct Node {
     router: RouterAgent,
     uid: UidGen,
     busy: BusyTracker,
-    senders: HashMap<FlowId, SenderEndpoint>,
-    receivers: HashMap<FlowId, ReceiverEndpoint>,
+    senders: DetMap<FlowId, SenderEndpoint>,
+    receivers: DetMap<FlowId, ReceiverEndpoint>,
     routing_drops: u64,
 }
 
@@ -143,8 +195,9 @@ pub struct Simulator {
     now: SimTime,
     next_tx_id: u64,
     flows: Vec<FlowSpec>,
-    movements: HashMap<NodeId, Movement>,
+    movements: DetMap<NodeId, Movement>,
     tracer: Option<Tracer>,
+    trace_hash: TraceHash,
 }
 
 /// An active movement: the node heads toward `target` at `speed_mps`; when
@@ -256,8 +309,8 @@ impl Simulator {
                     // dedup never confuses them with routing packets.
                     uid: UidGen::with_stream(id, 1),
                     busy: BusyTracker::new(SimTime::ZERO),
-                    senders: HashMap::new(),
-                    receivers: HashMap::new(),
+                    senders: DetMap::new(),
+                    receivers: DetMap::new(),
                     routing_drops: 0,
                 }
             })
@@ -273,12 +326,9 @@ impl Simulator {
             now: SimTime::ZERO,
             next_tx_id: 0,
             flows: Vec::new(),
-            movements: HashMap::new(),
-            tracer: if std::env::var("SIM_TRACE").is_ok() {
-                Some(stderr_tracer())
-            } else {
-                None
-            },
+            movements: DetMap::new(),
+            trace_hash: TraceHash::new(),
+            tracer: if std::env::var("SIM_TRACE").is_ok() { Some(stderr_tracer()) } else { None },
         };
         // Kick off HELLO beaconing if the AODV config asks for it.
         if cfg.aodv.hello_interval.is_some() {
@@ -344,9 +394,7 @@ impl Simulator {
         } else {
             TcpReceiver::new(flow, sack)
         };
-        self.nodes[spec.dst.index()]
-            .receivers
-            .insert(flow, ReceiverEndpoint { receiver });
+        self.nodes[spec.dst.index()].receivers.insert(flow, ReceiverEndpoint { receiver });
         self.events.push(spec.start.max(self.now), Event::FlowStart { flow });
         self.flows.push(spec);
         flow
@@ -357,6 +405,15 @@ impl Simulator {
         self.now
     }
 
+    /// Running digest of every event dispatched so far (order- and
+    /// content-sensitive). Two simulators built from the same topology,
+    /// config and seed must report identical digests after identical
+    /// `run_until` calls — the runtime twin of the `simlint` static policy.
+    /// Compare digests with [`sim_core::twin_run`].
+    pub fn trace_hash(&self) -> u64 {
+        self.trace_hash.digest()
+    }
+
     /// Runs the event loop until virtual time `end`.
     pub fn run_until(&mut self, end: SimTime) {
         while let Some(t) = self.events.peek_time() {
@@ -365,6 +422,7 @@ impl Simulator {
             }
             let (now, event) = self.events.pop().expect("peeked event vanished");
             self.now = now;
+            fold_event(&mut self.trace_hash, now, &event);
             self.dispatch(event);
         }
         self.now = end.max(self.now);
@@ -476,8 +534,8 @@ impl Simulator {
     fn draw_waypoint(&mut self, plan: &RandomWaypoint) -> (phy::Position, f64) {
         let x = self.rng.unit_f64() * plan.width_m;
         let y = self.rng.unit_f64() * plan.height_m;
-        let speed = plan.min_speed_mps
-            + self.rng.unit_f64() * (plan.max_speed_mps - plan.min_speed_mps);
+        let speed =
+            plan.min_speed_mps + self.rng.unit_f64() * (plan.max_speed_mps - plan.min_speed_mps);
         (phy::Position::new(x, y), speed)
     }
 
@@ -659,9 +717,7 @@ impl Simulator {
                     let failures = (cur.cts_timeouts + cur.ack_timeouts)
                         .saturating_sub(prev.cts_timeouts + prev.ack_timeouts);
                     if attempts > 0 {
-                        n.router
-                            .drai_mut()
-                            .observe_retry_ratio(failures as f64 / attempts as f64);
+                        n.router.drai_mut().observe_retry_ratio(failures as f64 / attempts as f64);
                     }
                     n.last_mac_stats = cur;
                 }
@@ -693,8 +749,7 @@ impl Simulator {
                 MacOutput::TxFailed { packet, next_hop } => {
                     let now = self.now;
                     self.trace(TraceEvent::LinkFailure { node, next_hop });
-                    let outs =
-                        self.nodes[node.index()].aodv.on_link_failure(packet, next_hop, now);
+                    let outs = self.nodes[node.index()].aodv.on_link_failure(packet, next_hop, now);
                     self.process_aodv_outputs(node, outs);
                 }
                 MacOutput::ReadyForNext => self.try_feed_mac(node),
@@ -711,9 +766,8 @@ impl Simulator {
                         // up to 10 ms; without it all neighbours of a
                         // broadcaster fire after exactly DIFS and collide
                         // deterministically.
-                        let jitter = sim_core::SimDuration::from_micros(
-                            u64::from(self.rng.below(10_000)),
-                        );
+                        let jitter =
+                            sim_core::SimDuration::from_micros(u64::from(self.rng.below(10_000)));
                         self.events.push(
                             self.now + jitter,
                             Event::JitteredEnqueue { node, packet, next_hop },
@@ -824,14 +878,10 @@ impl Simulator {
             let power = self.cfg.radio.rx_power(distance);
             let rx_start = now + prop;
             let rx_end = rx_start + airtime;
-            self.events.push(
-                rx_start,
-                Event::RxStart { node: nb, tx_id, end: rx_end, decodable, power },
-            );
-            self.events.push(
-                rx_end,
-                Event::RxEnd { node: nb, tx_id, frame: frame.clone(), in_rx_range },
-            );
+            self.events
+                .push(rx_start, Event::RxStart { node: nb, tx_id, end: rx_end, decodable, power });
+            self.events
+                .push(rx_end, Event::RxEnd { node: nb, tx_id, frame: frame.clone(), in_rx_range });
         }
         self.events.push(end, Event::TxDone { node: sender });
     }
@@ -911,10 +961,7 @@ pub fn stderr_tracer() -> Tracer {
             eprintln!("{now} RX {node} <- {from} {kind:?} outcome={outcome:?}");
         }
         TraceEvent::SegmentDelivered { node, flow, is_data } => {
-            eprintln!(
-                "{now} DLV {node} {flow} {}",
-                if *is_data { "data" } else { "ack" }
-            );
+            eprintln!("{now} DLV {node} {flow} {}", if *is_data { "data" } else { "ack" });
         }
         TraceEvent::QueueDrop { node, uid } => {
             eprintln!("{now} DROP {node} uid={uid}");
@@ -929,7 +976,6 @@ pub fn stderr_tracer() -> Tracer {
 mod tests {
     use super::*;
     use crate::topology;
-    
 
     fn secs(s: f64) -> SimTime {
         SimTime::from_secs_f64(s)
@@ -1037,9 +1083,8 @@ mod tests {
     fn delayed_flow_start() {
         let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
         let (src, dst) = topology::chain_flow(2);
-        let flow = sim.add_flow(
-            FlowSpec::new(src, dst, TcpVariant::NewReno).starting_at(secs(2.0)),
-        );
+        let flow =
+            sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno).starting_at(secs(2.0)));
         sim.run_until(secs(1.5));
         assert_eq!(sim.flow_report(flow).delivered_segments, 0, "not started yet");
         sim.run_until(secs(4.0));
@@ -1075,9 +1120,7 @@ mod tests {
     fn advertised_window_caps_flight_everywhere() {
         let mut sim = Simulator::new(topology::chain(4), SimConfig::default());
         let (src, dst) = topology::chain_flow(4);
-        let f_small = sim.add_flow(
-            FlowSpec::new(src, dst, TcpVariant::NewReno).with_window(4),
-        );
+        let f_small = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno).with_window(4));
         sim.run_until(secs(5.0));
         let small = sim.flow_report(f_small);
         // With window 4 the cwnd trace must never exceed... cwnd may exceed
@@ -1086,7 +1129,6 @@ mod tests {
         assert!(small.delivered_segments > 10);
     }
 }
-
 
 #[cfg(test)]
 mod mobility_tests {
@@ -1133,7 +1175,12 @@ mod mobility_tests {
         let node = NodeId::new(1);
         sim.set_random_waypoint(
             node,
-            RandomWaypoint { width_m: 500.0, height_m: 500.0, min_speed_mps: 50.0, max_speed_mps: 100.0 },
+            RandomWaypoint {
+                width_m: 500.0,
+                height_m: 500.0,
+                min_speed_mps: 50.0,
+                max_speed_mps: 100.0,
+            },
         );
         for step in 1..=60 {
             sim.run_until(secs(step as f64));
@@ -1239,10 +1286,8 @@ mod red_integration_tests {
 
     #[test]
     fn red_discipline_carries_traffic() {
-        let cfg = SimConfig {
-            queue: QueueDiscipline::Red(RedConfig::default()),
-            ..SimConfig::default()
-        };
+        let cfg =
+            SimConfig { queue: QueueDiscipline::Red(RedConfig::default()), ..SimConfig::default() };
         let mut sim = Simulator::new(topology::chain(4), cfg);
         let (src, dst) = topology::chain_flow(4);
         let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno));
@@ -1374,10 +1419,7 @@ mod elfn_tests {
         let diff = plain.abs_diff(with);
         // Identical routes throughout: ELFN may only shift the initial
         // discovery timing slightly.
-        assert!(
-            diff * 20 <= plain,
-            "ELFN changed a stable run too much: {plain} vs {with}"
-        );
+        assert!(diff * 20 <= plain, "ELFN changed a stable run too much: {plain} vs {with}");
     }
 }
 

@@ -177,7 +177,9 @@ pub fn is_connected(positions: &[Position], range_m: f64) -> bool {
     let n = positions.len();
     let mut seen = vec![false; n];
     let mut stack = vec![0usize];
-    seen[0] = true;
+    if let Some(first) = seen.first_mut() {
+        *first = true;
+    }
     let mut visited = 1;
     while let Some(i) = stack.pop() {
         for j in 0..n {
@@ -283,11 +285,8 @@ mod tests {
         assert!(is_connected(&[], 100.0));
         let split = vec![Position::new(0.0, 0.0), Position::new(1000.0, 0.0)];
         assert!(!is_connected(&split, 250.0));
-        let joined = vec![
-            Position::new(0.0, 0.0),
-            Position::new(200.0, 0.0),
-            Position::new(400.0, 0.0),
-        ];
+        let joined =
+            vec![Position::new(0.0, 0.0), Position::new(200.0, 0.0), Position::new(400.0, 0.0)];
         assert!(is_connected(&joined, 250.0));
     }
 

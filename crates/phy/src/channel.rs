@@ -45,12 +45,8 @@ impl Channel {
     /// Panics if `params` are inconsistent (see [`RadioParams::validate`]).
     pub fn new(positions: Vec<Position>, params: RadioParams) -> Self {
         params.validate();
-        let mut ch = Channel {
-            params,
-            positions,
-            rx_neighbors: Vec::new(),
-            cs_neighbors: Vec::new(),
-        };
+        let mut ch =
+            Channel { params, positions, rx_neighbors: Vec::new(), cs_neighbors: Vec::new() };
         ch.recompute();
         ch
     }
@@ -143,8 +139,7 @@ mod tests {
     }
 
     fn chain(count: usize, spacing: f64) -> Channel {
-        let positions =
-            (0..count).map(|i| Position::new(i as f64 * spacing, 0.0)).collect();
+        let positions = (0..count).map(|i| Position::new(i as f64 * spacing, 0.0)).collect();
         Channel::new(positions, RadioParams::default())
     }
 

@@ -59,14 +59,8 @@ impl RadioParams {
         assert!(self.data_rate_bps > 0, "data rate must be positive");
         assert!(self.basic_rate_bps > 0, "basic rate must be positive");
         assert!(self.tx_range_m > 0.0, "tx range must be positive");
-        assert!(
-            self.cs_range_m >= self.tx_range_m,
-            "carrier-sense range must cover the tx range"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.per_frame_loss),
-            "loss probability must be in [0, 1]"
-        );
+        assert!(self.cs_range_m >= self.tx_range_m, "carrier-sense range must cover the tx range");
+        assert!((0.0..=1.0).contains(&self.per_frame_loss), "loss probability must be in [0, 1]");
     }
 
     /// Airtime of a DATA frame of `bytes` bytes (PLCP + payload at the data

@@ -89,10 +89,7 @@ impl PhyState {
     /// Panics if the node is already transmitting — the MAC must serialise
     /// its own transmissions.
     pub fn begin_transmit(&mut self, now: SimTime, until: SimTime) {
-        assert!(
-            !self.is_transmitting(now),
-            "PHY asked to transmit while already transmitting"
-        );
+        assert!(!self.is_transmitting(now), "PHY asked to transmit while already transmitting");
         for r in &mut self.receptions {
             r.corrupted = true;
         }
@@ -112,7 +109,14 @@ impl PhyState {
     /// Capture rule per overlapping pair (ns-2 semantics): the ongoing
     /// reception survives a newcomer weaker by at least the capture ratio;
     /// any other overlap corrupts both.
-    pub fn on_rx_start(&mut self, tx_id: TxId, now: SimTime, end: SimTime, decodable: bool, power: f64) {
+    pub fn on_rx_start(
+        &mut self,
+        tx_id: TxId,
+        now: SimTime,
+        end: SimTime,
+        decodable: bool,
+        power: f64,
+    ) {
         let corrupted_by_tx = self.is_transmitting(now);
         let mut new_corrupted = corrupted_by_tx;
         for r in &mut self.receptions {

@@ -27,11 +27,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod detmap;
 mod event;
 mod rng;
 pub mod stats;
 mod time;
+mod trace;
 
+pub use detmap::{DetMap, DetSet};
 pub use event::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{twin_run, TraceHash};

@@ -1,7 +1,10 @@
 //! Seeded, reproducible randomness for simulations.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! Implemented in-repo (xoshiro256++ seeded through SplitMix64 — the same
+//! construction `rand`'s `SmallRng` uses on 64-bit targets) so the
+//! workspace has **no** external randomness dependency and every draw is a
+//! pure function of the seed. The determinism policy enforced by `simlint`
+//! requires all randomness to flow through this type.
 
 /// A deterministic random number generator owned by a simulation run.
 ///
@@ -19,33 +22,65 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s0: u64,
+    s1: u64,
+    s2: u64,
+    s3: u64,
+}
+
+/// One SplitMix64 step, used to expand a 64-bit seed into xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed) }
+        let mut sm = seed;
+        SimRng {
+            s0: splitmix64(&mut sm),
+            s1: splitmix64(&mut sm),
+            s2: splitmix64(&mut sm),
+            s3: splitmix64(&mut sm),
+        }
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let result = self.s0.wrapping_add(self.s3).rotate_left(23).wrapping_add(self.s0);
+        let t = self.s1 << 17;
+        self.s2 ^= self.s0;
+        self.s3 ^= self.s1;
+        self.s1 ^= self.s2;
+        self.s0 ^= self.s3;
+        self.s2 ^= t;
+        self.s3 = self.s3.rotate_left(45);
+        result
     }
 
     /// A uniformly random integer in `[0, bound)`.
+    ///
+    /// Uses the widening multiply-shift reduction; the bias is below 2⁻³²
+    /// for any bound a simulation uses, far under anything observable.
     ///
     /// # Panics
     ///
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u32) -> u32 {
         assert!(bound > 0, "bound must be positive");
-        self.inner.gen_range(0..bound)
+        ((u64::from(self.next_u64() as u32) * u64::from(bound)) >> 32) as u32
     }
 
     /// A uniformly random integer in `[0, cw]` — the 802.11 backoff slot draw.
     pub fn backoff_slot(&mut self, cw: u32) -> u32 {
-        self.inner.gen_range(0..=cw)
+        if cw == u32::MAX {
+            return self.next_u64() as u32;
+        }
+        self.below(cw + 1)
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
@@ -55,13 +90,13 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen_bool(p)
+            self.unit_f64() < p
         }
     }
 
-    /// A uniformly random float in `[0, 1)`.
+    /// A uniformly random float in `[0, 1)` with 53 bits of precision.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen_range(0.0..1.0)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Derives an independent child generator, e.g. one per node.
@@ -103,6 +138,20 @@ mod tests {
     }
 
     #[test]
+    fn below_reaches_both_ends() {
+        let mut rng = SimRng::new(8);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..2000 {
+            match rng.below(7) {
+                0 => lo = true,
+                6 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi, "both ends of the range must be reachable");
+    }
+
+    #[test]
     fn backoff_slot_inclusive() {
         let mut rng = SimRng::new(4);
         let mut saw_max = false;
@@ -128,6 +177,15 @@ mod tests {
         let mut rng = SimRng::new(6);
         let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
         assert!((2_000..3_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = SimRng::new(10);
+        for _ in 0..10_000 {
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u), "got {u}");
+        }
     }
 
     #[test]

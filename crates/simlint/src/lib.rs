@@ -1,0 +1,848 @@
+//! `simlint` — the workspace determinism & panic-safety analyzer.
+//!
+//! Every figure the TCP Muzha reproduction regenerates (cwnd traces,
+//! chain-sweep goodput, fairness indices) is only trustworthy if the seeded
+//! discrete-event simulator is bit-for-bit deterministic and does not panic
+//! mid-run. This crate is a std-only, line-level static-analysis pass over
+//! the workspace source tree enforcing the written policy in `DESIGN.md`:
+//!
+//! 1. **`nondet`** — sources of nondeterminism (`std::time::Instant`,
+//!    `SystemTime::now`, `thread_rng`, entropy-seeded RNG construction,
+//!    `RandomState`) are forbidden *everywhere*. All randomness must flow
+//!    through `sim_core::SimRng`; all time through `sim_core::SimTime`.
+//! 2. **`hash-collections`** — `HashMap`/`HashSet` are forbidden in
+//!    simulation-state crates (iteration order would silently perturb event
+//!    ordering); use `BTreeMap`/`BTreeSet` or `sim_core::DetMap`/`DetSet`.
+//! 3. **`panic-unwrap`** — `.unwrap()` / `.expect(...)` / literal-index
+//!    slicing in protocol code is counted against a checked-in, path-scoped
+//!    allowlist (`simlint.allow`), so the count can only ratchet down.
+//! 4. **`nan-compare`** — NaN-unsafe `f64` ordering (`partial_cmp` call
+//!    sites, `sort_by_key` on floats) in simulation crates; use
+//!    `f64::total_cmp` in comparators.
+//!
+//! The analyzer runs as `cargo run -p simlint` and as a tier-1 test in the
+//! root crate (`tests/simlint_policy.rs`), so `cargo test` fails on any new
+//! violation.
+//!
+//! The pass is deliberately token-level (no rustc/syn dependency — the
+//! build environment is offline): comments and string literals are stripped
+//! first, code after a `#[cfg(test)]` marker is classified as test code,
+//! and each rule matches plain substrings of the remaining code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// The policy rules the analyzer enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Wall-clock time, OS entropy, or thread-local RNG anywhere.
+    Nondeterminism,
+    /// `HashMap`/`HashSet` in a simulation-state crate.
+    HashCollections,
+    /// `.unwrap()`, `.expect(...)` or literal-index slicing in protocol code.
+    PanicUnwrap,
+    /// NaN-unsafe `f64` ordering in simulation crates.
+    NanCompare,
+}
+
+impl Rule {
+    /// The stable machine-readable rule name (used in `simlint.allow`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Nondeterminism => "nondet",
+            Rule::HashCollections => "hash-collections",
+            Rule::PanicUnwrap => "panic-unwrap",
+            Rule::NanCompare => "nan-compare",
+        }
+    }
+
+    /// Parses a rule name as spelled in the allowlist.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "nondet" => Some(Rule::Nondeterminism),
+            "hash-collections" => Some(Rule::HashCollections),
+            "panic-unwrap" => Some(Rule::PanicUnwrap),
+            "nan-compare" => Some(Rule::NanCompare),
+            _ => None,
+        }
+    }
+
+    /// All rules, in reporting order.
+    pub const ALL: [Rule; 4] =
+        [Rule::Nondeterminism, Rule::HashCollections, Rule::PanicUnwrap, Rule::NanCompare];
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Crates whose in-memory state participates in event ordering: a stray
+/// hash-ordered iteration there can silently reorder events between runs.
+pub const SIM_STATE_CRATES: [&str; 7] =
+    ["sim-core", "netstack", "aodv", "mac80211", "tcp", "wire", "core"];
+
+/// One rule hit at one source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// Human-readable explanation with the policy-compliant alternative.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source preprocessing
+// ---------------------------------------------------------------------------
+
+/// Strips comments and string literals from `source`, preserving line
+/// structure, so rules never fire on prose or fixture text.
+///
+/// Handles `//` line comments, nested `/* */` block comments, `"…"` strings
+/// with escapes, raw strings `r"…"` / `r#"…"#` (any hash depth), and char
+/// literals — while leaving lifetimes (`'a`) alone.
+pub fn strip_comments_and_strings(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    let mut block_depth = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if block_depth > 0 {
+            if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                block_depth += 1;
+                i += 2;
+            } else if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                block_depth -= 1;
+                i += 2;
+            } else {
+                if b == b'\n' {
+                    out.push(b'\n');
+                }
+                i += 1;
+            }
+            continue;
+        }
+        match b {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment: skip to newline.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                block_depth = 1;
+                i += 2;
+            }
+            b'"' => {
+                out.push(b'"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            out.push(b'\n');
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.push(b'"');
+            }
+            b'r' if matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#'))
+                && !prev_is_ident(&out) =>
+            {
+                // Raw string r"…", r#"…"#, r##"…"##, …
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    j += 1;
+                    'raw: while j < bytes.len() {
+                        if bytes[j] == b'"' {
+                            let mut k = j + 1;
+                            let mut seen = 0;
+                            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                j = k;
+                                break 'raw;
+                            }
+                        }
+                        if bytes[j] == b'\n' {
+                            out.push(b'\n');
+                        }
+                        j += 1;
+                    }
+                    out.extend_from_slice(b"\"\"");
+                    i = j;
+                } else {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a char literal closes within a
+                // few bytes (`'x'`, `'\n'`, `'\u{1F600}'`); a lifetime never
+                // closes. Look ahead for the closing quote.
+                let close = if bytes.get(i + 1) == Some(&b'\\') {
+                    bytes[i + 2..].iter().take(10).position(|&c| c == b'\'').map(|p| i + 2 + p)
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                match close {
+                    Some(end) => {
+                        out.extend_from_slice(b"' '");
+                        i = end + 1;
+                    }
+                    None => {
+                        out.push(b);
+                        i += 1;
+                    }
+                }
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn prev_is_ident(out: &[u8]) -> bool {
+    out.last().is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+}
+
+// ---------------------------------------------------------------------------
+// Per-file scanning
+// ---------------------------------------------------------------------------
+
+/// Where a file sits in the workspace, deciding which rules apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileScope {
+    /// Inside `crates/<sim-state crate>/src/`.
+    pub sim_state: bool,
+    /// Non-src target (tests/, benches/, examples/) or root tests.
+    pub test_tree: bool,
+}
+
+/// Classifies a workspace-relative path (forward slashes).
+pub fn classify(rel_path: &str) -> FileScope {
+    let mut parts = rel_path.split('/');
+    match parts.next() {
+        Some("crates") => {
+            let krate = parts.next().unwrap_or("");
+            let tree = parts.next().unwrap_or("");
+            FileScope {
+                sim_state: tree == "src" && SIM_STATE_CRATES.contains(&krate),
+                test_tree: tree == "tests" || tree == "benches",
+            }
+        }
+        Some("src") => FileScope { sim_state: false, test_tree: false },
+        Some("tests") | Some("examples") | Some("benches") => {
+            FileScope { sim_state: false, test_tree: true }
+        }
+        _ => FileScope { sim_state: false, test_tree: false },
+    }
+}
+
+/// Scans one file's text; `rel_path` decides rule applicability.
+pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let scope = classify(rel_path);
+    let stripped = strip_comments_and_strings(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut findings = Vec::new();
+    let mut in_test_code = false;
+    for (idx, line) in stripped.lines().enumerate() {
+        // Workspace convention keeps `#[cfg(test)]` modules at the end of a
+        // file; everything after the first marker is test-only code.
+        if line.contains("#[cfg(test)]") {
+            in_test_code = true;
+        }
+        let lineno = idx + 1;
+        let snippet = raw_lines.get(idx).map_or("", |l| l.trim()).to_string();
+        let mut push = |rule: Rule, message: String| {
+            findings.push(Finding {
+                rule,
+                path: rel_path.to_string(),
+                line: lineno,
+                snippet: snippet.clone(),
+                message,
+            });
+        };
+
+        // Rule 1: nondeterminism sources — everywhere, test code included
+        // (a flaky test is as corrosive to replication as a flaky run).
+        for (needle, advice) in [
+            ("Instant::now", "virtual time must come from sim_core::SimTime"),
+            ("std::time::Instant", "virtual time must come from sim_core::SimTime"),
+            ("SystemTime", "wall-clock time is nondeterministic; use sim_core::SimTime"),
+            ("thread_rng", "thread-local RNG is unseeded; draw from sim_core::SimRng"),
+            ("from_entropy", "entropy seeding breaks replay; seed SimRng explicitly"),
+            ("rand::random", "ambient randomness is unseeded; draw from sim_core::SimRng"),
+            ("RandomState", "per-process hash seeding; use DetMap/BTreeMap instead"),
+        ] {
+            if line.contains(needle) {
+                push(Rule::Nondeterminism, format!("`{needle}` is nondeterministic: {advice}"));
+            }
+        }
+
+        // Rule 2: hash collections in simulation-state crates.
+        if scope.sim_state && !in_test_code {
+            for needle in ["HashMap", "HashSet"] {
+                if contains_token(line, needle) {
+                    push(
+                        Rule::HashCollections,
+                        format!(
+                            "`{needle}` iteration order can perturb event ordering; \
+                             use sim_core::DetMap/DetSet or BTreeMap/BTreeSet"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if scope.sim_state && !in_test_code {
+            // Rule 3: panic sites in protocol code.
+            if line.contains(".unwrap()") {
+                push(
+                    Rule::PanicUnwrap,
+                    "`.unwrap()` in protocol code; handle the None/Err arm or \
+                     justify it in simlint.allow"
+                        .to_string(),
+                );
+            }
+            if line.contains(".expect(") {
+                push(
+                    Rule::PanicUnwrap,
+                    "`.expect(...)` in protocol code; handle the None/Err arm or \
+                     justify it in simlint.allow"
+                        .to_string(),
+                );
+            }
+            for _ in 0..count_literal_indexing(line) {
+                push(
+                    Rule::PanicUnwrap,
+                    "literal-index slicing can panic on short slices; \
+                     prefer .first()/.get(n) or destructuring"
+                        .to_string(),
+                );
+            }
+
+            // Rule 4: NaN-unsafe f64 ordering.
+            if line.contains(".partial_cmp(") {
+                push(
+                    Rule::NanCompare,
+                    "`partial_cmp` on floats is None for NaN; comparators must \
+                     use f64::total_cmp"
+                        .to_string(),
+                );
+            }
+        }
+    }
+    findings
+}
+
+/// Whether `needle` occurs in `line` as a standalone token (not as part of a
+/// longer identifier such as `DetHashMapLike`).
+fn contains_token(line: &str, needle: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(needle) {
+        let at = start + pos;
+        let before_ok =
+            at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        let after = at + needle.len();
+        let after_ok =
+            after >= bytes.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Counts `ident[<integer literal>]` indexing expressions on a line.
+fn count_literal_indexing(line: &str) -> usize {
+    let bytes = line.as_bytes();
+    let mut count = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'['
+            && i > 0
+            && (bytes[i - 1].is_ascii_alphanumeric()
+                || bytes[i - 1] == b'_'
+                || bytes[i - 1] == b')')
+        {
+            let mut j = i + 1;
+            let mut digits = 0;
+            while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
+                if bytes[j].is_ascii_digit() {
+                    digits += 1;
+                }
+                j += 1;
+            }
+            if digits > 0 && bytes.get(j) == Some(&b']') {
+                count += 1;
+                i = j;
+            }
+        }
+        i += 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walking
+// ---------------------------------------------------------------------------
+
+/// Scans every `.rs` file under `root` (skipping `target/` and dot-dirs)
+/// and returns all findings, pre-allowlist, sorted by (path, line, rule).
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for rel in files {
+        let text = fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        findings.extend(scan_source(&rel_str, &text));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(findings)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist
+// ---------------------------------------------------------------------------
+
+/// One allowance: up to `max` findings of `rule` under `path`.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// The rule being allowed.
+    pub rule: Rule,
+    /// Exact workspace-relative path, or a prefix ending in `/*`.
+    pub path: String,
+    /// Maximum tolerated findings (the ratchet).
+    pub max: usize,
+    /// Why the allowance exists (required).
+    pub note: String,
+}
+
+impl AllowEntry {
+    fn matches(&self, path: &str) -> bool {
+        match self.path.strip_suffix("/*") {
+            Some(prefix) => path.starts_with(prefix),
+            None => path == self.path,
+        }
+    }
+}
+
+/// The parsed `simlint.allow` file.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// All entries, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format: one entry per line,
+    /// `<rule> <path> <max> <justification…>`; `#` starts a comment.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            let mut fields = line.split_whitespace();
+            let rule = fields
+                .next()
+                .and_then(Rule::from_name)
+                .ok_or_else(|| format!("allowlist line {lineno}: unknown rule"))?;
+            let path = fields
+                .next()
+                .ok_or_else(|| format!("allowlist line {lineno}: missing path"))?
+                .to_string();
+            let max: usize = fields
+                .next()
+                .and_then(|f| f.parse().ok())
+                .ok_or_else(|| format!("allowlist line {lineno}: missing/invalid max count"))?;
+            let note = fields.collect::<Vec<_>>().join(" ");
+            if note.is_empty() {
+                return Err(format!(
+                    "allowlist line {lineno}: a justification is required \
+                     (why is this allowance sound?)"
+                ));
+            }
+            entries.push(AllowEntry { rule, path, max, note });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Loads and parses an allowlist file; a missing file is an empty list.
+    pub fn load(path: &Path) -> Result<Allowlist, String> {
+        match fs::read_to_string(path) {
+            Ok(text) => Allowlist::parse(&text),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+/// Result of applying the allowlist to a scan.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Findings not covered by any allowance — these fail the build.
+    pub violations: Vec<Finding>,
+    /// Per-(rule, path) groups that exceeded their allowance:
+    /// `(rule, path, found, allowed)`.
+    pub over_budget: Vec<(Rule, String, usize, usize)>,
+    /// Ratchet opportunities: allowances larger than the current count, or
+    /// matching nothing at all. Informational — tighten `simlint.allow`.
+    pub stale: Vec<String>,
+    /// Every finding, allowlisted or not (for `--format json` consumers).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Whether the workspace passes the policy.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.over_budget.is_empty()
+    }
+}
+
+/// Applies `allowlist` to `findings`, producing the pass/fail report.
+pub fn apply_allowlist(findings: Vec<Finding>, allowlist: &Allowlist) -> Report {
+    use std::collections::BTreeMap;
+    let mut report = Report { findings: findings.clone(), ..Report::default() };
+
+    // Group findings by (rule, path); each group consumes the first
+    // allowlist entry that matches.
+    let mut groups: BTreeMap<(Rule, String), Vec<Finding>> = BTreeMap::new();
+    for f in findings {
+        groups.entry((f.rule, f.path.clone())).or_default().push(f);
+    }
+
+    let mut consumed: Vec<(usize, usize)> = Vec::new(); // (entry idx, count used)
+    for ((rule, path), group) in groups {
+        let entry =
+            allowlist.entries.iter().enumerate().find(|(_, e)| e.rule == rule && e.matches(&path));
+        match entry {
+            None => report.violations.extend(group),
+            Some((idx, e)) => {
+                if group.len() > e.max {
+                    report.over_budget.push((rule, path.clone(), group.len(), e.max));
+                    report.violations.extend(group.into_iter().skip(e.max));
+                } else {
+                    consumed.push((idx, group.len()));
+                }
+            }
+        }
+    }
+
+    // Ratchet hints: per-entry totals below the allowance.
+    for (idx, entry) in allowlist.entries.iter().enumerate() {
+        let used: usize = consumed.iter().filter(|(i, _)| *i == idx).map(|(_, n)| n).sum();
+        let touched = consumed.iter().any(|(i, _)| *i == idx)
+            || report.over_budget.iter().any(|(r, p, _, _)| *r == entry.rule && entry.matches(p));
+        if !touched {
+            report.stale.push(format!(
+                "allowance `{} {} {}` matches no findings — delete it",
+                entry.rule, entry.path, entry.max
+            ));
+        } else if used < entry.max {
+            report.stale.push(format!(
+                "allowance `{} {} {}` only needs {used} — ratchet it down",
+                entry.rule, entry.path, entry.max
+            ));
+        }
+    }
+    report
+}
+
+/// Scans `root` and applies the allowlist at `allowlist_path` (if present).
+pub fn check_workspace(root: &Path, allowlist_path: &Path) -> Result<Report, String> {
+    let allowlist = Allowlist::load(allowlist_path)?;
+    let findings = scan_workspace(root).map_err(|e| format!("scan failed: {e}"))?;
+    Ok(apply_allowlist(findings, &allowlist))
+}
+
+// ---------------------------------------------------------------------------
+// Output formatting
+// ---------------------------------------------------------------------------
+
+/// Renders the report as human-readable text.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!("{v}\n    {}\n", v.snippet));
+    }
+    for (rule, path, found, allowed) in &report.over_budget {
+        out.push_str(&format!(
+            "{path}: [{rule}] {found} findings exceed the allowance of {allowed} — \
+             the ratchet only turns down\n"
+        ));
+    }
+    for s in &report.stale {
+        out.push_str(&format!("note: {s}\n"));
+    }
+    let status = if report.is_clean() { "clean" } else { "FAILED" };
+    out.push_str(&format!(
+        "simlint: {status} ({} findings, {} violations)\n",
+        report.findings.len(),
+        report.violations.len()
+    ));
+    out
+}
+
+/// Renders the report as machine-readable JSON (hand-rolled; std-only).
+pub fn render_json(report: &Report) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    fn finding_json(f: &Finding) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"snippet\":\"{}\",\"message\":\"{}\"}}",
+            f.rule,
+            esc(&f.path),
+            f.line,
+            esc(&f.snippet),
+            esc(&f.message)
+        )
+    }
+    let findings: Vec<String> = report.findings.iter().map(finding_json).collect();
+    let violations: Vec<String> = report.violations.iter().map(finding_json).collect();
+    let stale: Vec<String> = report.stale.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+    format!(
+        "{{\"clean\":{},\"findings\":[{}],\"violations\":[{}],\"stale\":[{}]}}",
+        report.is_clean(),
+        findings.join(","),
+        violations.join(","),
+        stale.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIM_PATH: &str = "crates/netstack/src/sim.rs";
+    const TOOL_PATH: &str = "crates/harness/src/runner.rs";
+
+    fn rules_at(path: &str, src: &str) -> Vec<Rule> {
+        scan_source(path, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn nondet_rule_fires_everywhere() {
+        for src in [
+            "let t = Instant::now();",
+            "let t = std::time::SystemTime::now();",
+            "let mut rng = rand::thread_rng();",
+            "let rng = SmallRng::from_entropy();",
+            "let x: f64 = rand::random();",
+            "let s = RandomState::new();",
+        ] {
+            assert!(rules_at(TOOL_PATH, src).contains(&Rule::Nondeterminism), "should flag: {src}");
+            assert!(
+                rules_at("tests/end_to_end.rs", src).contains(&Rule::Nondeterminism),
+                "test trees are also covered: {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn nondet_rule_ignores_comments_and_strings() {
+        assert!(rules_at(SIM_PATH, "// Instant::now is forbidden here").is_empty());
+        assert!(rules_at(SIM_PATH, "let msg = \"thread_rng is banned\";").is_empty());
+        assert!(rules_at(SIM_PATH, "/* SystemTime::now()\n spans lines */ let x = 1;").is_empty());
+    }
+
+    #[test]
+    fn hash_rule_scoped_to_sim_state_crates() {
+        let src = "use std::collections::HashMap;";
+        assert!(rules_at(SIM_PATH, src).contains(&Rule::HashCollections));
+        assert!(rules_at("crates/tcp/src/common.rs", src).contains(&Rule::HashCollections));
+        // Tool crates may hash (they don't feed the event loop).
+        assert!(!rules_at(TOOL_PATH, src).contains(&Rule::HashCollections));
+        assert!(!rules_at("crates/simlint/src/lib.rs", src).contains(&Rule::HashCollections));
+        // Token boundaries: a DetMap named like one is fine.
+        assert!(rules_at(SIM_PATH, "struct MyHashMapLike;").is_empty());
+    }
+
+    #[test]
+    fn hash_rule_skips_test_modules() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests { use std::collections::HashSet; }";
+        assert!(!rules_at(SIM_PATH, src).contains(&Rule::HashCollections));
+    }
+
+    #[test]
+    fn panic_rule_counts_unwrap_expect_and_literal_indexing() {
+        let rules = rules_at(
+            SIM_PATH,
+            "let a = x.unwrap();\nlet b = y.expect(\"msg\");\nlet c = xs[0];\nlet d = ys[i];",
+        );
+        assert_eq!(rules.iter().filter(|r| **r == Rule::PanicUnwrap).count(), 3);
+        // Out of scope for tool crates and test code.
+        assert!(!rules_at(TOOL_PATH, "x.unwrap();").contains(&Rule::PanicUnwrap));
+        let test_src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }";
+        assert!(!rules_at(SIM_PATH, test_src).contains(&Rule::PanicUnwrap));
+    }
+
+    #[test]
+    fn literal_indexing_is_not_array_type_syntax() {
+        assert!(rules_at(SIM_PATH, "let s: [u64; 4] = seed;").is_empty());
+        assert!(rules_at(SIM_PATH, "let z = [0u8; 16];").is_empty());
+        assert_eq!(rules_at(SIM_PATH, "let x = parts[1] + parts[2];").len(), 2);
+    }
+
+    #[test]
+    fn nan_rule_flags_partial_cmp_call_sites_only() {
+        assert!(rules_at(SIM_PATH, "v.sort_by(|a, b| a.partial_cmp(b).unwrap());")
+            .contains(&Rule::NanCompare));
+        // The *definition* of PartialOrd::partial_cmp is not a call site.
+        assert!(!rules_at(
+            SIM_PATH,
+            "fn partial_cmp(&self, other: &Self) -> Option<Ordering> { Some(self.cmp(other)) }"
+        )
+        .contains(&Rule::NanCompare));
+    }
+
+    #[test]
+    fn allowlist_budgets_ratchet() {
+        let findings = scan_source(SIM_PATH, "a.unwrap();\nb.unwrap();");
+        let allow =
+            Allowlist::parse("panic-unwrap crates/netstack/src/sim.rs 2 event-loop invariants")
+                .unwrap();
+        let report = apply_allowlist(findings.clone(), &allow);
+        assert!(report.is_clean(), "{:?}", report.violations);
+
+        let tight =
+            Allowlist::parse("panic-unwrap crates/netstack/src/sim.rs 1 ratcheted").unwrap();
+        let report = apply_allowlist(findings.clone(), &tight);
+        assert!(!report.is_clean());
+        assert_eq!(report.over_budget.len(), 1);
+
+        let loose = Allowlist::parse("panic-unwrap crates/netstack/src/sim.rs 5 stale").unwrap();
+        let report = apply_allowlist(findings, &loose);
+        assert!(report.is_clean());
+        assert!(!report.stale.is_empty(), "over-allowance should suggest ratcheting");
+    }
+
+    #[test]
+    fn allowlist_glob_prefix_matches() {
+        let entry = AllowEntry {
+            rule: Rule::PanicUnwrap,
+            path: "crates/tcp/src/*".into(),
+            max: 1,
+            note: "x".into(),
+        };
+        assert!(entry.matches("crates/tcp/src/common.rs"));
+        assert!(!entry.matches("crates/aodv/src/table.rs"));
+    }
+
+    #[test]
+    fn allowlist_requires_justification() {
+        assert!(Allowlist::parse("panic-unwrap crates/x.rs 3").is_err());
+        assert!(Allowlist::parse("panic-unwrap crates/x.rs 3 because reasons").is_ok());
+        assert!(Allowlist::parse("bogus-rule crates/x.rs 3 note").is_err());
+        assert!(Allowlist::parse("# just a comment\n\n").unwrap().entries.is_empty());
+    }
+
+    #[test]
+    fn unlisted_findings_are_violations() {
+        let findings = scan_source(SIM_PATH, "let mut rng = rand::thread_rng();");
+        let report = apply_allowlist(findings, &Allowlist::default());
+        assert_eq!(report.violations.len(), 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn json_output_is_wellformed_enough() {
+        let findings = scan_source(SIM_PATH, "let x = map.get(&k).unwrap(); // \"quote\"");
+        let report = apply_allowlist(findings, &Allowlist::default());
+        let json = render_json(&report);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"rule\":\"panic-unwrap\""));
+        assert!(json.contains("\"clean\":false"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_stripped() {
+        let src = "let s = r#\"thread_rng inside raw\"#; let c = '\"'; let l: &'static str = x;";
+        assert!(rules_at(SIM_PATH, src).is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! Command-line front-end for the workspace determinism & panic-safety
+//! analyzer. See the library docs (`simlint`) for the policy itself.
+//!
+//! ```text
+//! cargo run -p simlint -- [--root DIR] [--allowlist FILE] [--format text|json]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` policy violations, `2` usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::{check_workspace, render_json, render_text};
+
+struct Args {
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // Default the root to the workspace (the parent of this crate's
+    // manifest dir when run via `cargo run -p simlint`, else cwd).
+    let default_root = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .and_then(|p| p.parent().and_then(|p| p.parent()).map(PathBuf::from))
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut args = Args { root: default_root, allowlist: None, json: false };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root =
+                    PathBuf::from(argv.next().ok_or("--root requires a directory argument")?);
+            }
+            "--allowlist" => {
+                args.allowlist =
+                    Some(PathBuf::from(argv.next().ok_or("--allowlist requires a file argument")?));
+            }
+            "--format" => match argv.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                _ => return Err("--format requires `text` or `json`".into()),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "simlint — workspace determinism & panic-safety analyzer\n\n\
+                     USAGE: simlint [--root DIR] [--allowlist FILE] [--format text|json]\n\n\
+                     The allowlist defaults to <root>/simlint.allow. Exit codes:\n\
+                     0 = clean, 1 = policy violations, 2 = usage/IO error."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let allowlist = args.allowlist.unwrap_or_else(|| args.root.join("simlint.allow"));
+    match check_workspace(&args.root, &allowlist) {
+        Ok(report) => {
+            // Tolerate a closed pipe (`simlint --format json | head`): the
+            // verdict is the exit code, truncated output is the reader's
+            // choice, not an error.
+            use std::io::Write;
+            let rendered =
+                if args.json { render_json(&report) + "\n" } else { render_text(&report) };
+            let _ = std::io::stdout().write_all(rendered.as_bytes());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,9 +1,7 @@
 //! Sender bookkeeping shared by every TCP variant.
 
-use std::collections::HashMap;
-
 use sim_core::stats::TimeSeries;
-use sim_core::{SimDuration, SimTime};
+use sim_core::{DetMap, SimDuration, SimTime};
 
 use crate::{RttEstimator, TcpConfig, TcpOutput, TcpStats, TcpTimer};
 
@@ -29,7 +27,7 @@ pub struct SendState {
     consecutive_timeouts: u32,
     /// Send times of candidate RTT-sample segments (Karn: entries are
     /// removed when a segment is retransmitted).
-    send_times: HashMap<u64, SimTime>,
+    send_times: DetMap<u64, SimTime>,
     armed_timer: Option<TcpTimer>,
     next_timer_id: u64,
     cwnd_trace: TimeSeries,
@@ -49,7 +47,7 @@ impl SendState {
             cfg,
             high_water: 0,
             consecutive_timeouts: 0,
-            send_times: HashMap::new(),
+            send_times: DetMap::new(),
             armed_timer: None,
             next_timer_id: 0,
             cwnd_trace: TimeSeries::new(),

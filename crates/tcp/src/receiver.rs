@@ -151,11 +151,7 @@ impl TcpReceiver {
     /// # Panics
     ///
     /// Panics if called with a non-data segment or one for another flow.
-    pub fn on_data_segment_delack(
-        &mut self,
-        segment: &TcpSegment,
-        now: SimTime,
-    ) -> ReceiverOutput {
+    pub fn on_data_segment_delack(&mut self, segment: &TcpSegment, now: SimTime) -> ReceiverOutput {
         assert!(self.delack_enabled, "receiver not in delayed-ACK mode");
         let (ack, advanced_in_order) = self.absorb(segment, now);
         if !advanced_in_order {
@@ -381,15 +377,15 @@ mod tests {
     #[test]
     fn muzha_echo_mrai_and_mark() {
         let mut r = rx(false);
-        let (_, mrai, marked, _) = ack_of(
-            r.on_data_segment(&muzha_data(0, Drai::Stabilizing, false), SimTime::ZERO),
-        );
+        let (_, mrai, marked, _) =
+            ack_of(r.on_data_segment(&muzha_data(0, Drai::Stabilizing, false), SimTime::ZERO));
         assert_eq!(mrai, Some(Drai::Stabilizing));
         assert!(!marked);
         // A marked segment's dup ACK carries the mark (paper §4.7).
-        let (_, mrai, marked, _) = ack_of(
-            r.on_data_segment(&muzha_data(5, Drai::AggressiveDeceleration, true), SimTime::from_nanos(1)),
-        );
+        let (_, mrai, marked, _) = ack_of(r.on_data_segment(
+            &muzha_data(5, Drai::AggressiveDeceleration, true),
+            SimTime::from_nanos(1),
+        ));
         assert_eq!(mrai, Some(Drai::AggressiveDeceleration));
         assert!(marked);
     }

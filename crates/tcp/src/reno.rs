@@ -358,7 +358,7 @@ mod tests {
         let _ = tx.on_ack_segment(&ack(1), t(100)); // cwnd 2, sends 1,2
         let _ = tx.on_ack_segment(&ack(2), t(200)); // cwnd 3, sends 3,4
         let _ = tx.on_ack_segment(&ack(3), t(210)); // cwnd 4, sends 5,6
-        // Now 4 in flight (3,4,5,6 minus acks...). Send dup ACKs for 3.
+                                                    // Now 4 in flight (3,4,5,6 minus acks...). Send dup ACKs for 3.
         let _ = tx.on_ack_segment(&ack(3), t(300));
         let _ = tx.on_ack_segment(&ack(3), t(301));
         let out = tx.on_ack_segment(&ack(3), t(302));
@@ -465,7 +465,8 @@ mod tests {
 
     #[test]
     fn advertised_window_caps_flight() {
-        let cfg = TcpConfig { advertised_window: 4, initial_ssthresh: 100.0, ..TcpConfig::default() };
+        let cfg =
+            TcpConfig { advertised_window: 4, initial_ssthresh: 100.0, ..TcpConfig::default() };
         let mut tx = RenoSender::new_reno(FlowId::new(0), cfg);
         let _ = tx.open(t(0));
         let mut acked = 0;

@@ -123,10 +123,7 @@ mod tests {
     #[test]
     fn fold_takes_minimum() {
         assert_eq!(Drai::MAX.fold(Drai::Stabilizing), Drai::Stabilizing);
-        assert_eq!(
-            Drai::AggressiveDeceleration.fold(Drai::MAX),
-            Drai::AggressiveDeceleration
-        );
+        assert_eq!(Drai::AggressiveDeceleration.fold(Drai::MAX), Drai::AggressiveDeceleration);
         // Idempotent.
         assert_eq!(Drai::Stabilizing.fold(Drai::Stabilizing), Drai::Stabilizing);
     }

@@ -145,7 +145,7 @@ mod tests {
     fn uid_gen_unique_and_partitioned() {
         let mut a = UidGen::new(NodeId::new(2));
         let mut b = UidGen::new(NodeId::new(3));
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..100 {
             assert!(seen.insert(a.next()));
             assert!(seen.insert(b.next()));

@@ -109,7 +109,13 @@ impl TcpSegment {
     pub fn data(flow: FlowId, seq: u64, payload_bytes: u32, avbw: Option<Drai>) -> Self {
         TcpSegment {
             flow,
-            kind: TcpSegmentKind::Data { seq, payload_bytes, avbw, marked: false, retransmit: false },
+            kind: TcpSegmentKind::Data {
+                seq,
+                payload_bytes,
+                avbw,
+                marked: false,
+                retransmit: false,
+            },
         }
     }
 

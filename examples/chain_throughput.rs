@@ -50,8 +50,10 @@ fn main() {
         println!("Retransmissions vs hops — window_ = {w}  [Figs 5.11–5.13]");
         println!("{}", sweep.render(w, SweepMetric::Retransmissions));
     }
-    println!("Expected shapes: throughput falls with hops for every variant; \
+    println!(
+        "Expected shapes: throughput falls with hops for every variant; \
               Vegas has by far the fewest retransmissions; among the \
               window-based senders Muzha retransmits least and holds its \
-              advantage as the window grows.");
+              advantage as the window grows."
+    );
 }

@@ -20,9 +20,7 @@ use tcp_muzha::wire::NodeId;
 fn main() {
     const DURATION_S: f64 = 60.0;
     let seeds = [11u64, 23, 37];
-    println!(
-        "Mobile relay scenario: 4-hop chain, node 2 oscillates ±150 m, {DURATION_S} s\n"
-    );
+    println!("Mobile relay scenario: 4-hop chain, node 2 oscillates ±150 m, {DURATION_S} s\n");
     let mut rows = Vec::new();
     // (variant, elfn assistance, fixed-RTO heuristic)
     let cases = [
@@ -73,11 +71,7 @@ fn main() {
             (_, true) => format!("{} + fixed-RTO", variant.name()),
             _ => variant.name().to_string(),
         };
-        rows.push(vec![
-            label,
-            average(&kbps).pm(),
-            format!("{:.0}", average(&discoveries).mean),
-        ]);
+        rows.push(vec![label, average(&kbps).pm(), format!("{:.0}", average(&discoveries).mean)]);
     }
     println!("{}", render_table(&["variant", "goodput kbps", "route discoveries"], &rows));
     println!(

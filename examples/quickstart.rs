@@ -27,7 +27,10 @@ fn main() {
 
     let report = sim.flow_report(flow);
     println!("TCP Muzha over a 4-hop 802.11 chain, 10 s:");
-    println!("  delivered : {} segments ({} bytes)", report.delivered_segments, report.delivered_bytes);
+    println!(
+        "  delivered : {} segments ({} bytes)",
+        report.delivered_segments, report.delivered_bytes
+    );
     println!("  goodput   : {:.1} kbit/s", report.throughput_kbps(sim.now()));
     println!("  sent      : {} segments", report.sender.segments_sent);
     println!("  retransmit: {}", report.sender.retransmissions);
@@ -40,9 +43,6 @@ fn main() {
     println!();
     println!("per-node view (queue drops / MAC drops / route discoveries):");
     for (i, s) in sim.all_node_summaries().iter().enumerate() {
-        println!(
-            "  node {i}: {} / {} / {}",
-            s.queue_drops, s.mac_drops, s.discoveries
-        );
+        println!("  node {i}: {} / {} / {}", s.queue_drops, s.mac_drops, s.discoveries);
     }
 }

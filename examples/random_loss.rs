@@ -22,9 +22,7 @@ fn main() {
     let loss_rates = [0.0, 0.005, 0.01, 0.02, 0.05];
     let variants = [TcpVariant::NewReno, TcpVariant::Muzha];
 
-    println!(
-        "Random-loss resilience: {HOPS}-hop chain, {DURATION_S} s, seeds {seeds:?}\n"
-    );
+    println!("Random-loss resilience: {HOPS}-hop chain, {DURATION_S} s, seeds {seeds:?}\n");
     let mut rows = Vec::new();
     for &loss in &loss_rates {
         let mut row = vec![format!("{:.1}%", loss * 100.0)];
@@ -49,10 +47,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["frame loss", "NewReno kbps", "retx", "Muzha kbps", "retx"],
-            &rows
-        )
+        render_table(&["frame loss", "NewReno kbps", "retx", "Muzha kbps", "retx"], &rows)
     );
     println!(
         "Expected shape: both degrade with loss, but Muzha keeps a larger\n\

@@ -22,8 +22,7 @@ fn main() {
             SimDuration::from_secs(1),
             SimConfig::default(),
         );
-        let totals: Vec<u64> =
-            result.reports.iter().map(|r| r.delivered_segments).collect();
+        let totals: Vec<u64> = result.reports.iter().map(|r| r.delivered_segments).collect();
         println!(
             "{:>8}: per-flow delivered segments {:?}, fairness over last 10 s = {:.3}",
             variant.name(),

@@ -65,10 +65,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["variant", "clean kbps", "retx", "2% loss kbps", "retx", "retained"],
-            &rows
-        )
+        render_table(&["variant", "clean kbps", "retx", "2% loss kbps", "retx", "retained"], &rows)
     );
     println!(
         "Reading guide: Veno and Westwood attack random loss end-to-end\n\

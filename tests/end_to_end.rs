@@ -135,8 +135,7 @@ fn non_adjacent_nodes_cannot_communicate_without_relays() {
     // Two nodes 500 m apart with nothing in between: no route can form.
     let positions = vec![Position::new(0.0, 0.0), Position::new(500.0, 0.0)];
     let mut sim = Simulator::new(positions, SimConfig::default());
-    let flow =
-        sim.add_flow(FlowSpec::new(NodeId::new(0), NodeId::new(1), TcpVariant::NewReno));
+    let flow = sim.add_flow(FlowSpec::new(NodeId::new(0), NodeId::new(1), TcpVariant::NewReno));
     sim.run_until(secs(10.0));
     assert_eq!(sim.flow_report(flow).delivered_segments, 0);
 }

@@ -1,6 +1,8 @@
 //! Randomised end-to-end robustness: arbitrary connected topologies, flow
 //! mixes, loss rates and mobility must never panic the simulator or violate
-//! its structural invariants.
+//! its structural invariants — and every scenario must replay bit-for-bit:
+//! each case is run twice and the event-trace digests compared (the
+//! twin-run check, see `sim_core::twin_run` and `tests/determinism.rs`).
 
 use proptest::prelude::*;
 use tcp_muzha::net::{topology, FlowSpec, SimConfig, Simulator, TcpVariant};
@@ -14,7 +16,7 @@ fn variant_from(idx: u8) -> TcpVariant {
 
 proptest! {
     #![proptest_config(ProptestConfig {
-        cases: 12, // each case simulates ~2 virtual seconds
+        cases: 12, // each case simulates ~2 virtual seconds (twice)
         ..ProptestConfig::default()
     })]
 
@@ -30,36 +32,59 @@ proptest! {
         flow_picks in proptest::collection::vec((0u8..8, any::<bool>()), 1..4),
         wander in any::<bool>(),
     ) {
-        let positions = topology::random_connected(
-            node_count,
-            700.0,
-            700.0,
-            250.0,
-            topo_seed,
-        );
-        let radio = RadioParams {
-            per_frame_loss: loss_milli as f64 / 1000.0,
-            ..RadioParams::default()
+        let run_once = || {
+            let positions = topology::random_connected(
+                node_count,
+                700.0,
+                700.0,
+                250.0,
+                topo_seed,
+            );
+            let radio = RadioParams {
+                per_frame_loss: loss_milli as f64 / 1000.0,
+                ..RadioParams::default()
+            };
+            let cfg = SimConfig { seed: sim_seed, ..SimConfig::default() }.with_radio(radio);
+            let mut sim = Simulator::new(positions, cfg);
+            let mut flows = Vec::new();
+            for (i, (vidx, elfn)) in flow_picks.iter().enumerate() {
+                let src = NodeId::new((i % node_count) as u16);
+                let dst = NodeId::new(((i + 1 + node_count / 2) % node_count) as u16);
+                if src == dst {
+                    continue;
+                }
+                let mut spec = FlowSpec::new(src, dst, variant_from(*vidx));
+                if *elfn {
+                    spec = spec.with_elfn();
+                }
+                flows.push(sim.add_flow(spec));
+            }
+            if wander {
+                sim.move_node(NodeId::new(0), Position::new(350.0, 350.0), 40.0);
+            }
+            sim.run_until(SimTime::from_secs_f64(2.0));
+            (sim, flows)
         };
-        let cfg = SimConfig { seed: sim_seed, ..SimConfig::default() }.with_radio(radio);
-        let mut sim = Simulator::new(positions, cfg);
-        let mut flows = Vec::new();
-        for (i, (vidx, elfn)) in flow_picks.iter().enumerate() {
-            let src = NodeId::new((i % node_count) as u16);
-            let dst = NodeId::new(((i + 1 + node_count / 2) % node_count) as u16);
-            if src == dst {
-                continue;
-            }
-            let mut spec = FlowSpec::new(src, dst, variant_from(*vidx));
-            if *elfn {
-                spec = spec.with_elfn();
-            }
-            flows.push(sim.add_flow(spec));
+
+        // Twin run: the same scenario executed twice must produce the same
+        // event trace and the same per-flow counters. Any hash-ordered
+        // iteration or unseeded randomness fails the case here even when
+        // the structural invariants below still hold.
+        let (sim, flows) = run_once();
+        let (twin, twin_flows) = run_once();
+        prop_assert_eq!(
+            sim.trace_hash(),
+            twin.trace_hash(),
+            "twin runs diverged: same scenario produced different event traces"
+        );
+        prop_assert_eq!(&flows, &twin_flows);
+        for (&flow, &twin_flow) in flows.iter().zip(twin_flows.iter()) {
+            let (a, b) = (sim.flow_report(flow), twin.flow_report(twin_flow));
+            prop_assert_eq!(a.delivered_segments, b.delivered_segments);
+            prop_assert_eq!(a.sender.segments_sent, b.sender.segments_sent);
+            prop_assert_eq!(a.sender.retransmissions, b.sender.retransmissions);
         }
-        if wander {
-            sim.move_node(NodeId::new(0), Position::new(350.0, 350.0), 40.0);
-        }
-        sim.run_until(SimTime::from_secs_f64(2.0));
+
         for &flow in &flows {
             let r = sim.flow_report(flow);
             prop_assert!(

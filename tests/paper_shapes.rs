@@ -11,29 +11,17 @@ use tcp_muzha::net::{SimConfig, TcpVariant};
 use tcp_muzha::sim::{SimDuration, SimTime};
 
 fn cfg(seeds: Vec<u64>, secs: u64) -> ExperimentConfig {
-    ExperimentConfig {
-        seeds,
-        duration: SimDuration::from_secs(secs),
-        base: SimConfig::default(),
-    }
+    ExperimentConfig { seeds, duration: SimDuration::from_secs(secs), base: SimConfig::default() }
 }
 
 /// Figs. 5.8–5.10: goodput falls as the chain grows, for every variant.
 #[test]
 fn throughput_decreases_with_hops() {
-    let sweep = throughput_vs_hops(
-        &[4, 16],
-        &[8],
-        &TcpVariant::PAPER,
-        &cfg(vec![11, 23], 20),
-    );
+    let sweep = throughput_vs_hops(&[4, 16], &[8], &TcpVariant::PAPER, &cfg(vec![11, 23], 20));
     for variant in TcpVariant::PAPER {
         let short = sweep.point(4, 8, variant).unwrap().throughput_kbps.mean;
         let long = sweep.point(16, 8, variant).unwrap().throughput_kbps.mean;
-        assert!(
-            short > long,
-            "{variant}: 4-hop ({short:.0}) must beat 16-hop ({long:.0})"
-        );
+        assert!(short > long, "{variant}: 4-hop ({short:.0}) must beat 16-hop ({long:.0})");
     }
 }
 
@@ -41,12 +29,7 @@ fn throughput_decreases_with_hops() {
 /// far less than NewReno and SACK (the overshooting senders).
 #[test]
 fn retransmission_ordering_at_large_window() {
-    let sweep = throughput_vs_hops(
-        &[4],
-        &[32],
-        &TcpVariant::PAPER,
-        &cfg(vec![11, 23, 37], 20),
-    );
+    let sweep = throughput_vs_hops(&[4], &[32], &TcpVariant::PAPER, &cfg(vec![11, 23, 37], 20));
     let retx = |v| sweep.point(4, 32, v).unwrap().retransmissions.mean;
     let (newreno, sack, vegas, muzha) = (
         retx(TcpVariant::NewReno),
@@ -64,19 +47,24 @@ fn retransmission_ordering_at_large_window() {
 /// Fig. 5.10: at a large advertised window Muzha's feedback-held window
 /// beats NewReno's overshooting one — and the margin is statistically
 /// significant across seeds, not seed noise.
+///
+/// Calibration: the paper measures 100-second NS2 runs; 20-second runs put
+/// the ~12 kbps seed noise on the order of the Muzha–NewReno gap, so the
+/// Welch test cannot resolve it at 5 seeds. 30 seconds × 8 seeds yields
+/// t ≈ 4.5 for the same underlying means (≈205 vs ≈180 kbps) while staying
+/// fast enough for tier-1.
 #[test]
 fn muzha_beats_newreno_at_large_window() {
     use tcp_muzha::net::{topology, FlowSpec, Simulator};
     let measure = |variant: TcpVariant| -> Vec<f64> {
-        [11u64, 23, 37, 53, 71]
+        [11u64, 23, 37, 53, 71, 89, 101, 131]
             .iter()
             .map(|&seed| {
                 let cfg = SimConfig { seed, ..SimConfig::default() };
                 let mut sim = Simulator::new(topology::chain(8), cfg);
                 let (src, dst) = topology::chain_flow(8);
-                let flow =
-                    sim.add_flow(FlowSpec::new(src, dst, variant).with_window(32));
-                sim.run_until(SimTime::from_secs_f64(20.0));
+                let flow = sim.add_flow(FlowSpec::new(src, dst, variant).with_window(32));
+                sim.run_until(SimTime::from_secs_f64(30.0));
                 sim.flow_report(flow).throughput_kbps(sim.now())
             })
             .collect()
@@ -120,28 +108,29 @@ fn muzha_window_is_steadier_than_newreno() {
 
 /// Fig. 5.18: the NewReno/Muzha pair shares the cross more fairly than the
 /// NewReno/Vegas pair (averaged over hop counts and seeds).
+///
+/// Calibration: fairness is a convergence property — Muzha's DRAI feedback
+/// loop needs tens of seconds to equalise the cross flows, while Vegas's
+/// early RTT-based advantage fades over the run (the paper's Fig. 5.18 is
+/// taken from 100-second NS2 runs). At 30 s × 3 seeds the ordering is still
+/// inverted (0.674 vs 0.728); by 60 s it is stable and widens further at
+/// 90 s (0.829 vs 0.693 over 10 seeds), so 60 s × 6 seeds is the cheapest
+/// horizon that reproduces the paper's ordering robustly.
 #[test]
 fn muzha_pair_is_fairer_than_vegas_pair() {
     let pairs = [
         CoexistKind { horizontal: TcpVariant::NewReno, vertical: TcpVariant::Vegas },
         CoexistKind { horizontal: TcpVariant::NewReno, vertical: TcpVariant::Muzha },
     ];
-    let result = coexistence(&[4, 6], &pairs, &cfg(vec![11, 23, 37], 30));
+    let result = coexistence(&[4, 6], &pairs, &cfg(vec![11, 23, 37, 53, 71, 89], 60));
     let mean_fairness = |v: TcpVariant| {
-        let xs: Vec<f64> = result
-            .runs
-            .iter()
-            .filter(|r| r.kind.vertical == v)
-            .map(|r| r.fairness.mean)
-            .collect();
+        let xs: Vec<f64> =
+            result.runs.iter().filter(|r| r.kind.vertical == v).map(|r| r.fairness.mean).collect();
         xs.iter().sum::<f64>() / xs.len() as f64
     };
     let vegas = mean_fairness(TcpVariant::Vegas);
     let muzha = mean_fairness(TcpVariant::Muzha);
-    assert!(
-        muzha > vegas,
-        "Muzha pair ({muzha:.3}) must be fairer than Vegas pair ({vegas:.3})"
-    );
+    assert!(muzha > vegas, "Muzha pair ({muzha:.3}) must be fairer than Vegas pair ({vegas:.3})");
 }
 
 /// Figs. 5.19–5.22: three staggered Muzha flows converge to a fair share.

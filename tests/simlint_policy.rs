@@ -1,0 +1,39 @@
+//! Tier-1 gate: the workspace must satisfy the determinism & panic-safety
+//! policy enforced by `crates/simlint`, judged against the checked-in
+//! `simlint.allow` ratchet.
+//!
+//! This is the same check `cargo run -p simlint` performs; wiring it into
+//! the test suite means a `HashMap` re-introduced into a simulation-state
+//! crate, a `thread_rng()` call anywhere, or an unbudgeted `unwrap()` in
+//! protocol code turns the build red — not just a CI lint lane.
+
+use std::path::Path;
+
+#[test]
+fn workspace_satisfies_determinism_policy() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = simlint::check_workspace(root, &root.join("simlint.allow"))
+        .expect("simlint scan must be able to read the workspace");
+    assert!(
+        report.is_clean(),
+        "simlint policy violations (fix the code or argue a budget in \
+         simlint.allow):\n{}",
+        simlint::render_text(&report)
+    );
+}
+
+#[test]
+fn allowlist_is_not_stale() {
+    // The ratchet only moves down: when a file drops below its budget the
+    // allowlist must be tightened in the same change, so budgets always
+    // reflect reality.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = simlint::check_workspace(root, &root.join("simlint.allow"))
+        .expect("simlint scan must be able to read the workspace");
+    assert!(
+        report.stale.is_empty(),
+        "simlint.allow budgets are looser than the code needs — ratchet \
+         them down:\n{}",
+        report.stale.iter().map(|s| format!("  {s}\n")).collect::<String>()
+    );
+}
