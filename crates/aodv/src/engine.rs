@@ -139,6 +139,35 @@ impl Aodv {
         self.table.lookup(dst, now).is_some()
     }
 
+    /// Expiry time of the currently valid route to `dst`, if one exists.
+    /// Consumed by the runtime invariant checker to prove every forward
+    /// rides a fresh route.
+    pub fn route_valid_until(&self, dst: NodeId, now: SimTime) -> Option<SimTime> {
+        self.table.lookup(dst, now).map(|r| r.expires)
+    }
+
+    /// Fault hook: wipes all routing state after a node crash — routes,
+    /// pending discoveries (their timers become stale ids, which
+    /// [`Aodv::on_timer`] ignores), duplicate-RREQ memory and neighbour
+    /// liveness — and returns the data packets that sat buffered awaiting
+    /// discovery, so the caller can account for them instead of losing them
+    /// silently. Identity state (sequence number, broadcast id, the packet
+    /// uid generator) survives: a revived node must never reuse packet
+    /// identifiers, or neighbours' duplicate filters would eat its fresh
+    /// traffic.
+    pub fn reset_routes(&mut self) -> Vec<Packet> {
+        let mut flushed = Vec::new();
+        for (_, pending) in self.pending.iter_mut() {
+            flushed.extend(pending.buffered.drain(..));
+        }
+        self.pending.clear();
+        self.table = RouteTable::new();
+        self.seen.clear();
+        self.last_heard.clear();
+        self.hello_timer = None;
+        flushed
+    }
+
     /// Routes a locally-originated packet: forward if a route exists,
     /// otherwise buffer it and start (or join) a route discovery.
     pub fn route_packet(&mut self, packet: Packet, now: SimTime) -> Vec<AodvOutput> {
@@ -595,6 +624,7 @@ impl Aodv {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sim_core::SimDuration;
     use wire::{FlowId, TcpSegment};
 
     fn n(i: u16) -> NodeId {
@@ -638,6 +668,35 @@ mod tests {
             }
             _ => None,
         })
+    }
+
+    #[test]
+    fn reset_routes_flushes_buffers_and_keeps_identity() {
+        let mut a = mk(0);
+        // Buffer two data packets behind a discovery.
+        let _ = a.route_packet(data(1, 0, 2), t0());
+        let _ = a.route_packet(data(2, 0, 2), t0());
+        let pre_seq = a.seq;
+        let pre_uid = a.uid.clone();
+        let flushed = a.reset_routes();
+        assert_eq!(flushed.iter().map(|p| p.uid).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(a.table().is_empty());
+        assert_eq!(a.seq, pre_seq, "sequence number must survive a crash reset");
+        assert_eq!(a.uid.clone().next(), pre_uid.clone().next(), "uid stream must not restart");
+        // A fresh discovery starts cleanly afterwards.
+        let out = a.route_packet(data(3, 0, 2), t0());
+        assert!(find_rreq(&out).is_some());
+    }
+
+    #[test]
+    fn route_valid_until_reports_the_entry_expiry() {
+        let mut a = mk(0);
+        let expires = t0() + SimDuration::from_millis(3000);
+        a.table.update(n(2), n(1), 2, 5, expires);
+        assert_eq!(a.route_valid_until(n(2), t0()), Some(expires));
+        // Expired entries are not reported.
+        assert_eq!(a.route_valid_until(n(2), expires), None);
+        assert_eq!(a.route_valid_until(n(9), t0()), None);
     }
 
     #[test]

@@ -1,0 +1,393 @@
+//! Timed fault scenarios: the script format and its parser.
+//!
+//! A scenario is a list of `(time, fault)` pairs plus optional run metadata.
+//! The text format is line-based; `#` starts a comment:
+//!
+//! ```text
+//! # Mid-transfer link break on a chain.
+//! name chain-break
+//! seed 7
+//! duration 30
+//! at 5.0  link-down 1 2
+//! at 12.0 link-up 1 2
+//! at 15.0 ge 0.02 0.2 0.0 0.8
+//! at 20.0 ge-off
+//! ```
+//!
+//! Every event keyword maps 1:1 onto a [`FaultEvent`] variant; see
+//! [`ScenarioScript::parse`] for the full grammar.
+
+use phy::GilbertElliott;
+use sim_core::{SimDuration, SimTime};
+use wire::NodeId;
+
+/// One scripted fault.
+///
+/// Faults are applied by the simulator at their scheduled virtual time, on
+/// the ordinary event queue, so they cannot perturb determinism.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Force the bidirectional `a`—`b` link down, independent of geometry.
+    LinkDown {
+        /// One endpoint of the link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Release a previously scripted link block.
+    LinkUp {
+        /// One endpoint of the link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Crash a node: radio off, interface queue and MAC state flushed,
+    /// routing tables cleared. Packets in custody are accounted as fault
+    /// drops, not silently lost.
+    Kill {
+        /// The node to crash.
+        node: NodeId,
+    },
+    /// Power a killed node back up (fresh routes, same identity — packet
+    /// uid streams continue so deduplication keeps working).
+    Revive {
+        /// The node to revive.
+        node: NodeId,
+    },
+    /// Freeze a node: it stops processing timers and queued work but keeps
+    /// all state; the radio stays off while paused.
+    Pause {
+        /// The node to freeze.
+        node: NodeId,
+    },
+    /// Unfreeze a paused node, replaying the work deferred while frozen.
+    Resume {
+        /// The node to unfreeze.
+        node: NodeId,
+    },
+    /// Begin a Gilbert–Elliott bursty-loss episode on the whole channel
+    /// (replaces the flat Bernoulli `per_frame_loss` while active).
+    GeStart(GilbertElliott),
+    /// End the bursty-loss episode, returning to the configured flat loss.
+    GeStop,
+    /// Queue blackhole: the node's interface queue silently discards every
+    /// enqueue attempt (a classic misbehaving-router fault).
+    Blackhole {
+        /// The misbehaving node.
+        node: NodeId,
+    },
+    /// End a blackhole window.
+    BlackholeOff {
+        /// The node to restore.
+        node: NodeId,
+    },
+    /// Clamp the node's interface queue to `capacity` packets (saturation
+    /// window: a much smaller buffer than configured).
+    Saturate {
+        /// The node whose queue shrinks.
+        node: NodeId,
+        /// Temporary queue capacity in packets (0 behaves as blackhole).
+        capacity: usize,
+    },
+    /// End a saturation window, restoring the configured capacity.
+    SaturateOff {
+        /// The node to restore.
+        node: NodeId,
+    },
+    /// Partition the network: every link between a `left` node and a
+    /// `right` node is forced down.
+    Partition {
+        /// Nodes on one side of the cut.
+        left: Vec<NodeId>,
+        /// Nodes on the other side.
+        right: Vec<NodeId>,
+    },
+    /// Heal: release *all* currently scripted link blocks (from
+    /// `link-down` and `partition` alike).
+    Heal,
+}
+
+/// A fault scheduled at a virtual time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedFault {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub fault: FaultEvent,
+}
+
+/// A parsed, ordered fault scenario.
+///
+/// Events keep script order; the simulator schedules them on its event
+/// queue, whose FIFO-on-tie ordering preserves script order for same-time
+/// faults.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ScenarioScript {
+    /// Scenario name (from a `name` header line, or empty).
+    pub name: String,
+    /// Suggested RNG seed (`seed` header line).
+    pub seed: Option<u64>,
+    /// Suggested run duration (`duration` header line, seconds).
+    pub duration: Option<SimDuration>,
+    /// The timed faults, in script order.
+    pub events: Vec<TimedFault>,
+}
+
+impl ScenarioScript {
+    /// An empty named scenario, for programmatic construction.
+    pub fn new(name: &str) -> Self {
+        ScenarioScript { name: name.to_string(), ..ScenarioScript::default() }
+    }
+
+    /// Appends a fault at `seconds` of virtual time.
+    #[must_use]
+    pub fn at(mut self, seconds: f64, fault: FaultEvent) -> Self {
+        self.events.push(TimedFault { at: SimTime::from_secs_f64(seconds), fault });
+        self
+    }
+
+    /// Parses the text scenario format.
+    ///
+    /// Grammar (one directive per line, `#` to end of line is a comment):
+    ///
+    /// ```text
+    /// name <word>
+    /// seed <u64>
+    /// duration <seconds>
+    /// at <seconds> link-down <a> <b>
+    /// at <seconds> link-up <a> <b>
+    /// at <seconds> kill <node>
+    /// at <seconds> revive <node>
+    /// at <seconds> pause <node>
+    /// at <seconds> resume <node>
+    /// at <seconds> ge <p_gb> <p_bg> <loss_good> <loss_bad>
+    /// at <seconds> ge-off
+    /// at <seconds> blackhole <node>
+    /// at <seconds> blackhole-off <node>
+    /// at <seconds> saturate <node> <capacity>
+    /// at <seconds> saturate-off <node>
+    /// at <seconds> partition <node>... | <node>...
+    /// at <seconds> heal
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first offending line.
+    pub fn parse(text: &str) -> Result<ScenarioScript, String> {
+        let mut script = ScenarioScript::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            };
+            let mut toks = line.split_whitespace();
+            let Some(head) = toks.next() else { continue };
+            let fail = |msg: String| format!("scenario line {lineno}: {msg}");
+            match head {
+                "name" => {
+                    script.name = toks.next().ok_or_else(|| fail("missing name".into()))?.into();
+                }
+                "seed" => {
+                    script.seed = Some(parse_num::<u64>(&mut toks, "seed").map_err(fail)?);
+                }
+                "duration" => {
+                    let secs = parse_num::<f64>(&mut toks, "duration").map_err(fail)?;
+                    if !(secs > 0.0 && secs.is_finite()) {
+                        return Err(fail(format!("duration must be positive, got {secs}")));
+                    }
+                    script.duration = Some(SimDuration::from_secs_f64(secs));
+                }
+                "at" => {
+                    let secs = parse_num::<f64>(&mut toks, "time").map_err(fail)?;
+                    if !(secs >= 0.0 && secs.is_finite()) {
+                        return Err(fail(format!("event time must be >= 0, got {secs}")));
+                    }
+                    let fault = parse_fault(&mut toks).map_err(fail)?;
+                    script.events.push(TimedFault { at: SimTime::from_secs_f64(secs), fault });
+                }
+                other => return Err(fail(format!("unknown directive `{other}`"))),
+            }
+            if let Some(extra) = toks.next() {
+                return Err(format!("scenario line {lineno}: trailing token `{extra}`"));
+            }
+        }
+        Ok(script)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(
+    toks: &mut std::str::SplitWhitespace<'_>,
+    what: &str,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let tok = toks.next().ok_or_else(|| format!("missing {what}"))?;
+    tok.parse::<T>().map_err(|e| format!("bad {what} `{tok}`: {e}"))
+}
+
+fn parse_node(toks: &mut std::str::SplitWhitespace<'_>) -> Result<NodeId, String> {
+    let raw = parse_num::<u16>(toks, "node id")?;
+    if raw == u16::MAX {
+        return Err(format!("node id {raw} is reserved for broadcast"));
+    }
+    Ok(NodeId::new(raw))
+}
+
+fn parse_fault(toks: &mut std::str::SplitWhitespace<'_>) -> Result<FaultEvent, String> {
+    let Some(kind) = toks.next() else {
+        return Err("missing fault keyword after time".into());
+    };
+    let fault = match kind {
+        "link-down" => FaultEvent::LinkDown { a: parse_node(toks)?, b: parse_node(toks)? },
+        "link-up" => FaultEvent::LinkUp { a: parse_node(toks)?, b: parse_node(toks)? },
+        "kill" => FaultEvent::Kill { node: parse_node(toks)? },
+        "revive" => FaultEvent::Revive { node: parse_node(toks)? },
+        "pause" => FaultEvent::Pause { node: parse_node(toks)? },
+        "resume" => FaultEvent::Resume { node: parse_node(toks)? },
+        "ge" => {
+            let p_gb = parse_num::<f64>(toks, "p_gb")?;
+            let p_bg = parse_num::<f64>(toks, "p_bg")?;
+            let loss_good = parse_num::<f64>(toks, "loss_good")?;
+            let loss_bad = parse_num::<f64>(toks, "loss_bad")?;
+            FaultEvent::GeStart(GilbertElliott::new(p_gb, p_bg, loss_good, loss_bad)?)
+        }
+        "ge-off" => FaultEvent::GeStop,
+        "blackhole" => FaultEvent::Blackhole { node: parse_node(toks)? },
+        "blackhole-off" => FaultEvent::BlackholeOff { node: parse_node(toks)? },
+        "saturate" => FaultEvent::Saturate {
+            node: parse_node(toks)?,
+            capacity: parse_num::<usize>(toks, "capacity")?,
+        },
+        "saturate-off" => FaultEvent::SaturateOff { node: parse_node(toks)? },
+        "partition" => {
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            let mut after_bar = false;
+            for tok in toks.by_ref() {
+                if tok == "|" {
+                    if after_bar {
+                        return Err("partition has more than one `|`".into());
+                    }
+                    after_bar = true;
+                    continue;
+                }
+                let raw: u16 = tok.parse().map_err(|e| format!("bad node id `{tok}`: {e}"))?;
+                if raw == u16::MAX {
+                    return Err(format!("node id {raw} is reserved for broadcast"));
+                }
+                let side = if after_bar { &mut right } else { &mut left };
+                side.push(NodeId::new(raw));
+            }
+            if !after_bar || left.is_empty() || right.is_empty() {
+                return Err("partition needs nodes on both sides of `|`".into());
+            }
+            FaultEvent::Partition { left, right }
+        }
+        "heal" => FaultEvent::Heal,
+        other => return Err(format!("unknown fault `{other}`")),
+    };
+    Ok(fault)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let text = "\
+# comment
+name storm
+seed 99
+duration 25
+at 1.0 link-down 0 1
+at 2.0 link-up 0 1   # inline comment
+at 3.0 kill 2
+at 4.0 revive 2
+at 5.0 pause 3
+at 6.0 resume 3
+at 7.0 ge 0.02 0.2 0.0 0.8
+at 8.0 ge-off
+at 9.0 blackhole 1
+at 10.0 blackhole-off 1
+at 11.0 saturate 1 4
+at 12.0 saturate-off 1
+at 13.0 partition 0 1 | 2 3
+at 14.0 heal
+";
+        let s = ScenarioScript::parse(text).unwrap();
+        assert_eq!(s.name, "storm");
+        assert_eq!(s.seed, Some(99));
+        assert_eq!(s.duration, Some(SimDuration::from_secs_f64(25.0)));
+        assert_eq!(s.events.len(), 14);
+        assert_eq!(
+            s.events[0],
+            TimedFault {
+                at: SimTime::from_secs_f64(1.0),
+                fault: FaultEvent::LinkDown { a: NodeId::new(0), b: NodeId::new(1) },
+            }
+        );
+        assert!(matches!(s.events[6].fault, FaultEvent::GeStart(_)));
+        assert_eq!(
+            s.events[12].fault,
+            FaultEvent::Partition {
+                left: vec![NodeId::new(0), NodeId::new(1)],
+                right: vec![NodeId::new(2), NodeId::new(3)],
+            }
+        );
+        assert_eq!(s.events[13].fault, FaultEvent::Heal);
+    }
+
+    #[test]
+    fn script_order_is_preserved_for_ties() {
+        let s = ScenarioScript::parse("at 5 link-down 0 1\nat 5 link-down 1 2\n").unwrap();
+        assert_eq!(
+            s.events[0].fault,
+            FaultEvent::LinkDown { a: NodeId::new(0), b: NodeId::new(1) }
+        );
+        assert_eq!(
+            s.events[1].fault,
+            FaultEvent::LinkDown { a: NodeId::new(1), b: NodeId::new(2) }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "at",
+            "at x kill 1",
+            "at 1.0 frobnicate 2",
+            "at 1.0 kill",
+            "at 1.0 kill 65535",
+            "at 1.0 ge 2.0 0.5 0 1",
+            "at 1.0 ge 0.1 0.0 0 1", // absorbing bad state
+            "at 1.0 partition 0 1",
+            "at 1.0 partition | 1",
+            "at 1.0 partition 0 | 1 | 2",
+            "at -1 kill 1",
+            "duration 0",
+            "bogus 3",
+            "at 1.0 kill 1 extra",
+        ] {
+            let got = ScenarioScript::parse(bad);
+            assert!(got.is_err(), "should reject {bad:?}, got {got:?}");
+        }
+    }
+
+    #[test]
+    fn builder_matches_parser() {
+        let built = ScenarioScript::new("x")
+            .at(5.0, FaultEvent::Kill { node: NodeId::new(2) })
+            .at(9.0, FaultEvent::Revive { node: NodeId::new(2) });
+        let parsed = ScenarioScript::parse("name x\nat 5 kill 2\nat 9 revive 2\n").unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn empty_script_is_valid() {
+        let s = ScenarioScript::parse("# nothing\n\n").unwrap();
+        assert!(s.events.is_empty());
+        assert!(s.seed.is_none());
+    }
+}

@@ -238,6 +238,48 @@ impl Mac {
         self.addr
     }
 
+    /// The current contention window (invariant checking / diagnostics).
+    pub fn current_cw(&self) -> u32 {
+        self.cw
+    }
+
+    /// How far the NAV reservation reaches beyond `now` (zero when the
+    /// virtual carrier sense is clear).
+    pub fn nav_ahead(&self, now: SimTime) -> SimDuration {
+        if self.nav_until > now {
+            self.nav_until - now
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Fault hook: hard-resets the transmit path, as when the station loses
+    /// power mid-exchange. Any packet in custody is returned to the caller
+    /// for accounting. Counters and the receive-side duplicate filter
+    /// survive, so a revived station keeps rejecting retransmissions it
+    /// already delivered; pending timers become stale ids, which
+    /// [`Mac::on_timer`] already ignores.
+    pub fn abort(&mut self) -> Option<Packet> {
+        let packet = self.current.take().map(|c| c.packet);
+        self.phase = Phase::NoPacket;
+        self.countdown = None;
+        self.carried_slots = None;
+        self.cw = self.params.cw_min;
+        self.needs_backoff = false;
+        self.use_eifs = false;
+        self.nav_until = SimTime::ZERO;
+        self.response = None;
+        self.transmitting = None;
+        self.attempt_timer = None;
+        self.response_timer = None;
+        self.wait_timer = None;
+        self.nav_timer = None;
+        self.nav_reset_timer = None;
+        self.nav_reset_armed_at = SimTime::ZERO;
+        self.last_busy = None;
+        packet
+    }
+
     /// Hands the MAC its next packet to transmit toward `next_hop`
     /// (`NodeId::BROADCAST` next hop for flooded packets).
     ///
@@ -766,6 +808,31 @@ mod tests {
                 _ => None,
             })
             .expect("no Transmit in outputs")
+    }
+
+    #[test]
+    fn abort_returns_custody_and_resets_the_transmit_path() {
+        let mut mac = mk_mac(0);
+        let out = mac.start_packet(data_packet(42, 0, 1), n(1), t(0), MediumView::idle());
+        let (id, at) = timer_of(&out);
+        assert!(!mac.is_idle());
+        let returned = mac.abort();
+        assert_eq!(returned.map(|p| p.uid), Some(42));
+        assert!(mac.is_idle());
+        assert_eq!(mac.current_cw(), MacParams::default().cw_min);
+        assert_eq!(mac.nav_ahead(at), SimDuration::ZERO);
+        // The pre-abort timer id is stale and must be ignored.
+        assert!(mac.on_timer(id, at, MediumView::idle()).is_empty());
+        // The MAC accepts fresh work afterwards.
+        let out = mac.start_packet(data_packet(43, 0, 1), n(1), at, MediumView::idle());
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn abort_without_custody_returns_none() {
+        let mut mac = mk_mac(0);
+        assert_eq!(mac.abort().map(|p| p.uid), None);
+        assert!(mac.is_idle());
     }
 
     #[test]

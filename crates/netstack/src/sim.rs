@@ -1,18 +1,22 @@
 //! The discrete-event simulator: per-node stack assembly and the driver
 //! loop executing layer state-machine outputs.
 
-use sim_core::{DetMap, TraceHash};
+use sim_core::{DetMap, DetSet, TraceHash};
 
 use aodv::{Aodv, AodvOutput, AodvTimer};
+use faultline::{CheckEvent, FaultEvent, InvariantChecker, ScenarioScript, TimedFault};
 use mac80211::{Mac, MacOutput, MediumView};
 use muzha::{MuzhaSender, RouterAgent};
-use phy::{Channel, PhyState, Position, RxOutcome, TxId};
+use phy::{Channel, GeState, GilbertElliott, PhyState, Position, RxOutcome, TxId};
 use sim_core::{EventQueue, SimRng, SimTime};
 use tcp::{
     DoorSender, RenoSender, SackSender, TcpOutput, TcpReceiver, TcpTimer, Transport, VegasSender,
     VenoSender, WestwoodSender,
 };
-use wire::{FlowId, FrameKind, MacFrame, NodeId, Packet, Payload, TcpSegment, UidGen};
+use wire::{
+    AodvMessage, FlowId, FrameKind, MacFrame, NodeId, Packet, Payload, TcpSegment, TcpSegmentKind,
+    UidGen,
+};
 
 use crate::config::QueueDiscipline;
 use crate::{
@@ -45,6 +49,8 @@ enum Event {
     DelAckTimer { node: NodeId, flow: FlowId, id: tcp::DelAckTimer },
     /// Periodic DRAI sampling tick.
     Sample,
+    /// A scripted fault fires (index into the loaded scenario fault list).
+    Fault { index: usize },
 }
 
 /// Folds one dispatched event into the running trace digest. Every variant
@@ -96,7 +102,21 @@ fn fold_event(hash: &mut TraceHash, now: SimTime, event: &Event) {
         Event::Sample => {
             hash.write_u64(11);
         }
+        Event::Fault { index } => {
+            hash.write_u64(12).write_u64(*index as u64);
+        }
     }
+}
+
+/// Scenario-driven liveness of a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum NodeStatus {
+    /// Normal operation.
+    Up,
+    /// Frozen by [`FaultEvent::Pause`]: state kept, work deferred.
+    Paused,
+    /// Crashed by [`FaultEvent::Kill`]: state flushed, events discarded.
+    Killed,
 }
 
 struct SenderEndpoint {
@@ -198,6 +218,24 @@ pub struct Simulator {
     movements: DetMap<NodeId, Movement>,
     tracer: Option<Tracer>,
     trace_hash: TraceHash,
+    /// Runtime invariant checker fed from the cross-layer event stream.
+    checker: Option<InvariantChecker>,
+    /// Every scripted fault loaded so far, addressed by [`Event::Fault`].
+    scripted_faults: Vec<TimedFault>,
+    /// Per-node scenario liveness.
+    node_status: Vec<NodeStatus>,
+    /// Per-node events deferred while the node is paused.
+    deferred: Vec<Vec<Event>>,
+    /// Active Gilbert–Elliott bursty-loss episode, if any.
+    ge_episode: Option<GilbertElliott>,
+    /// Per-receiver channel state during a Gilbert–Elliott episode.
+    ge_states: Vec<GeState>,
+    /// Nodes whose interface queue currently blackholes every enqueue.
+    blackholes: DetSet<NodeId>,
+    /// Scripted interface-queue capacity clamps.
+    saturated: DetMap<NodeId, usize>,
+    /// Links currently forced down by the scenario (normalised pairs).
+    scripted_down: DetSet<(NodeId, NodeId)>,
 }
 
 /// An active movement: the node heads toward `target` at `speed_mps`; when
@@ -317,6 +355,7 @@ impl Simulator {
             .collect();
         let mut events = EventQueue::new();
         events.push(SimTime::ZERO + cfg.sample_interval, Event::Sample);
+        let node_count = channel.node_count();
         let mut sim = Simulator {
             cfg,
             channel,
@@ -329,6 +368,15 @@ impl Simulator {
             movements: DetMap::new(),
             trace_hash: TraceHash::new(),
             tracer: if std::env::var("SIM_TRACE").is_ok() { Some(stderr_tracer()) } else { None },
+            checker: None,
+            scripted_faults: Vec::new(),
+            node_status: vec![NodeStatus::Up; node_count],
+            deferred: (0..node_count).map(|_| Vec::new()).collect(),
+            ge_episode: None,
+            ge_states: vec![GeState::new(); node_count],
+            blackholes: DetSet::new(),
+            saturated: DetMap::new(),
+            scripted_down: DetSet::new(),
         };
         // Kick off HELLO beaconing if the AODV config asks for it.
         if cfg.aodv.hello_interval.is_some() {
@@ -412,6 +460,224 @@ impl Simulator {
     /// Compare digests with [`sim_core::twin_run`].
     pub fn trace_hash(&self) -> u64 {
         self.trace_hash.digest()
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & invariant checking (crates/faultline)
+    // ------------------------------------------------------------------
+
+    /// Loads a fault scenario: every timed fault is scheduled on the
+    /// ordinary event queue at its scripted virtual time (past times fire
+    /// immediately), so twin runs with the same seed and script stay
+    /// bit-identical. Same-time faults keep script order. The script's
+    /// `seed` / `duration` headers are advisory metadata for harnesses —
+    /// they do not reconfigure an already-built simulator.
+    pub fn load_scenario(&mut self, script: &ScenarioScript) {
+        for timed in &script.events {
+            let index = self.scripted_faults.len();
+            self.scripted_faults.push(timed.clone());
+            self.events.push(timed.at.max(self.now), Event::Fault { index });
+        }
+    }
+
+    /// Installs a runtime invariant checker fed from this simulator's
+    /// cross-layer event stream. Replaces any previous checker.
+    pub fn install_checker(&mut self, checker: InvariantChecker) {
+        self.checker = Some(checker);
+    }
+
+    /// Removes the checker, sealing it with [`InvariantChecker::finish`] at
+    /// the current virtual time, and returns it for inspection.
+    pub fn take_checker(&mut self) -> Option<InvariantChecker> {
+        let mut checker = self.checker.take()?;
+        checker.finish(self.now);
+        Some(checker)
+    }
+
+    /// A node's AODV counters (discoveries, RREQ/RREP/RERR sent, drops).
+    pub fn aodv_stats(&self, node: NodeId) -> aodv::AodvStats {
+        self.nodes[node.index()].aodv.stats()
+    }
+
+    #[inline]
+    fn emit(&mut self, event: CheckEvent) {
+        if let Some(checker) = &mut self.checker {
+            checker.on_event(self.now, &event);
+        }
+    }
+
+    /// Filters an event through the scenario's node liveness: events owned
+    /// by a killed node are discarded (packets inside them become fault
+    /// drops), and most events owned by a paused node are deferred for
+    /// replay at resume time. Receptions at a paused node are discarded —
+    /// its radio is off.
+    fn gate_event(&mut self, event: Event) -> Option<Event> {
+        if self.scripted_faults.is_empty() {
+            return Some(event);
+        }
+        let node = match &event {
+            Event::RxStart { node, .. }
+            | Event::RxEnd { node, .. }
+            | Event::TxDone { node }
+            | Event::MacTimer { node, .. }
+            | Event::AodvTimer { node, .. }
+            | Event::TcpTimer { node, .. }
+            | Event::JitteredEnqueue { node, .. }
+            | Event::MobilityTick { node }
+            | Event::DelAckTimer { node, .. } => *node,
+            Event::FlowStart { flow } => self.flows[flow.index()].src,
+            Event::Sample | Event::Fault { .. } => return Some(event),
+        };
+        match self.node_status[node.index()] {
+            NodeStatus::Up => Some(event),
+            NodeStatus::Killed => match event {
+                // The physical node keeps moving even while crashed.
+                Event::MobilityTick { .. } => Some(event),
+                Event::JitteredEnqueue { packet, .. } => {
+                    self.emit(CheckEvent::FaultDrop { node, uid: packet.uid });
+                    None
+                }
+                _ => None,
+            },
+            NodeStatus::Paused => match event {
+                Event::RxStart { .. } | Event::RxEnd { .. } => None,
+                _ => {
+                    self.deferred[node.index()].push(event);
+                    None
+                }
+            },
+        }
+    }
+
+    /// Applies scripted fault `index` at the current virtual time.
+    fn apply_fault(&mut self, index: usize) {
+        let Some(fault) = self.scripted_faults.get(index).map(|t| t.fault.clone()) else {
+            return;
+        };
+        match fault {
+            FaultEvent::LinkDown { a, b } => self.script_link(a, b, false),
+            FaultEvent::LinkUp { a, b } => self.script_link(a, b, true),
+            FaultEvent::Kill { node } => self.kill_node(node),
+            FaultEvent::Revive { node } => self.revive_node(node),
+            FaultEvent::Pause { node } => {
+                if self.node_status[node.index()] == NodeStatus::Up {
+                    self.node_status[node.index()] = NodeStatus::Paused;
+                    self.channel.set_node_enabled(node, false);
+                    self.emit(CheckEvent::NodeDown { node });
+                }
+            }
+            FaultEvent::Resume { node } => {
+                if self.node_status[node.index()] == NodeStatus::Paused {
+                    self.node_status[node.index()] = NodeStatus::Up;
+                    self.channel.set_node_enabled(node, true);
+                    self.emit(CheckEvent::NodeUp { node });
+                    let backlog = std::mem::take(&mut self.deferred[node.index()]);
+                    let now = self.now;
+                    for deferred in backlog {
+                        self.events.push(now, deferred);
+                    }
+                }
+            }
+            FaultEvent::GeStart(ge) => {
+                self.ge_episode = Some(ge);
+                // Every receiver starts the episode in the good state.
+                self.ge_states = vec![GeState::new(); self.nodes.len()];
+            }
+            FaultEvent::GeStop => self.ge_episode = None,
+            FaultEvent::Blackhole { node } => {
+                self.blackholes.insert(node);
+            }
+            FaultEvent::BlackholeOff { node } => {
+                self.blackholes.remove(&node);
+            }
+            FaultEvent::Saturate { node, capacity } => {
+                self.saturated.insert(node, capacity);
+            }
+            FaultEvent::SaturateOff { node } => {
+                self.saturated.remove(&node);
+            }
+            FaultEvent::Partition { left, right } => {
+                for &a in &left {
+                    for &b in &right {
+                        if a != b {
+                            self.script_link(a, b, false);
+                        }
+                    }
+                }
+            }
+            FaultEvent::Heal => {
+                let blocked: Vec<(NodeId, NodeId)> = self.scripted_down.iter().copied().collect();
+                for (a, b) in blocked {
+                    self.script_link(a, b, true);
+                }
+            }
+        }
+    }
+
+    /// Blocks or releases one scripted link, keeping the channel, the
+    /// bookkeeping set and the checker in sync. No-op if the link already
+    /// is in the requested state.
+    fn script_link(&mut self, a: NodeId, b: NodeId, up: bool) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if up {
+            if self.scripted_down.remove(&key) {
+                self.channel.set_link_blocked(a, b, false);
+                self.emit(CheckEvent::ScriptedLinkUp { a, b });
+            }
+        } else if self.scripted_down.insert(key) {
+            self.channel.set_link_blocked(a, b, true);
+            self.emit(CheckEvent::ScriptedLinkDown { a, b });
+        }
+    }
+
+    /// Crashes a node: radio off, every packet in its custody (interface
+    /// queue, MAC, AODV discovery buffers, deferred work) becomes a fault
+    /// drop, and its routing state is wiped. Identity — in particular the
+    /// packet uid streams — survives, so MAC deduplication at the
+    /// neighbours keeps working across a revive.
+    fn kill_node(&mut self, node: NodeId) {
+        if self.node_status[node.index()] == NodeStatus::Killed {
+            return;
+        }
+        self.node_status[node.index()] = NodeStatus::Killed;
+        self.channel.set_node_enabled(node, false);
+        let mut orphans: Vec<u64> = Vec::new();
+        {
+            let n = &mut self.nodes[node.index()];
+            while let Some((packet, _)) = n.ifq.pop() {
+                orphans.push(packet.uid);
+            }
+            if let Some(packet) = n.mac.abort() {
+                orphans.push(packet.uid);
+            }
+            for packet in n.aodv.reset_routes() {
+                orphans.push(packet.uid);
+            }
+        }
+        for deferred in std::mem::take(&mut self.deferred[node.index()]) {
+            if let Event::JitteredEnqueue { packet, .. } = deferred {
+                orphans.push(packet.uid);
+            }
+        }
+        for uid in orphans {
+            self.emit(CheckEvent::FaultDrop { node, uid });
+        }
+        self.emit(CheckEvent::NodeDown { node });
+    }
+
+    /// Powers a killed node back up with empty routing state.
+    fn revive_node(&mut self, node: NodeId) {
+        if self.node_status[node.index()] != NodeStatus::Killed {
+            return;
+        }
+        self.node_status[node.index()] = NodeStatus::Up;
+        self.channel.set_node_enabled(node, true);
+        self.emit(CheckEvent::NodeUp { node });
+        if self.cfg.aodv.hello_interval.is_some() {
+            let now = self.now;
+            let outs = self.nodes[node.index()].aodv.start_hello(now);
+            self.process_aodv_outputs(node, outs);
+        }
     }
 
     /// Runs the event loop until virtual time `end`.
@@ -590,6 +856,7 @@ impl Simulator {
     }
 
     fn dispatch(&mut self, event: Event) {
+        let Some(event) = self.gate_event(event) else { return };
         match event {
             Event::RxStart { node, tx_id, end, decodable, power } => {
                 let now = self.now;
@@ -723,6 +990,7 @@ impl Simulator {
                 }
                 self.events.push(now + self.cfg.sample_interval, Event::Sample);
             }
+            Event::Fault { index } => self.apply_fault(index),
         }
     }
 
@@ -749,6 +1017,7 @@ impl Simulator {
                 MacOutput::TxFailed { packet, next_hop } => {
                     let now = self.now;
                     self.trace(TraceEvent::LinkFailure { node, next_hop });
+                    self.emit(CheckEvent::LinkFailure { node, next_hop });
                     let outs = self.nodes[node.index()].aodv.on_link_failure(packet, next_hop, now);
                     self.process_aodv_outputs(node, outs);
                 }
@@ -761,6 +1030,9 @@ impl Simulator {
         for output in outputs {
             match output {
                 AodvOutput::Forward { packet, next_hop } => {
+                    if self.checker.is_some() {
+                        self.note_forward(node, &packet, next_hop);
+                    }
                     if next_hop.is_broadcast() {
                         // ns-2's AODV jitters every flood (re)broadcast by
                         // up to 10 ms; without it all neighbours of a
@@ -780,26 +1052,58 @@ impl Simulator {
                 AodvOutput::SetTimer { id, at } => {
                     self.events.push(at, Event::AodvTimer { node, id });
                 }
-                AodvOutput::Dropped { .. } => {
+                AodvOutput::Dropped { packet, .. } => {
                     self.nodes[node.index()].routing_drops += 1;
+                    let uid = packet.uid;
+                    self.emit(CheckEvent::RoutingDrop { node, uid });
                 }
             }
         }
+    }
+
+    /// Translates an AODV forward into checker vocabulary: data forwards
+    /// carry the expiry of the route entry backing them, and an outgoing
+    /// route-error message is reported as such.
+    fn note_forward(&mut self, node: NodeId, packet: &Packet, next_hop: NodeId) {
+        if let Payload::Aodv(AodvMessage::Rerr(_)) = &packet.payload {
+            self.emit(CheckEvent::RerrSent { node });
+        }
+        let is_data = packet.tcp().is_some_and(|s| s.is_data());
+        let route_valid_until = if is_data && !next_hop.is_broadcast() {
+            self.nodes[node.index()].aodv.route_valid_until(packet.dst, self.now)
+        } else {
+            None
+        };
+        let uid = packet.uid;
+        self.emit(CheckEvent::Forwarded { node, next_hop, uid, is_data, route_valid_until });
     }
 
     fn process_tcp_outputs(&mut self, node: NodeId, flow: FlowId, outputs: Vec<TcpOutput>) {
         for output in outputs {
             match output {
                 TcpOutput::SendSegment(segment) => {
+                    let is_data = segment.is_data();
                     let n = &mut self.nodes[node.index()];
                     let dst = n.senders.get(&flow).map(|ep| ep.dst).expect("unknown flow");
                     let uid = n.uid.next();
                     let packet = Packet::new(uid, node, dst, Payload::Tcp(segment));
+                    if is_data {
+                        self.emit(CheckEvent::Injected { node, flow, uid });
+                    }
                     self.route_local(node, packet);
                 }
                 TcpOutput::SetTimer { id, at } => {
                     self.events.push(at, Event::TcpTimer { node, flow, id });
                 }
+            }
+        }
+        if self.checker.is_some() {
+            let snapshot = self.nodes[node.index()]
+                .senders
+                .get(&flow)
+                .map(|ep| (ep.transport.name(), ep.transport.cwnd(), ep.transport.ssthresh()));
+            if let Some((variant, cwnd, ssthresh)) = snapshot {
+                self.emit(CheckEvent::CwndUpdate { node, flow, variant, cwnd, ssthresh });
             }
         }
     }
@@ -815,6 +1119,23 @@ impl Simulator {
     /// (DRAI fold + congestion marking) on the way in.
     fn enqueue_ifq(&mut self, node: NodeId, mut packet: Packet, next_hop: NodeId) {
         let now = self.now;
+        if self.blackholes.contains(&node) {
+            // A scripted blackhole eats the packet with no feedback at all;
+            // the checker accounts it as a fault drop, not congestion.
+            let uid = packet.uid;
+            self.emit(CheckEvent::FaultDrop { node, uid });
+            return;
+        }
+        if let Some(cap) = self.saturated.get(&node).copied() {
+            if self.nodes[node.index()].ifq.len() >= cap {
+                let uid = packet.uid;
+                self.nodes[node.index()].router.drai_mut().note_congestion_drop(now);
+                self.trace(TraceEvent::QueueDrop { node, uid });
+                self.emit(CheckEvent::QueueDrop { node, uid });
+                self.try_feed_mac(node);
+                return;
+            }
+        }
         let dropped_uid = {
             let rng = &mut self.rng;
             let n = &mut self.nodes[node.index()];
@@ -831,6 +1152,7 @@ impl Simulator {
         };
         if let Some(uid) = dropped_uid {
             self.trace(TraceEvent::QueueDrop { node, uid });
+            self.emit(CheckEvent::QueueDrop { node, uid });
         }
         self.try_feed_mac(node);
     }
@@ -857,6 +1179,11 @@ impl Simulator {
     fn transmit(&mut self, sender: NodeId, frame: MacFrame, airtime: sim_core::SimDuration) {
         let now = self.now;
         self.trace(TraceEvent::FrameSent { node: sender, frame: &frame });
+        if self.checker.is_some() {
+            let cw = self.nodes[sender.index()].mac.current_cw();
+            let nav_ahead = self.nodes[sender.index()].mac.nav_ahead(now);
+            self.emit(CheckEvent::FrameSent { node: sender, airtime, cw, nav_ahead });
+        }
         let end = now + airtime;
         self.nodes[sender.index()].phy.begin_transmit(now, end);
         self.nodes[sender.index()].busy.note(now, end);
@@ -870,10 +1197,8 @@ impl Simulator {
             let prop = phy::RadioParams::propagation_delay(distance);
             let in_rx_range = self.channel.in_rx_range(sender, nb);
             // Random channel loss applies to data frames only.
-            let corrupted = in_rx_range
-                && frame.kind() == FrameKind::Data
-                && loss_p > 0.0
-                && self.rng.chance(loss_p);
+            let corrupted =
+                in_rx_range && frame.kind() == FrameKind::Data && self.frame_lost(nb, loss_p);
             let decodable = in_rx_range && !corrupted;
             let power = self.cfg.radio.rx_power(distance);
             let rx_start = now + prop;
@@ -884,6 +1209,18 @@ impl Simulator {
                 .push(rx_end, Event::RxEnd { node: nb, tx_id, frame: frame.clone(), in_rx_range });
         }
         self.events.push(end, Event::TxDone { node: sender });
+    }
+
+    /// Whether the channel corrupts a data frame heading to `nb`: the
+    /// scripted Gilbert–Elliott episode when one is active, otherwise the
+    /// configured flat Bernoulli loss. The flat path draws from the RNG
+    /// exactly as it did before fault injection existed, so fault-free
+    /// runs stay bit-identical with older seeds.
+    fn frame_lost(&mut self, nb: NodeId, loss_p: f64) -> bool {
+        match self.ge_episode {
+            Some(ge) => self.ge_states[nb.index()].frame_lost(&ge, &mut self.rng),
+            None => loss_p > 0.0 && self.rng.chance(loss_p),
+        }
     }
 }
 
@@ -908,22 +1245,26 @@ impl Simulator {
     /// layer (data → receiver → ACK back; ACK → sender).
     fn deliver_transport(&mut self, node: NodeId, packet: Packet) {
         let now = self.now;
+        let uid = packet.uid;
         let Some(segment) = packet.tcp() else { return };
         let flow = segment.flow;
         let is_data = segment.is_data();
         self.trace(TraceEvent::SegmentDelivered { node, flow, is_data });
         if is_data {
             let delayed = self.flows[flow.index()].delayed_ack;
-            let (ack_segment, timer) = {
+            let (ack_segment, timer, rcv_nxt_after) = {
                 let n = &mut self.nodes[node.index()];
                 let Some(ep) = n.receivers.get_mut(&flow) else { return };
                 if delayed {
                     let out = ep.receiver.on_data_segment_delack(segment, now);
-                    (out.ack, out.set_timer)
+                    (out.ack, out.set_timer, ep.receiver.rcv_nxt())
                 } else {
-                    (Some(ep.receiver.on_data_segment(segment, now)), None)
+                    let ack = ep.receiver.on_data_segment(segment, now);
+                    let nxt = ep.receiver.rcv_nxt();
+                    (Some(ack), None, nxt)
                 }
             };
+            self.emit(CheckEvent::Delivered { node, flow, uid, is_data: true, rcv_nxt_after });
             if let Some((id, at)) = timer {
                 self.events.push(at, Event::DelAckTimer { node, flow, id });
             }
@@ -933,6 +1274,19 @@ impl Simulator {
                 self.route_local(node, ack);
             }
         } else {
+            if self.checker.is_some() {
+                let echoed = match &segment.kind {
+                    TcpSegmentKind::Ack { ack, .. } => *ack,
+                    TcpSegmentKind::Data { .. } => 0,
+                };
+                self.emit(CheckEvent::Delivered {
+                    node,
+                    flow,
+                    uid,
+                    is_data: false,
+                    rcv_nxt_after: echoed,
+                });
+            }
             let outputs = {
                 let n = &mut self.nodes[node.index()];
                 match n.senders.get_mut(&flow) {
@@ -1105,6 +1459,125 @@ mod tests {
     fn self_flow_rejected() {
         let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
         sim.add_flow(FlowSpec::new(NodeId::new(0), NodeId::new(0), TcpVariant::Reno));
+    }
+
+    fn faulted_chain(
+        hops: usize,
+        script: &ScenarioScript,
+        duration: f64,
+    ) -> (FlowReport, InvariantChecker, u64) {
+        let mut sim = Simulator::new(topology::chain(hops), SimConfig::default());
+        let (src, dst) = topology::chain_flow(hops);
+        let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno));
+        sim.load_scenario(script);
+        sim.install_checker(InvariantChecker::new());
+        sim.run_until(secs(duration));
+        let checker = sim.take_checker().unwrap();
+        (sim.flow_report(flow), checker, sim.trace_hash())
+    }
+
+    #[test]
+    fn scripted_link_break_twin_runs_bit_identical() {
+        let script = ScenarioScript::new("break")
+            .at(2.0, FaultEvent::LinkDown { a: NodeId::new(1), b: NodeId::new(2) })
+            .at(4.0, FaultEvent::Heal);
+        let (ra, ca, ha) = faulted_chain(4, &script, 8.0);
+        let (rb, cb, hb) = faulted_chain(4, &script, 8.0);
+        assert_eq!(ha, hb, "same seed + script must give identical trace hashes");
+        assert_eq!(ra.delivered_segments, rb.delivered_segments);
+        assert!(ca.is_clean(), "{:?}", ca.violations());
+        assert!(cb.is_clean());
+        assert!(ra.delivered_segments > 10, "flow should recover after heal");
+    }
+
+    #[test]
+    fn kill_and_revive_relay_stalls_then_recovers() {
+        let script = ScenarioScript::new("crash")
+            .at(2.0, FaultEvent::Kill { node: NodeId::new(1) })
+            .at(5.0, FaultEvent::Revive { node: NodeId::new(1) });
+        let (report, checker, _) = faulted_chain(2, &script, 10.0);
+        assert!(checker.is_clean(), "{:?}", checker.violations());
+        assert!(report.delivered_segments > 10, "flow must resume after revive");
+        // Everything injected is accounted for: delivered, dropped
+        // somewhere, destroyed by the kill, or genuinely still in flight.
+        let ledger = checker.ledger();
+        assert_eq!(
+            ledger.injected,
+            ledger.delivered + ledger.dropped + ledger.fault_dropped + ledger.in_flight
+        );
+    }
+
+    #[test]
+    fn blackhole_window_shows_up_as_fault_drops() {
+        let script = ScenarioScript::new("blackhole")
+            .at(2.0, FaultEvent::Blackhole { node: NodeId::new(1) })
+            .at(4.0, FaultEvent::BlackholeOff { node: NodeId::new(1) });
+        let (report, checker, _) = faulted_chain(2, &script, 8.0);
+        assert!(checker.is_clean(), "{:?}", checker.violations());
+        assert!(checker.ledger().fault_dropped > 0, "blackhole ate nothing?");
+        assert!(report.delivered_segments > 10, "flow must survive the window");
+    }
+
+    #[test]
+    fn ge_episode_hurts_throughput_and_stays_deterministic() {
+        let ge = GilbertElliott::new(0.05, 0.3, 0.0, 0.9).unwrap();
+        let script = ScenarioScript::new("bursts")
+            .at(1.0, FaultEvent::GeStart(ge))
+            .at(4.0, FaultEvent::GeStop);
+        let (bursty_a, ca, ha) = faulted_chain(4, &script, 5.0);
+        let (bursty_b, _, hb) = faulted_chain(4, &script, 5.0);
+        let (clean, _, _) = faulted_chain(4, &ScenarioScript::new("idle"), 5.0);
+        assert_eq!(ha, hb);
+        assert_eq!(bursty_a.delivered_segments, bursty_b.delivered_segments);
+        assert!(ca.is_clean(), "{:?}", ca.violations());
+        assert!(
+            bursty_a.delivered_segments < clean.delivered_segments,
+            "bursty loss ({}) should undercut the clean run ({})",
+            bursty_a.delivered_segments,
+            clean.delivered_segments
+        );
+        assert!(bursty_a.delivered_segments > 0, "some data must still get through");
+    }
+
+    #[test]
+    fn saturate_clamps_the_queue() {
+        let script = ScenarioScript::new("squeeze")
+            .at(1.0, FaultEvent::Saturate { node: NodeId::new(1), capacity: 1 })
+            .at(4.0, FaultEvent::SaturateOff { node: NodeId::new(1) });
+        let (report, checker, _) = faulted_chain(2, &script, 8.0);
+        assert!(checker.is_clean(), "{:?}", checker.violations());
+        assert!(checker.ledger().dropped > 0, "a 1-slot queue must shed load");
+        assert!(report.delivered_segments > 10);
+    }
+
+    #[test]
+    fn pause_defers_and_resume_replays() {
+        let script = ScenarioScript::new("freeze")
+            .at(2.0, FaultEvent::Pause { node: NodeId::new(1) })
+            .at(4.0, FaultEvent::Resume { node: NodeId::new(1) });
+        let (report, checker, _) = faulted_chain(2, &script, 10.0);
+        assert!(checker.is_clean(), "{:?}", checker.violations());
+        assert!(report.delivered_segments > 10, "flow must resume after unfreeze");
+    }
+
+    #[test]
+    fn fault_free_scenario_matches_plain_run_hash() {
+        // Loading an empty scenario and a checker must not perturb the
+        // event stream at all.
+        let (plain, _) = run_chain(4, TcpVariant::Muzha, 3.0);
+        let (instrumented, checker, _) = {
+            let mut sim = Simulator::new(topology::chain(4), SimConfig::default());
+            let (src, dst) = topology::chain_flow(4);
+            let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+            sim.install_checker(InvariantChecker::new());
+            sim.run_until(secs(3.0));
+            let checker = sim.take_checker().unwrap();
+            (sim.flow_report(flow), checker, sim.trace_hash())
+        };
+        assert_eq!(plain.delivered_segments, instrumented.delivered_segments);
+        assert_eq!(plain.sender.segments_sent, instrumented.sender.segments_sent);
+        assert!(checker.is_clean(), "{:?}", checker.violations());
+        assert!(checker.events_seen() > 100);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The shared radio channel: who hears whom.
 
+use sim_core::DetSet;
 use wire::NodeId;
 
 use crate::{Position, RadioParams};
@@ -35,6 +36,19 @@ pub struct Channel {
     positions: Vec<Position>,
     rx_neighbors: Vec<Vec<NodeId>>,
     cs_neighbors: Vec<Vec<NodeId>>,
+    /// Fault-injection: radios administratively switched off (killed nodes).
+    disabled: Vec<bool>,
+    /// Fault-injection: individual links forced down, stored as normalised
+    /// `(min, max)` pairs so `a—b` and `b—a` are the same link.
+    blocked: DetSet<(NodeId, NodeId)>,
+}
+
+fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
 }
 
 impl Channel {
@@ -45,8 +59,15 @@ impl Channel {
     /// Panics if `params` are inconsistent (see [`RadioParams::validate`]).
     pub fn new(positions: Vec<Position>, params: RadioParams) -> Self {
         params.validate();
-        let mut ch =
-            Channel { params, positions, rx_neighbors: Vec::new(), cs_neighbors: Vec::new() };
+        let disabled = vec![false; positions.len()];
+        let mut ch = Channel {
+            params,
+            positions,
+            rx_neighbors: Vec::new(),
+            cs_neighbors: Vec::new(),
+            disabled,
+            blocked: DetSet::new(),
+        };
         ch.recompute();
         ch
     }
@@ -95,12 +116,52 @@ impl Channel {
 
     /// Whether `b` can decode `a`'s transmissions.
     pub fn in_rx_range(&self, a: NodeId, b: NodeId) -> bool {
-        a != b && self.distance(a, b) <= self.params.tx_range_m
+        a != b && self.link_usable(a, b) && self.distance(a, b) <= self.params.tx_range_m
     }
 
     /// Whether `b` senses `a`'s transmissions.
     pub fn in_cs_range(&self, a: NodeId, b: NodeId) -> bool {
-        a != b && self.distance(a, b) <= self.params.cs_range_m
+        a != b && self.link_usable(a, b) && self.distance(a, b) <= self.params.cs_range_m
+    }
+
+    /// Administratively enables or disables a node's radio (fault hook: a
+    /// disabled node neither transmits into, nor receives or senses from,
+    /// the channel). Recomputes adjacency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_node_enabled(&mut self, node: NodeId, enabled: bool) {
+        self.disabled[node.index()] = !enabled;
+        self.recompute();
+    }
+
+    /// Whether a node's radio is administratively enabled.
+    pub fn is_node_enabled(&self, node: NodeId) -> bool {
+        !self.disabled[node.index()]
+    }
+
+    /// Forces the (bidirectional) link between `a` and `b` down or back up,
+    /// independent of geometry (fault hook: scripted link flaps). Recomputes
+    /// adjacency.
+    pub fn set_link_blocked(&mut self, a: NodeId, b: NodeId, blocked: bool) {
+        if blocked {
+            self.blocked.insert(link_key(a, b));
+        } else {
+            self.blocked.remove(&link_key(a, b));
+        }
+        self.recompute();
+    }
+
+    /// Whether the `a`—`b` link is currently forced down.
+    pub fn is_link_blocked(&self, a: NodeId, b: NodeId) -> bool {
+        self.blocked.contains(&link_key(a, b))
+    }
+
+    fn link_usable(&self, a: NodeId, b: NodeId) -> bool {
+        !self.disabled[a.index()]
+            && !self.disabled[b.index()]
+            && !self.blocked.contains(&link_key(a, b))
     }
 
     /// Distance between two nodes in metres.
@@ -114,11 +175,14 @@ impl Channel {
         self.cs_neighbors = vec![Vec::new(); n];
         for i in 0..n {
             for j in 0..n {
-                if i == j {
+                if i == j || self.disabled[i] || self.disabled[j] {
+                    continue;
+                }
+                let (a, b) = (NodeId::new(i as u16), NodeId::new(j as u16));
+                if self.blocked.contains(&link_key(a, b)) {
                     continue;
                 }
                 let d = self.positions[i].distance_to(self.positions[j]);
-                let (a, b) = (NodeId::new(i as u16), NodeId::new(j as u16));
                 if d <= self.params.tx_range_m {
                     self.rx_neighbors[a.index()].push(b);
                 }
@@ -190,6 +254,42 @@ mod tests {
         ch.set_position(n(2), Position::new(200.0, 0.0));
         assert!(ch.in_rx_range(n(0), n(2)));
         assert_eq!(ch.position(n(2)), Position::new(200.0, 0.0));
+    }
+
+    #[test]
+    fn disabling_a_node_removes_it_from_the_air() {
+        let mut ch = chain(3, 250.0);
+        ch.set_node_enabled(n(1), false);
+        assert!(!ch.is_node_enabled(n(1)));
+        assert!(!ch.in_rx_range(n(0), n(1)));
+        assert!(!ch.in_cs_range(n(1), n(2)));
+        assert!(ch.rx_neighbors(n(0)).is_empty());
+        assert!(ch.rx_neighbors(n(1)).is_empty());
+        ch.set_node_enabled(n(1), true);
+        assert!(ch.in_rx_range(n(0), n(1)));
+        assert_eq!(ch.rx_neighbors(n(0)), &[n(1)]);
+    }
+
+    #[test]
+    fn blocking_a_link_is_bidirectional_and_reversible() {
+        let mut ch = chain(3, 250.0);
+        ch.set_link_blocked(n(2), n(1), true);
+        assert!(ch.is_link_blocked(n(1), n(2)));
+        assert!(!ch.in_rx_range(n(1), n(2)));
+        assert!(!ch.in_rx_range(n(2), n(1)));
+        // The other link is untouched.
+        assert!(ch.in_rx_range(n(0), n(1)));
+        assert_eq!(ch.rx_neighbors(n(1)), &[n(0)]);
+        ch.set_link_blocked(n(1), n(2), false);
+        assert_eq!(ch.rx_neighbors(n(1)), &[n(0), n(2)]);
+    }
+
+    #[test]
+    fn faults_survive_mobility_recompute() {
+        let mut ch = chain(3, 250.0);
+        ch.set_link_blocked(n(0), n(1), true);
+        ch.set_position(n(2), Position::new(400.0, 0.0));
+        assert!(!ch.in_rx_range(n(0), n(1)), "block must survive recompute");
     }
 
     #[test]

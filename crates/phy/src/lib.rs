@@ -20,10 +20,12 @@
 
 mod channel;
 mod geometry;
+mod loss;
 mod params;
 mod state;
 
 pub use channel::Channel;
 pub use geometry::Position;
+pub use loss::{GeState, GilbertElliott};
 pub use params::RadioParams;
 pub use state::{PhyState, RxOutcome, TxId};

@@ -89,8 +89,8 @@ impl fmt::Display for Rule {
 
 /// Crates whose in-memory state participates in event ordering: a stray
 /// hash-ordered iteration there can silently reorder events between runs.
-pub const SIM_STATE_CRATES: [&str; 7] =
-    ["sim-core", "netstack", "aodv", "mac80211", "tcp", "wire", "core"];
+pub const SIM_STATE_CRATES: [&str; 8] =
+    ["sim-core", "netstack", "aodv", "mac80211", "tcp", "wire", "core", "faultline"];
 
 /// One rule hit at one source line.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -245,6 +245,10 @@ impl Transport for DoorSender {
     fn srtt(&self) -> Option<sim_core::SimDuration> {
         self.s.rtt.srtt()
     }
+
+    fn ssthresh(&self) -> Option<f64> {
+        Some(self.ssthresh)
+    }
 }
 
 #[cfg(test)]

@@ -75,4 +75,10 @@ pub trait Transport: std::fmt::Debug {
     fn srtt(&self) -> Option<sim_core::SimDuration> {
         None
     }
+
+    /// The slow-start threshold in segments, for variants that maintain one
+    /// (Vegas and Muzha do not). Consumed by the runtime invariant checker.
+    fn ssthresh(&self) -> Option<f64> {
+        None
+    }
 }

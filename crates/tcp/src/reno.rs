@@ -270,6 +270,10 @@ impl Transport for RenoSender {
     fn srtt(&self) -> Option<sim_core::SimDuration> {
         self.s.rtt.srtt()
     }
+
+    fn ssthresh(&self) -> Option<f64> {
+        Some(self.ssthresh)
+    }
 }
 
 #[cfg(test)]

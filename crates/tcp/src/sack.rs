@@ -229,6 +229,10 @@ impl Transport for SackSender {
     fn srtt(&self) -> Option<sim_core::SimDuration> {
         self.s.rtt.srtt()
     }
+
+    fn ssthresh(&self) -> Option<f64> {
+        Some(self.ssthresh)
+    }
 }
 
 #[cfg(test)]

@@ -59,6 +59,9 @@ pub use tcp as transport;
 /// TCP Muzha: DRAI computation, router agent, Muzha sender.
 pub use muzha;
 
+/// Deterministic fault injection and the runtime invariant checker.
+pub use faultline;
+
 /// Assembled network stack: nodes, simulator, topologies, flow reports.
 pub mod net {
     pub use netstack::{

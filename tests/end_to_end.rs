@@ -112,6 +112,59 @@ fn route_break_recovers_via_aodv() {
 }
 
 #[test]
+fn killed_relay_partitions_and_revive_heals() {
+    // Scripted partition/heal: crashing the middle relay of a 4-hop chain
+    // cuts the only path (the flow stalls); reviving it lets AODV
+    // re-discover and traffic resume. The invariant checker rides along
+    // the whole run and its conservation ledger must account for every
+    // injected packet — nothing silently vanishes in the crash.
+    use tcp_muzha::faultline::{FaultEvent, InvariantChecker, ScenarioScript};
+
+    let mut sim = Simulator::new(topology::chain(4), SimConfig::default());
+    let (src, dst) = topology::chain_flow(4);
+    let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+    let script = ScenarioScript::new("partition-heal")
+        .at(5.0, FaultEvent::Kill { node: NodeId::new(2) })
+        .at(10.0, FaultEvent::Revive { node: NodeId::new(2) });
+    sim.load_scenario(&script);
+    sim.install_checker(InvariantChecker::new());
+
+    sim.run_until(secs(5.0));
+    let before = sim.flow_report(flow).delivered_segments;
+    assert!(before > 20, "flow must be established before the crash");
+
+    sim.run_until(secs(10.0));
+    let during = sim.flow_report(flow).delivered_segments;
+    assert!(
+        during < before + 10,
+        "flow must stall while the only relay is dead: {before} -> {during}"
+    );
+
+    // Give TCP time to climb out of its RTO backoff after the heal.
+    sim.run_until(secs(30.0));
+    let after = sim.flow_report(flow).delivered_segments;
+    assert!(
+        after > during + 20,
+        "flow must resume after the revive: {before} -> {during} -> {after}"
+    );
+
+    let checker = sim.take_checker().expect("checker was installed");
+    assert!(checker.is_clean(), "invariant violations:\n{:?}", checker.violations());
+    let ledger = checker.ledger();
+    assert_eq!(
+        ledger.injected,
+        ledger.delivered + ledger.dropped + ledger.fault_dropped + ledger.in_flight,
+        "conservation ledger must balance: {ledger:?}"
+    );
+    assert!(
+        ledger.in_flight < 100,
+        "no silent undercounting: in-flight at end of run should be a \
+         window's worth at most, got {ledger:?}"
+    );
+    assert!(ledger.delivered > 0 && ledger.injected > ledger.delivered);
+}
+
+#[test]
 fn three_flow_chain_shares_capacity() {
     let mut sim = Simulator::new(topology::chain(4), SimConfig::default());
     let (src, dst) = topology::chain_flow(4);

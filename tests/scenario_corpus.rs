@@ -1,0 +1,168 @@
+//! The scenario corpus runner: every script in `tests/scenarios/` runs on
+//! the reference topology under the runtime invariant checker, twice, and
+//! must (a) parse, (b) produce bit-identical twin runs (same seed + script
+//! ⇒ same `trace_hash`), and (c) finish with zero invariant violations.
+//!
+//! A final test feeds the checker an intentionally-buggy event stream to
+//! prove the harness *can* fail — a checker that never fires is worthless.
+
+use tcp_muzha::faultline::{CheckEvent, InvariantChecker, LedgerSummary, ScenarioScript};
+use tcp_muzha::net::{topology, FlowSpec, SimConfig, Simulator, TcpVariant};
+use tcp_muzha::sim::{SimDuration, SimTime};
+use tcp_muzha::wire::{FlowId, NodeId};
+
+/// The corpus, embedded so the test binary is self-contained and the run
+/// order is deterministic.
+const CORPUS: [(&str, &str); 8] = [
+    ("chain-break", include_str!("scenarios/chain-break.scn")),
+    ("relay-crash", include_str!("scenarios/relay-crash.scn")),
+    ("bursty-channel", include_str!("scenarios/bursty-channel.scn")),
+    ("blackhole-window", include_str!("scenarios/blackhole-window.scn")),
+    ("partition-heal", include_str!("scenarios/partition-heal.scn")),
+    ("pause-resume", include_str!("scenarios/pause-resume.scn")),
+    ("queue-squeeze", include_str!("scenarios/queue-squeeze.scn")),
+    ("storm", include_str!("scenarios/storm.scn")),
+];
+
+/// Corpus convention: every scenario runs on the 4-hop chain (nodes 0..=4)
+/// with one NewReno flow end to end, the script's seed, and the script's
+/// duration.
+fn run_scenario(script: &ScenarioScript) -> (u64, u64, LedgerSummary, Vec<String>) {
+    let seed = script.seed.expect("corpus scripts declare a seed");
+    let duration = script.duration.expect("corpus scripts declare a duration");
+    let cfg = SimConfig { seed, ..SimConfig::default() };
+    let mut sim = Simulator::new(topology::chain(4), cfg);
+    let (src, dst) = topology::chain_flow(4);
+    let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno));
+    sim.load_scenario(script);
+    sim.install_checker(InvariantChecker::new());
+    sim.run_until(SimTime::ZERO + duration);
+    let checker = sim.take_checker().expect("checker was installed");
+    let violations = checker.violations().iter().map(|v| v.to_string()).collect();
+    (sim.trace_hash(), sim.flow_report(flow).delivered_segments, checker.ledger(), violations)
+}
+
+#[test]
+fn corpus_parses_and_is_well_formed() {
+    for (name, text) in CORPUS {
+        let script = ScenarioScript::parse(text)
+            .unwrap_or_else(|e| panic!("scenario {name} failed to parse: {e}"));
+        assert_eq!(script.name, name, "file name and `name` header must agree");
+        assert!(script.seed.is_some(), "{name}: corpus scripts must pin a seed");
+        assert!(script.duration.is_some(), "{name}: corpus scripts must pin a duration");
+        assert!(!script.events.is_empty(), "{name}: corpus scripts must inject something");
+        assert!(
+            script.duration
+                > script.events.iter().map(|e| Some(e.at - SimTime::ZERO)).max().flatten(),
+            "{name}: every fault must fire within the run"
+        );
+    }
+}
+
+#[test]
+fn corpus_runs_clean_and_twin_runs_are_bit_identical() {
+    for (name, text) in CORPUS {
+        let script = ScenarioScript::parse(text)
+            .unwrap_or_else(|e| panic!("scenario {name} failed to parse: {e}"));
+        let (hash_a, delivered_a, ledger_a, violations_a) = run_scenario(&script);
+        let (hash_b, delivered_b, _, _) = run_scenario(&script);
+        assert_eq!(
+            hash_a, hash_b,
+            "{name}: twin runs with the same seed + script must be bit-identical"
+        );
+        assert_eq!(delivered_a, delivered_b, "{name}: twin delivery counts diverged");
+        assert!(
+            violations_a.is_empty(),
+            "{name}: invariant violations:\n{}",
+            violations_a.join("\n")
+        );
+        assert!(delivered_a > 0, "{name}: the flow delivered nothing at all");
+        assert_eq!(
+            ledger_a.injected,
+            ledger_a.delivered + ledger_a.dropped + ledger_a.fault_dropped + ledger_a.in_flight,
+            "{name}: conservation ledger does not balance: {ledger_a:?}"
+        );
+    }
+}
+
+/// Scenario seeds are not decorative: two corpus entries differing only in
+/// seed must produce different traces.
+#[test]
+fn corpus_seeds_matter() {
+    let script = ScenarioScript::parse(include_str!("scenarios/chain-break.scn")).unwrap();
+    let mut reseeded = script.clone();
+    reseeded.seed = Some(999);
+    let (a, ..) = run_scenario(&script);
+    let (b, ..) = run_scenario(&reseeded);
+    assert_ne!(a, b, "changing the seed must change the trace hash");
+}
+
+/// The intentionally-buggy fixture: a fabricated event stream with a
+/// receiver sequence regression, a delivery that was never injected, and a
+/// forward over a route that expired. The checker must flag all three —
+/// proving a clean corpus means something.
+#[test]
+fn checker_flags_an_intentionally_buggy_stream() {
+    let t = SimTime::from_secs_f64;
+    let flow = FlowId::new(0);
+    let mut checker = InvariantChecker::new();
+    checker.on_event(t(1.0), &CheckEvent::Injected { node: NodeId::new(0), flow, uid: 1 });
+    checker.on_event(
+        t(1.1),
+        &CheckEvent::Delivered {
+            node: NodeId::new(4),
+            flow,
+            uid: 1,
+            is_data: true,
+            rcv_nxt_after: 10,
+        },
+    );
+    // Bug 1: rcv_nxt goes backwards.
+    checker.on_event(t(1.2), &CheckEvent::Injected { node: NodeId::new(0), flow, uid: 2 });
+    checker.on_event(
+        t(1.3),
+        &CheckEvent::Delivered {
+            node: NodeId::new(4),
+            flow,
+            uid: 2,
+            is_data: true,
+            rcv_nxt_after: 5,
+        },
+    );
+    // Bug 2: a data packet materialises out of thin air.
+    checker.on_event(
+        t(2.0),
+        &CheckEvent::Delivered {
+            node: NodeId::new(4),
+            flow,
+            uid: 999,
+            is_data: true,
+            rcv_nxt_after: 11,
+        },
+    );
+    // Bug 3: forwarding data on an expired route.
+    checker.on_event(
+        t(3.0),
+        &CheckEvent::Forwarded {
+            node: NodeId::new(1),
+            next_hop: NodeId::new(2),
+            uid: 3,
+            is_data: true,
+            route_valid_until: Some(t(2.5)),
+        },
+    );
+    checker.finish(t(4.0));
+    let invariants: Vec<&str> = checker.violations().iter().map(|v| v.invariant).collect();
+    assert!(invariants.contains(&"tcp-monotone"), "missing regression flag: {invariants:?}");
+    assert!(invariants.contains(&"conservation"), "missing conservation flag: {invariants:?}");
+    assert!(invariants.contains(&"aodv-route-fresh"), "missing route flag: {invariants:?}");
+    // Violations carry the recent event trail for diagnosis.
+    assert!(checker.violations().iter().all(|v| !v.trail.is_empty()));
+}
+
+/// `SimDuration` is re-exported through the facade for scenario tooling.
+#[test]
+fn scenario_duration_roundtrips_through_facade_types() {
+    let script = ScenarioScript::parse("duration 2.5\nat 1 heal\n").unwrap();
+    assert_eq!(script.duration, Some(SimDuration::from_secs_f64(2.5)));
+}
