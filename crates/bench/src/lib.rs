@@ -21,6 +21,7 @@ pub fn bench_config() -> ExperimentConfig {
         seeds: vec![11, 23],
         duration: SimDuration::from_secs(10),
         base: SimConfig::default(),
+        jobs: 1,
     }
 }
 

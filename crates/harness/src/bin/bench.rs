@@ -1,0 +1,145 @@
+//! Simulator performance benchmark: runs the standard paper scenarios,
+//! measures wall time and deterministic event counts, and writes
+//! `BENCH_sim.json` so every PR has a perf trajectory to answer to.
+//!
+//! ```sh
+//! cargo run --release -p harness --bin bench -- [--quick] [--jobs N] [--out PATH]
+//! ```
+//!
+//! Each scenario is run twice through the batch engine — serial
+//! (`jobs = 1`) and parallel (`--jobs`, default one worker per core) — so
+//! the report carries both per-run events/sec (a scheduling-independent
+//! simulator-speed number: virtual events from [`sim_core::RunPerf`] over
+//! serial wall time) and the batch speed-up the thread pool buys.
+//! The event counts are asserted identical between the two passes; a
+//! mismatch would mean parallel execution changed simulation behaviour.
+
+use harness::{run_batch, WallClock};
+use netstack::{topology, FlowSpec, SimConfig, Simulator, TcpVariant};
+use sim_core::{RunPerf, SimDuration, SimTime};
+
+/// One standard scenario: a named topology + flow set, run per seed.
+struct Scenario {
+    name: &'static str,
+    seeds: Vec<u64>,
+    duration: SimDuration,
+    run: fn(SimConfig, SimDuration) -> RunPerf,
+}
+
+fn chain_run(cfg: SimConfig, duration: SimDuration) -> RunPerf {
+    let mut sim = Simulator::new(topology::chain(8), cfg);
+    let (src, dst) = topology::chain_flow(8);
+    sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+    sim.run_until(SimTime::ZERO + duration);
+    sim.perf()
+}
+
+fn cross_run(cfg: SimConfig, duration: SimDuration) -> RunPerf {
+    let mut sim = Simulator::new(topology::cross(4), cfg);
+    let (hs, hd) = topology::cross_horizontal_flow(4);
+    let (vs, vd) = topology::cross_vertical_flow(4);
+    sim.add_flow(FlowSpec::new(hs, hd, TcpVariant::NewReno));
+    sim.add_flow(FlowSpec::new(vs, vd, TcpVariant::Muzha));
+    sim.run_until(SimTime::ZERO + duration);
+    sim.perf()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = parse_flag(&args, "--jobs").map_or(0, |v| v.parse().expect("--jobs number"));
+    let out = parse_flag(&args, "--out").unwrap_or_else(|| "BENCH_sim.json".to_string());
+
+    let (seeds, secs): (Vec<u64>, u64) =
+        if quick { (vec![11, 23], 5) } else { (vec![11, 23, 37, 53], 15) };
+    let scenarios = [
+        Scenario {
+            name: "chain8_muzha",
+            seeds: seeds.clone(),
+            duration: SimDuration::from_secs(secs),
+            run: chain_run,
+        },
+        Scenario {
+            name: "cross4_newreno_vs_muzha",
+            seeds,
+            duration: SimDuration::from_secs(secs),
+            run: cross_run,
+        },
+    ];
+
+    let mut entries = Vec::new();
+    for sc in &scenarios {
+        eprintln!("benchmarking {} ({} seeds, {} s virtual)...", sc.name, sc.seeds.len(), secs);
+        let configs: Vec<SimConfig> =
+            sc.seeds.iter().map(|&seed| SimConfig { seed, ..SimConfig::default() }).collect();
+
+        let serial_clock = WallClock::start();
+        let serial: Vec<RunPerf> = run_batch(&configs, 1, |&cfg, _| (sc.run)(cfg, sc.duration));
+        let serial_secs = serial_clock.elapsed_secs();
+
+        let parallel_clock = WallClock::start();
+        let parallel: Vec<RunPerf> =
+            run_batch(&configs, jobs, |&cfg, _| (sc.run)(cfg, sc.duration));
+        let parallel_secs = parallel_clock.elapsed_secs();
+
+        assert_eq!(serial, parallel, "{}: parallel run diverged from serial", sc.name);
+
+        let mut total = RunPerf::default();
+        for p in &serial {
+            total.merge(p);
+        }
+        let events_per_sec = total.events_processed as f64 / serial_secs.max(1e-9);
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"scenario\": \"{}\",\n",
+                "      \"seeds\": {},\n",
+                "      \"virtual_secs\": {},\n",
+                "      \"events_processed\": {},\n",
+                "      \"peak_event_queue\": {},\n",
+                "      \"peak_ifq_depth\": {},\n",
+                "      \"serial_wall_secs\": {:.6},\n",
+                "      \"parallel_wall_secs\": {:.6},\n",
+                "      \"parallel_jobs\": {},\n",
+                "      \"events_per_sec_serial\": {:.1},\n",
+                "      \"batch_speedup\": {:.3}\n",
+                "    }}"
+            ),
+            sc.name,
+            sc.seeds.len(),
+            secs,
+            total.events_processed,
+            total.peak_event_queue,
+            total.peak_ifq_depth,
+            serial_secs,
+            parallel_secs,
+            harness::effective_jobs(jobs),
+            events_per_sec,
+            serial_secs / parallel_secs.max(1e-9),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"sim\",\n  \"quick\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        quick,
+        entries.join(",\n")
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("{json}");
+    println!("wrote {out}");
+}
+
+/// Returns the value of `--flag V` or `--flag=V`, if present.
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+        if a == flag {
+            return Some(
+                args.get(i + 1).unwrap_or_else(|| panic!("{flag} expects a value")).clone(),
+            );
+        }
+    }
+    None
+}

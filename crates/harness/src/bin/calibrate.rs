@@ -1,23 +1,36 @@
 //! Calibration driver: runs reduced versions of every experiment and
 //! prints the key paper-shape checks. Used during development; the full
 //! regeneration lives in the bench crate and examples.
+//!
+//! ```sh
+//! cargo run --release -p harness --bin calibrate -- [sweep|coexist|cwnd|dynamics|all] [--jobs N]
+//! ```
 
 use harness::experiments::{
-    coexistence, cwnd_traces, throughput_dynamics, throughput_vs_hops, CoexistKind, SweepMetric,
+    coexistence, cwnd_traces, throughput_dynamics_batch, throughput_vs_hops, CoexistKind,
+    SweepMetric,
 };
 use harness::ExperimentConfig;
 use netstack::{SimConfig, TcpVariant};
 use sim_core::{SimDuration, SimTime};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, a)| !(a.starts_with("--") || i > 0 && args[i - 1] == "--jobs"))
+        .map(|(_, a)| a.as_str())
+        .next()
+        .unwrap_or("all");
+    let jobs = parse_jobs(&args);
 
     if which == "sweep" || which == "all" {
         let cfg = ExperimentConfig {
             seeds: vec![11, 23, 37, 53, 71],
             duration: SimDuration::from_secs(30),
             base: SimConfig::default(),
+            jobs,
         };
         let sweep = throughput_vs_hops(&[4, 8, 16, 24, 32], &[4, 8, 32], &TcpVariant::PAPER, &cfg);
         for w in [4u32, 8, 32] {
@@ -33,6 +46,7 @@ fn main() {
             seeds: vec![11, 23, 37, 53, 71],
             duration: SimDuration::from_secs(50),
             base: SimConfig::default(),
+            jobs,
         };
         let pairs = [
             CoexistKind { horizontal: TcpVariant::NewReno, vertical: TcpVariant::Vegas },
@@ -62,18 +76,33 @@ fn main() {
 
     if which == "dynamics" || which == "all" {
         println!("== Throughput dynamics tail fairness (Figs 5.19-5.22) ==");
-        for variant in TcpVariant::PAPER {
-            let result = throughput_dynamics(
-                variant,
-                SimDuration::from_secs(30),
-                SimDuration::from_secs(1),
-                SimConfig::default(),
-            );
+        let results = throughput_dynamics_batch(
+            &TcpVariant::PAPER,
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(1),
+            SimConfig::default(),
+            jobs,
+        );
+        for result in &results {
             println!(
                 "  {:>8}: fairness(last 10s of 3-flow phase) = {:.3}",
-                variant.name(),
+                result.variant.name(),
                 result.tail_fairness(10)
             );
         }
     }
+}
+
+/// Parses `--jobs N` (or `--jobs=N`); defaults to 1 (serial).
+fn parse_jobs(args: &[String]) -> usize {
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().expect("--jobs expects a number");
+        }
+        if a == "--jobs" {
+            let v = args.get(i + 1).expect("--jobs expects a number");
+            return v.parse().expect("--jobs expects a number");
+        }
+    }
+    1
 }

@@ -2,17 +2,21 @@
 //! into an output directory, as both human-readable text and plottable CSV.
 //!
 //! ```sh
-//! cargo run --release -p harness --bin reproduce -- [OUT_DIR] [--quick]
+//! cargo run --release -p harness --bin reproduce -- [OUT_DIR] [--quick] [--jobs N]
 //! ```
 //!
 //! `OUT_DIR` defaults to `results/`. `--quick` uses fewer seeds and shorter
-//! runs (minutes instead of tens of minutes).
+//! runs (minutes instead of tens of minutes). `--jobs N` fans the
+//! independent `(experiment, variant, seed)` runs across `N` worker
+//! threads (`0` = one per core); every output file is byte-identical to a
+//! serial (`--jobs 1`, the default) run.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use harness::experiments::{
-    coexistence, cwnd_traces, throughput_dynamics, throughput_vs_hops, CoexistKind, SweepMetric,
+    coexistence, cwnd_traces_batch, throughput_dynamics_batch, throughput_vs_hops, CoexistKind,
+    SweepMetric,
 };
 use harness::{export, ExperimentConfig};
 use netstack::{SimConfig, TcpVariant};
@@ -21,10 +25,13 @@ use sim_core::{SimDuration, SimTime};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let jobs = parse_jobs(&args);
     let out_dir: PathBuf = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(PathBuf::from)
+        .enumerate()
+        .filter(|&(i, a)| !a.starts_with("--") && !is_jobs_value(&args, i))
+        .map(|(_, a)| PathBuf::from(a))
+        .next()
         .unwrap_or_else(|| PathBuf::from("results"));
     fs::create_dir_all(&out_dir).expect("create output directory");
 
@@ -36,12 +43,18 @@ fn main() {
 
     // ---- Figs 5.2–5.7: cwnd traces ------------------------------------
     println!("[1/4] cwnd traces (Figs 5.2-5.7)...");
+    let cwnd_hops = [4usize, 8, 16];
+    let all_traces = cwnd_traces_batch(
+        &cwnd_hops,
+        &TcpVariant::PAPER,
+        SimDuration::from_secs(10),
+        SimConfig::default(),
+        jobs,
+    );
     let mut cwnd_txt = String::new();
-    for h in [4usize, 8, 16] {
-        let traces =
-            cwnd_traces(h, &TcpVariant::PAPER, SimDuration::from_secs(10), SimConfig::default());
+    for (h, traces) in cwnd_hops.iter().zip(&all_traces) {
         cwnd_txt.push_str(&format!("== {h}-hop chain ==\n"));
-        for t in &traces {
+        for t in traces {
             cwnd_txt.push_str(&format!(
                 "{:>8}: mean cwnd {:5.2} (2-10 s), oscillation {:5.2}\n",
                 t.variant.name(),
@@ -63,6 +76,7 @@ fn main() {
         seeds: seeds.clone(),
         duration: SimDuration::from_secs(chain_secs),
         base: SimConfig::default(),
+        jobs,
     };
     let sweep = throughput_vs_hops(&hops, &[4, 8, 32], &TcpVariant::PAPER, &cfg);
     let mut sweep_txt = String::new();
@@ -82,6 +96,7 @@ fn main() {
         seeds: seeds.clone(),
         duration: SimDuration::from_secs(cross_secs),
         base: SimConfig::default(),
+        jobs,
     };
     let pairs = [
         CoexistKind { horizontal: TcpVariant::NewReno, vertical: TcpVariant::Vegas },
@@ -93,29 +108,50 @@ fn main() {
 
     // ---- Figs 5.19–5.22: dynamics --------------------------------------
     println!("[4/4] throughput dynamics (Figs 5.19-5.22)...");
+    let results = throughput_dynamics_batch(
+        &TcpVariant::PAPER,
+        SimDuration::from_secs(30),
+        SimDuration::from_secs(1),
+        SimConfig::default(),
+        jobs,
+    );
     let mut dyn_txt = String::new();
-    for variant in TcpVariant::PAPER {
-        let result = throughput_dynamics(
-            variant,
-            SimDuration::from_secs(30),
-            SimDuration::from_secs(1),
-            SimConfig::default(),
-        );
+    for result in &results {
         dyn_txt.push_str(&format!(
             "{:>8}: tail fairness {:.3}, per-flow segments {:?}\n",
-            variant.name(),
+            result.variant.name(),
             result.tail_fairness(10),
             result.reports.iter().map(|r| r.delivered_segments).collect::<Vec<_>>(),
         ));
         write(
             &out_dir,
-            &format!("fig5_19_dynamics_{}.csv", variant.name().to_lowercase()),
-            &export::dynamics_csv(&result),
+            &format!("fig5_19_dynamics_{}.csv", result.variant.name().to_lowercase()),
+            &export::dynamics_csv(result),
         );
     }
     write(&out_dir, "fig5_19_to_5_22_dynamics.txt", &dyn_txt);
 
     println!("done — results in {}", out_dir.display());
+}
+
+/// Parses `--jobs N` (or `--jobs=N`) from the argument list; defaults to 1
+/// (serial).
+fn parse_jobs(args: &[String]) -> usize {
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().expect("--jobs expects a number");
+        }
+        if a == "--jobs" {
+            let v = args.get(i + 1).expect("--jobs expects a number");
+            return v.parse().expect("--jobs expects a number");
+        }
+    }
+    1
+}
+
+/// Whether `args[i]` is the value following a bare `--jobs` flag.
+fn is_jobs_value(args: &[String], i: usize) -> bool {
+    i > 0 && args[i - 1] == "--jobs"
 }
 
 fn write(dir: &Path, name: &str, contents: &str) {

@@ -7,7 +7,7 @@
 use netstack::{topology, FlowSpec, Simulator, TcpVariant};
 use sim_core::SimTime;
 
-use crate::{average, render_table, ExperimentConfig, Mean};
+use crate::{average, render_table, run_matrix, ExperimentConfig, Mean};
 
 /// One measured point of the sweep (one bar in Figs. 5.8–5.13).
 #[derive(Clone, Debug)]
@@ -95,41 +95,52 @@ pub enum SweepMetric {
     Timeouts,
 }
 
-/// Runs the Simulation 2 sweep.
+/// Runs the Simulation 2 sweep. Seeds × combos fan out across `cfg.jobs`
+/// worker threads; the points (and their ordering) are identical at any
+/// worker count.
 pub fn throughput_vs_hops(
     hops_list: &[usize],
     windows: &[u32],
     variants: &[TcpVariant],
     cfg: &ExperimentConfig,
 ) -> ChainSweep {
-    let mut points = Vec::new();
+    let mut combos: Vec<(u32, usize, TcpVariant)> = Vec::new();
     for &window in windows {
         for &hops in hops_list {
             for &variant in variants {
-                let mut kbps = Vec::new();
-                let mut retx = Vec::new();
-                let mut timeouts = Vec::new();
-                for sim_cfg in cfg.sim_configs() {
-                    let mut sim = Simulator::new(topology::chain(hops), sim_cfg);
-                    let (src, dst) = topology::chain_flow(hops);
-                    let flow = sim.add_flow(FlowSpec::new(src, dst, variant).with_window(window));
-                    sim.run_until(SimTime::ZERO + cfg.duration);
-                    let report = sim.flow_report(flow);
-                    kbps.push(report.throughput_kbps(sim.now()));
-                    retx.push(report.sender.retransmissions as f64);
-                    timeouts.push(report.sender.timeouts as f64);
-                }
-                points.push(SweepPoint {
-                    hops,
-                    window,
-                    variant,
-                    throughput_kbps: average(&kbps),
-                    retransmissions: average(&retx),
-                    timeouts: average(&timeouts),
-                });
+                combos.push((window, hops, variant));
             }
         }
     }
+    let points = run_matrix(
+        &combos,
+        cfg,
+        |&(window, hops, variant), sim_cfg| {
+            let mut sim = Simulator::new(topology::chain(hops), sim_cfg);
+            let (src, dst) = topology::chain_flow(hops);
+            let flow = sim.add_flow(FlowSpec::new(src, dst, variant).with_window(window));
+            sim.run_until(SimTime::ZERO + cfg.duration);
+            let report = sim.flow_report(flow);
+            (
+                report.throughput_kbps(sim.now()),
+                report.sender.retransmissions as f64,
+                report.sender.timeouts as f64,
+            )
+        },
+        |&(window, hops, variant), runs| {
+            let kbps: Vec<f64> = runs.iter().map(|r| r.0).collect();
+            let retx: Vec<f64> = runs.iter().map(|r| r.1).collect();
+            let timeouts: Vec<f64> = runs.iter().map(|r| r.2).collect();
+            SweepPoint {
+                hops,
+                window,
+                variant,
+                throughput_kbps: average(&kbps),
+                retransmissions: average(&retx),
+                timeouts: average(&timeouts),
+            }
+        },
+    );
     ChainSweep { points }
 }
 
@@ -144,6 +155,7 @@ mod tests {
             seeds: vec![11],
             duration: SimDuration::from_secs(5),
             base: SimConfig::default(),
+            jobs: 1,
         }
     }
 

@@ -10,7 +10,7 @@ use netstack::{topology, FlowSpec, Simulator, TcpVariant};
 use sim_core::stats::jain_fairness_index;
 use sim_core::SimTime;
 
-use crate::{average, render_table, ExperimentConfig, Mean};
+use crate::{average, render_table, run_matrix, ExperimentConfig, Mean};
 
 /// Which pair of variants coexists.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,44 +68,50 @@ impl CoexistResult {
     }
 }
 
-/// Runs Simulation 3A for every `(hops, pair)` combination.
+/// Runs Simulation 3A for every `(hops, pair)` combination, fanning the
+/// seed runs across `cfg.jobs` worker threads. Results are identical at
+/// any worker count.
 pub fn coexistence(
     hops_list: &[usize],
     pairs: &[CoexistKind],
     cfg: &ExperimentConfig,
 ) -> CoexistResult {
-    let mut runs = Vec::new();
+    let mut combos: Vec<(usize, CoexistKind)> = Vec::new();
     for &hops in hops_list {
         for &kind in pairs {
-            let mut h_kbps = Vec::new();
-            let mut v_kbps = Vec::new();
-            let mut fairness = Vec::new();
-            let mut aggregate = Vec::new();
-            for sim_cfg in cfg.sim_configs() {
-                let mut sim = Simulator::new(topology::cross(hops), sim_cfg);
-                let (hs, hd) = topology::cross_horizontal_flow(hops);
-                let (vs, vd) = topology::cross_vertical_flow(hops);
-                let fh = sim.add_flow(FlowSpec::new(hs, hd, kind.horizontal));
-                let fv = sim.add_flow(FlowSpec::new(vs, vd, kind.vertical));
-                sim.run_until(SimTime::ZERO + cfg.duration);
-                let rh = sim.flow_report(fh);
-                let rv = sim.flow_report(fv);
-                let (h, v) = (rh.throughput_kbps(sim.now()), rv.throughput_kbps(sim.now()));
-                h_kbps.push(h);
-                v_kbps.push(v);
-                fairness.push(jain_fairness_index(&[h, v]));
-                aggregate.push(h + v);
-            }
-            runs.push(CoexistRun {
+            combos.push((hops, kind));
+        }
+    }
+    let runs = run_matrix(
+        &combos,
+        cfg,
+        |&(hops, kind), sim_cfg| {
+            let mut sim = Simulator::new(topology::cross(hops), sim_cfg);
+            let (hs, hd) = topology::cross_horizontal_flow(hops);
+            let (vs, vd) = topology::cross_vertical_flow(hops);
+            let fh = sim.add_flow(FlowSpec::new(hs, hd, kind.horizontal));
+            let fv = sim.add_flow(FlowSpec::new(vs, vd, kind.vertical));
+            sim.run_until(SimTime::ZERO + cfg.duration);
+            let rh = sim.flow_report(fh);
+            let rv = sim.flow_report(fv);
+            (rh.throughput_kbps(sim.now()), rv.throughput_kbps(sim.now()))
+        },
+        |&(hops, kind), seed_runs| {
+            let h_kbps: Vec<f64> = seed_runs.iter().map(|r| r.0).collect();
+            let v_kbps: Vec<f64> = seed_runs.iter().map(|r| r.1).collect();
+            let fairness: Vec<f64> =
+                seed_runs.iter().map(|&(h, v)| jain_fairness_index(&[h, v])).collect();
+            let aggregate: Vec<f64> = seed_runs.iter().map(|&(h, v)| h + v).collect();
+            CoexistRun {
                 hops,
                 kind,
                 horizontal_kbps: average(&h_kbps),
                 vertical_kbps: average(&v_kbps),
                 fairness: average(&fairness),
                 aggregate_kbps: average(&aggregate),
-            });
-        }
-    }
+            }
+        },
+    );
     CoexistResult { runs }
 }
 
@@ -121,6 +127,7 @@ mod tests {
             seeds: vec![11],
             duration: SimDuration::from_secs(5),
             base: SimConfig::default(),
+            jobs: 1,
         };
         let result = coexistence(
             &[4],

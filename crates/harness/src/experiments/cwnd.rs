@@ -58,17 +58,38 @@ pub fn cwnd_traces(
     duration: SimDuration,
     cfg: SimConfig,
 ) -> Vec<CwndTrace> {
-    variants
-        .iter()
-        .map(|&variant| {
-            let mut sim = Simulator::new(topology::chain(hops), cfg);
-            let (src, dst) = topology::chain_flow(hops);
-            let flow = sim.add_flow(FlowSpec::new(src, dst, variant));
-            sim.run_until(SimTime::ZERO + duration);
-            let report = sim.flow_report(flow);
-            CwndTrace { hops, variant, trace: report.cwnd_trace }
-        })
-        .collect()
+    cwnd_traces_batch(&[hops], variants, duration, cfg, 1)
+        .into_iter()
+        .next()
+        .expect("one chain length requested")
+}
+
+/// Runs Simulation 1 for several chain lengths at once, fanning the
+/// `(hops, variant)` runs across `jobs` worker threads (0 = auto,
+/// 1 = serial). Returns one `Vec<CwndTrace>` per entry of `hops_list`, in
+/// order; traces are identical at any worker count.
+pub fn cwnd_traces_batch(
+    hops_list: &[usize],
+    variants: &[TcpVariant],
+    duration: SimDuration,
+    cfg: SimConfig,
+    jobs: usize,
+) -> Vec<Vec<CwndTrace>> {
+    let mut combos: Vec<(usize, TcpVariant)> = Vec::new();
+    for &hops in hops_list {
+        for &variant in variants {
+            combos.push((hops, variant));
+        }
+    }
+    let mut traces = crate::run_batch(&combos, jobs, |&(hops, variant), _| {
+        let mut sim = Simulator::new(topology::chain(hops), cfg);
+        let (src, dst) = topology::chain_flow(hops);
+        let flow = sim.add_flow(FlowSpec::new(src, dst, variant));
+        sim.run_until(SimTime::ZERO + duration);
+        let report = sim.flow_report(flow);
+        CwndTrace { hops, variant, trace: report.cwnd_trace }
+    });
+    hops_list.iter().map(|_| traces.drain(..variants.len()).collect()).collect()
 }
 
 #[cfg(test)]

@@ -61,6 +61,21 @@ impl DynamicsResult {
     }
 }
 
+/// Runs Simulation 3B for several variants at once, one worker thread per
+/// run (capped at `jobs`; 0 = auto, 1 = serial). Returns results in
+/// `variants` order, identical at any worker count.
+pub fn throughput_dynamics_batch(
+    variants: &[TcpVariant],
+    duration: SimDuration,
+    window: SimDuration,
+    cfg: SimConfig,
+    jobs: usize,
+) -> Vec<DynamicsResult> {
+    crate::run_batch(variants, jobs, |&variant, _| {
+        throughput_dynamics(variant, duration, window, cfg)
+    })
+}
+
 /// Runs Simulation 3B for one variant.
 pub fn throughput_dynamics(
     variant: TcpVariant,

@@ -7,5 +7,5 @@ mod dynamics;
 
 pub use chain_sweep::{throughput_vs_hops, ChainSweep, SweepMetric, SweepPoint};
 pub use coexist::{coexistence, CoexistKind, CoexistResult, CoexistRun};
-pub use cwnd::{cwnd_traces, CwndTrace};
-pub use dynamics::{throughput_dynamics, DynamicsResult};
+pub use cwnd::{cwnd_traces, cwnd_traces_batch, CwndTrace};
+pub use dynamics::{throughput_dynamics, throughput_dynamics_batch, DynamicsResult};

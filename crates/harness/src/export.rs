@@ -113,6 +113,7 @@ mod tests {
             seeds: vec![11],
             duration: SimDuration::from_secs(3),
             base: SimConfig::default(),
+            jobs: 1,
         };
         let sweep = throughput_vs_hops(&[2], &[4, 8], &[TcpVariant::NewReno], &cfg);
         let csv = sweep_csv(&sweep);

@@ -21,8 +21,12 @@
 
 pub mod experiments;
 pub mod export;
+mod parallel;
 mod runner;
 mod table;
+mod wallclock;
 
+pub use parallel::{effective_jobs, run_batch, run_matrix};
 pub use runner::{average, significantly_greater, welch_t, ExperimentConfig, Mean};
 pub use table::{render_series, render_table};
+pub use wallclock::WallClock;

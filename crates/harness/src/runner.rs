@@ -12,6 +12,11 @@ pub struct ExperimentConfig {
     pub duration: SimDuration,
     /// Base simulator configuration (the seed field is overridden per run).
     pub base: SimConfig,
+    /// Worker threads for batch execution: 1 = serial (the default),
+    /// 0 = one per available core. Results are identical at any setting —
+    /// every run owns a fresh simulator and outputs are collected in
+    /// submission order.
+    pub jobs: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -20,6 +25,7 @@ impl Default for ExperimentConfig {
             seeds: vec![11, 23, 37, 53, 71],
             duration: SimDuration::from_secs(30),
             base: SimConfig::default(),
+            jobs: 1,
         }
     }
 }
@@ -31,7 +37,14 @@ impl ExperimentConfig {
             seeds: vec![11, 23],
             duration: SimDuration::from_secs(10),
             base: SimConfig::default(),
+            jobs: 1,
         }
+    }
+
+    /// Returns the configuration with `jobs` worker threads (0 = auto).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 
     /// Per-run simulator configs, one per seed.
@@ -52,22 +65,30 @@ pub struct Mean {
 }
 
 impl Mean {
-    /// Formats as `mean ± std`.
+    /// Formats as `mean ± std`, or `"n/a"` when no samples were observed —
+    /// a zeroed mean would masquerade as a measured 0.0 in tables.
     pub fn pm(&self) -> String {
+        if self.n == 0 {
+            return "n/a".to_string();
+        }
         format!("{:.1} ±{:.1}", self.mean, self.std_dev)
     }
 }
 
-/// Computes mean and standard deviation of `samples`.
+/// Computes mean and standard deviation of the *finite* entries of
+/// `samples`. Non-finite entries (NaN/∞ placeholders for runs that
+/// produced no measurement) are excluded rather than poisoning the result.
 ///
-/// Returns a zeroed [`Mean`] for an empty slice.
+/// Returns a zeroed [`Mean`] (with `n == 0`, rendering as `"n/a"`) when no
+/// finite sample remains.
 pub fn average(samples: &[f64]) -> Mean {
-    let n = samples.len();
+    let finite: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+    let n = finite.len();
     if n == 0 {
         return Mean::default();
     }
-    let mean = samples.iter().sum::<f64>() / n as f64;
-    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    let mean = finite.iter().sum::<f64>() / n as f64;
+    let var = finite.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
     Mean { mean, std_dev: var.sqrt(), n }
 }
 
@@ -97,12 +118,39 @@ mod tests {
         let m = average(&[10.0, 10.0]);
         assert_eq!(m.pm(), "10.0 ±0.0");
     }
+
+    #[test]
+    fn empty_mean_renders_not_available() {
+        // Regression: an empty sample set used to format as "0.0 ±0.0",
+        // indistinguishable from a genuinely measured zero.
+        assert_eq!(average(&[]).pm(), "n/a");
+        assert_eq!(Mean::default().pm(), "n/a");
+    }
+
+    #[test]
+    fn average_skips_non_finite_placeholders() {
+        let m = average(&[1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(m.n, 2, "only finite samples count");
+        assert_eq!(m.mean, 2.0);
+        let all_bad = average(&[f64::NAN, f64::NEG_INFINITY]);
+        assert_eq!(all_bad.n, 0);
+        assert_eq!(all_bad.pm(), "n/a");
+    }
+
+    #[test]
+    fn with_jobs_builder() {
+        let cfg = ExperimentConfig::quick().with_jobs(4);
+        assert_eq!(cfg.jobs, 4);
+        assert_eq!(ExperimentConfig::default().jobs, 1, "serial by default");
+    }
 }
 
 /// Welch's t-statistic for the one-sided hypothesis "mean(a) > mean(b)".
 ///
-/// Returns `None` if either sample is too small (< 2) or both variances
-/// are zero.
+/// Returns `None` if either sample is too small (< 2), contains a
+/// non-finite entry (the placeholder for a run that produced no
+/// measurement — silently skipping it would overstate the confidence), or
+/// both variances are zero.
 ///
 /// # Example
 ///
@@ -113,6 +161,9 @@ mod tests {
 /// ```
 pub fn welch_t(a: &[f64], b: &[f64]) -> Option<f64> {
     if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    if a.iter().chain(b).any(|x| !x.is_finite()) {
         return None;
     }
     let ma = average(a);
@@ -158,5 +209,15 @@ mod welch_tests {
     fn degenerate_inputs_are_none() {
         assert!(welch_t(&[1.0], &[2.0, 3.0]).is_none());
         assert!(welch_t(&[1.0, 1.0], &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn non_finite_placeholders_are_rejected() {
+        // Regression: NaN placeholders for empty runs used to flow into the
+        // t-statistic, making every comparison NaN (never "significant",
+        // but also never an error — a silent loss of power).
+        assert!(welch_t(&[1.0, 2.0, f64::NAN], &[0.0, 0.5]).is_none());
+        assert!(welch_t(&[1.0, 2.0], &[0.0, f64::INFINITY]).is_none());
+        assert!(!significantly_greater(&[f64::NAN, f64::NAN], &[0.0, 0.1]));
     }
 }

@@ -37,5 +37,5 @@ pub use busy::BusyTracker;
 pub use config::{FlowSpec, QueueDiscipline, SimConfig, TcpVariant};
 pub use queue::DropTailQueue;
 pub use red::{RedConfig, RedOutcome, RedQueue};
-pub use report::{FlowReport, NodeSummary};
+pub use report::{FlowReport, NodeSummary, RunReport};
 pub use sim::{stderr_tracer, RandomWaypoint, Simulator, TraceEvent, Tracer};

@@ -3,7 +3,7 @@
 //! (§3.2: RED/ECN give only "single-bit congestion-status information").
 
 use sim_core::stats::Ewma;
-use sim_core::SimRng;
+use sim_core::{SimDuration, SimRng, SimTime};
 use std::collections::VecDeque;
 
 use wire::{NodeId, Packet};
@@ -26,6 +26,12 @@ pub struct RedConfig {
     pub ecn: bool,
     /// Hard capacity in packets.
     pub capacity: usize,
+    /// Nominal per-packet service time used to decay the average across
+    /// idle periods (ns-2 RED's idle-time correction): after the queue sits
+    /// empty for `idle`, the average is aged by `idle / idle_service_time`
+    /// EWMA periods, as if that many zero-length samples had been taken.
+    /// Default: one 1500-byte packet at the paper's 2 Mbps links.
+    pub idle_service_time: SimDuration,
 }
 
 impl Default for RedConfig {
@@ -37,6 +43,7 @@ impl Default for RedConfig {
             queue_weight: 0.002,
             ecn: true,
             capacity: 50,
+            idle_service_time: SimDuration::from_micros(6_300),
         }
     }
 }
@@ -56,6 +63,7 @@ impl RedConfig {
         assert!((0.0..=1.0).contains(&self.max_probability), "probability out of range");
         assert!(self.queue_weight > 0.0 && self.queue_weight <= 1.0, "weight out of range");
         assert!(self.capacity > 0, "capacity must be positive");
+        assert!(self.idle_service_time > SimDuration::ZERO, "idle service time must be positive");
     }
 }
 
@@ -81,6 +89,8 @@ pub struct RedQueue {
     stats: QueueStats,
     early_marks: u64,
     early_drops: u64,
+    /// When the queue last drained to empty; pending idle-time decay.
+    idle_since: Option<SimTime>,
 }
 
 impl RedQueue {
@@ -98,19 +108,22 @@ impl RedQueue {
             stats: QueueStats::default(),
             early_marks: 0,
             early_drops: 0,
+            idle_since: None,
         }
     }
 
     /// Enqueues a packet. Control (`priority`) packets bypass RED entirely
-    /// and jump the queue, like in the drop-tail IFQ.
+    /// and jump the queue, like in the drop-tail IFQ — they neither suffer
+    /// early action nor *sample* the average, so a routing-control flood
+    /// cannot skew the drop probability the data packets see.
     pub fn push(
         &mut self,
         mut packet: Packet,
         next_hop: NodeId,
         priority: bool,
+        now: SimTime,
         rng: &mut SimRng,
     ) -> RedOutcome {
-        self.avg.update(self.items.len() as f64);
         if priority {
             if self.items.len() >= self.cfg.capacity {
                 // Evict newest data to protect routing control.
@@ -126,6 +139,14 @@ impl RedQueue {
             self.store_front(packet, next_hop);
             return RedOutcome::Enqueued;
         }
+        // ns-2 RED idle-time correction: age the average across the gap the
+        // queue sat empty, else the first arrival after an idle period is
+        // judged by a stale, inflated average.
+        if let Some(since) = self.idle_since.take() {
+            let idle = now - since;
+            self.avg.age(idle.as_secs_f64() / self.cfg.idle_service_time.as_secs_f64());
+        }
+        self.avg.update(self.items.len() as f64);
         if self.items.len() >= self.cfg.capacity {
             self.stats.dropped += 1;
             return RedOutcome::Dropped(packet);
@@ -178,9 +199,14 @@ impl RedQueue {
         self.stats.max_len = self.stats.max_len.max(self.items.len());
     }
 
-    /// Removes the packet at the head of the queue.
-    pub fn pop(&mut self) -> Option<(Packet, NodeId)> {
-        self.items.pop_front()
+    /// Removes the packet at the head of the queue. `now` starts the idle
+    /// clock when this pop drains the queue.
+    pub fn pop(&mut self, now: SimTime) -> Option<(Packet, NodeId)> {
+        let item = self.items.pop_front();
+        if item.is_some() && self.items.is_empty() {
+            self.idle_since = Some(now);
+        }
+        item
     }
 
     /// Current queue length in packets.
@@ -228,8 +254,29 @@ mod tests {
         )
     }
 
+    fn rreq(uid: u64) -> Packet {
+        use wire::{AodvMessage, RouteRequest};
+        Packet::new(
+            uid,
+            NodeId::new(0),
+            NodeId::BROADCAST,
+            Payload::Aodv(AodvMessage::Rreq(RouteRequest {
+                origin: NodeId::new(0),
+                origin_seq: 1,
+                broadcast_id: uid as u32,
+                dst: NodeId::new(4),
+                dst_seq: 0,
+                hop_count: 0,
+            })),
+        )
+    }
+
     fn hop() -> NodeId {
         NodeId::new(1)
+    }
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
     }
 
     fn fast_cfg(ecn: bool) -> RedConfig {
@@ -246,7 +293,7 @@ mod tests {
         let mut q = RedQueue::new(fast_cfg(true));
         let mut rng = SimRng::new(1);
         for uid in 0..4 {
-            assert_eq!(q.push(data(uid), hop(), false, &mut rng), RedOutcome::Enqueued);
+            assert_eq!(q.push(data(uid), hop(), false, t0(), &mut rng), RedOutcome::Enqueued);
         }
         assert_eq!(q.early_marks(), 0);
         assert_eq!(q.len(), 4);
@@ -258,7 +305,7 @@ mod tests {
         let mut rng = SimRng::new(1);
         let mut marked = 0;
         for uid in 0..60 {
-            match q.push(data(uid), hop(), false, &mut rng) {
+            match q.push(data(uid), hop(), false, t0(), &mut rng) {
                 RedOutcome::EnqueuedMarked => marked += 1,
                 RedOutcome::Dropped(_) => {}
                 RedOutcome::Enqueued => {}
@@ -275,7 +322,7 @@ mod tests {
         let mut rng = SimRng::new(1);
         let mut dropped = 0;
         for uid in 0..60 {
-            if matches!(q.push(data(uid), hop(), false, &mut rng), RedOutcome::Dropped(_)) {
+            if matches!(q.push(data(uid), hop(), false, t0(), &mut rng), RedOutcome::Dropped(_)) {
                 dropped += 1;
             }
         }
@@ -291,7 +338,7 @@ mod tests {
         let mut q = RedQueue::new(cfg);
         let mut rng = SimRng::new(1);
         for uid in 0..30 {
-            let _ = q.push(data(uid), hop(), false, &mut rng);
+            let _ = q.push(data(uid), hop(), false, t0(), &mut rng);
         }
         assert!(q.len() <= 10);
         assert!(q.stats().dropped > 0);
@@ -306,12 +353,12 @@ mod tests {
             ..fast_cfg(true)
         });
         let mut rng = SimRng::new(1);
-        let _ = q.push(data(0), hop(), false, &mut rng);
+        let _ = q.push(data(0), hop(), false, t0(), &mut rng);
         // avg is now 0 -> after update with len 1... push another: avg >= max.
-        let outcome = q.push(data(1), hop(), false, &mut rng);
+        let outcome = q.push(data(1), hop(), false, t0(), &mut rng);
         assert_eq!(outcome, RedOutcome::EnqueuedMarked);
-        let _ = q.pop();
-        let (p, _) = q.pop().unwrap();
+        let _ = q.pop(t0());
+        let (p, _) = q.pop(t0()).unwrap();
         assert!(is_marked(&p), "the stored packet must carry the ECN mark");
     }
 
@@ -327,15 +374,15 @@ mod tests {
         };
         let mut q = RedQueue::new(cfg);
         let mut rng = SimRng::new(1);
-        let _ = q.push(data(0), hop(), false, &mut rng);
+        let _ = q.push(data(0), hop(), false, t0(), &mut rng);
         let ctl = Packet::new(
             9,
             NodeId::new(0),
             NodeId::BROADCAST,
             Payload::Aodv(AodvMessage::Rerr(RouteError { unreachable: vec![] })),
         );
-        assert_eq!(q.push(ctl, hop(), true, &mut rng), RedOutcome::Enqueued);
-        assert_eq!(q.pop().unwrap().0.uid, 9, "control jumps the queue");
+        assert_eq!(q.push(ctl, hop(), true, t0(), &mut rng), RedOutcome::Enqueued);
+        assert_eq!(q.pop(t0()).unwrap().0.uid, 9, "control jumps the queue");
     }
 
     #[test]
@@ -346,5 +393,63 @@ mod tests {
             max_threshold: 10.0,
             ..RedConfig::default()
         });
+    }
+
+    #[test]
+    fn idle_gap_ages_average_no_early_action_on_fresh_burst() {
+        // Regression: without the ns-2 idle-time correction, the average is
+        // frozen at its pre-idle value while the queue sits empty, so the
+        // first packets of a fresh burst ten seconds later were still
+        // early-marked/dropped against a backlog that no longer exists.
+        let mut q = RedQueue::new(fast_cfg(false));
+        let mut rng = SimRng::new(1);
+        for uid in 0..40 {
+            let _ = q.push(data(uid), hop(), false, t0(), &mut rng);
+        }
+        assert!(q.average_len() > q.cfg.max_threshold, "backlog must saturate the average");
+        let drain_done = SimTime::from_secs_f64(1.0);
+        while q.pop(drain_done).is_some() {}
+        assert!(q.is_empty());
+        let drops_during_backlog = q.early_drops();
+
+        // 10 s idle ≫ idle_service_time: the average must decay to ~zero,
+        // so a fresh 4-packet burst sees no early action at all.
+        let later = SimTime::from_secs_f64(11.0);
+        for uid in 100..104 {
+            assert_eq!(
+                q.push(data(uid), hop(), false, later, &mut rng),
+                RedOutcome::Enqueued,
+                "fresh burst after a long idle gap must not suffer early action"
+            );
+        }
+        assert!(
+            q.average_len() < q.cfg.min_threshold,
+            "idle decay must pull the average below min_threshold, got {}",
+            q.average_len()
+        );
+        assert_eq!(q.early_drops(), drops_during_backlog, "no early drops on the post-idle burst");
+    }
+
+    #[test]
+    fn control_flood_does_not_skew_data_average() {
+        // Regression: priority pushes used to sample the average before
+        // branching, so an RREQ flood (tens of same-instant control packets)
+        // inflated the average and raised the drop probability for the data
+        // packets that followed.
+        let mut q = RedQueue::new(fast_cfg(false));
+        let mut rng = SimRng::new(1);
+        for uid in 0..200 {
+            let _ = q.push(rreq(uid), hop(), true, t0(), &mut rng);
+        }
+        assert_eq!(q.average_len(), 0.0, "control packets must not feed the RED average");
+        while q.pop(t0()).is_some() {}
+        for uid in 1000..1004 {
+            assert_eq!(
+                q.push(data(uid), hop(), false, t0(), &mut rng),
+                RedOutcome::Enqueued,
+                "data after a control flood must see an untouched average"
+            );
+        }
+        assert_eq!(q.early_drops(), 0);
     }
 }

@@ -1,7 +1,7 @@
 //! Result extraction.
 
 use sim_core::stats::TimeSeries;
-use sim_core::{SimDuration, SimTime};
+use sim_core::{RunPerf, SimDuration, SimTime};
 use tcp::TcpStats;
 use wire::{FlowId, NodeId};
 
@@ -67,6 +67,18 @@ impl FlowReport {
         };
         (at(to) - at(from)).max(0.0) as u64
     }
+}
+
+/// Everything a whole run produced: per-flow reports, per-node summaries
+/// and the deterministic work counters the driver loop accumulated.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// One report per registered flow, in registration order.
+    pub flows: Vec<FlowReport>,
+    /// One summary per node, in node-id order.
+    pub nodes: Vec<NodeSummary>,
+    /// The run's work counters (event totals, per-subsystem split, peaks).
+    pub perf: RunPerf,
 }
 
 /// Per-node summary after a run.

@@ -1,7 +1,7 @@
 //! The discrete-event simulator: per-node stack assembly and the driver
 //! loop executing layer state-machine outputs.
 
-use sim_core::{DetMap, DetSet, TraceHash};
+use sim_core::{DetMap, DetSet, RunPerf, TraceHash};
 
 use aodv::{Aodv, AodvOutput, AodvTimer};
 use faultline::{CheckEvent, FaultEvent, InvariantChecker, ScenarioScript, TimedFault};
@@ -108,6 +108,26 @@ fn fold_event(hash: &mut TraceHash, now: SimTime, event: &Event) {
     }
 }
 
+/// Folds one dispatched event into the run's work counters, classifying it
+/// by owning subsystem. Every variant is counted exactly once, so
+/// [`RunPerf::classified_total`] always equals `events_processed`.
+fn account_event(perf: &mut RunPerf, event: &Event) {
+    perf.events_processed += 1;
+    match event {
+        Event::RxStart { .. } | Event::RxEnd { .. } | Event::TxDone { .. } => {
+            perf.phy_events += 1;
+        }
+        Event::MacTimer { .. } => perf.mac_events += 1,
+        Event::AodvTimer { .. } | Event::JitteredEnqueue { .. } => perf.routing_events += 1,
+        Event::TcpTimer { .. } | Event::FlowStart { .. } | Event::DelAckTimer { .. } => {
+            perf.transport_events += 1;
+        }
+        Event::MobilityTick { .. } => perf.mobility_events += 1,
+        Event::Sample => perf.sampling_events += 1,
+        Event::Fault { .. } => perf.fault_events += 1,
+    }
+}
+
 /// Scenario-driven liveness of a node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum NodeStatus {
@@ -136,27 +156,29 @@ enum Ifq {
 }
 
 impl Ifq {
-    /// Returns the dropped packet, if any.
+    /// Returns the dropped packet, if any. `now` feeds RED's idle-time
+    /// aging; drop-tail ignores it.
     fn push(
         &mut self,
         packet: Packet,
         next_hop: NodeId,
         priority: bool,
+        now: SimTime,
         rng: &mut SimRng,
     ) -> Option<Packet> {
         match self {
             Ifq::DropTail(q) => q.push(packet, next_hop, priority),
-            Ifq::Red(q) => match q.push(packet, next_hop, priority, rng) {
+            Ifq::Red(q) => match q.push(packet, next_hop, priority, now, rng) {
                 RedOutcome::Enqueued | RedOutcome::EnqueuedMarked => None,
                 RedOutcome::Dropped(p) => Some(p),
             },
         }
     }
 
-    fn pop(&mut self) -> Option<(Packet, NodeId)> {
+    fn pop(&mut self, now: SimTime) -> Option<(Packet, NodeId)> {
         match self {
             Ifq::DropTail(q) => q.pop(),
-            Ifq::Red(q) => q.pop(),
+            Ifq::Red(q) => q.pop(now),
         }
     }
 
@@ -236,6 +258,8 @@ pub struct Simulator {
     saturated: DetMap<NodeId, usize>,
     /// Links currently forced down by the scenario (normalised pairs).
     scripted_down: DetSet<(NodeId, NodeId)>,
+    /// Deterministic work counters for this run (virtual events only).
+    perf: RunPerf,
 }
 
 /// An active movement: the node heads toward `target` at `speed_mps`; when
@@ -377,6 +401,7 @@ impl Simulator {
             blackholes: DetSet::new(),
             saturated: DetMap::new(),
             scripted_down: DetSet::new(),
+            perf: RunPerf::default(),
         };
         // Kick off HELLO beaconing if the AODV config asks for it.
         if cfg.aodv.hello_interval.is_some() {
@@ -643,8 +668,9 @@ impl Simulator {
         self.channel.set_node_enabled(node, false);
         let mut orphans: Vec<u64> = Vec::new();
         {
+            let now = self.now;
             let n = &mut self.nodes[node.index()];
-            while let Some((packet, _)) = n.ifq.pop() {
+            while let Some((packet, _)) = n.ifq.pop(now) {
                 orphans.push(packet.uid);
             }
             if let Some(packet) = n.mac.abort() {
@@ -686,12 +712,19 @@ impl Simulator {
             if t > end {
                 break;
             }
+            self.perf.peak_event_queue = self.perf.peak_event_queue.max(self.events.len());
             let (now, event) = self.events.pop().expect("peeked event vanished");
             self.now = now;
             fold_event(&mut self.trace_hash, now, &event);
+            account_event(&mut self.perf, &event);
             self.dispatch(event);
         }
         self.now = end.max(self.now);
+    }
+
+    /// This run's deterministic work counters so far.
+    pub fn perf(&self) -> RunPerf {
+        self.perf
     }
 
     /// Report for one flow.
@@ -721,6 +754,16 @@ impl Simulator {
     /// Reports for all flows, in registration order.
     pub fn all_flow_reports(&self) -> Vec<FlowReport> {
         (0..self.flows.len()).map(|i| self.flow_report(FlowId::new(i as u32))).collect()
+    }
+
+    /// Everything the run produced in one bundle: all flow reports, all
+    /// node summaries and the work counters.
+    pub fn run_report(&self) -> crate::RunReport {
+        crate::RunReport {
+            flows: self.all_flow_reports(),
+            nodes: self.all_node_summaries(),
+            perf: self.perf,
+        }
     }
 
     /// Per-node drop/discovery summary.
@@ -1141,7 +1184,8 @@ impl Simulator {
             let n = &mut self.nodes[node.index()];
             n.router.process_packet(&mut packet, now);
             let priority = packet.is_control();
-            let dropped = n.ifq.push(packet, next_hop, priority, rng);
+            let dropped = n.ifq.push(packet, next_hop, priority, now, rng);
+            self.perf.peak_ifq_depth = self.perf.peak_ifq_depth.max(n.ifq.len());
             if dropped.is_some() {
                 // Congestion drop: future packets get marked (paper §4.7).
                 n.router.drai_mut().note_congestion_drop(now);
@@ -1166,7 +1210,7 @@ impl Simulator {
             if !n.mac.is_idle() {
                 return;
             }
-            let Some((packet, next_hop)) = n.ifq.pop() else { return };
+            let Some((packet, next_hop)) = n.ifq.pop(now) else { return };
             let len = n.ifq.len();
             n.router.drai_mut().observe_queue(len, now);
             n.mac.start_packet(packet, next_hop, now, medium)

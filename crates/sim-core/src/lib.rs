@@ -29,6 +29,7 @@
 
 mod detmap;
 mod event;
+mod perf;
 mod rng;
 pub mod stats;
 mod time;
@@ -36,6 +37,7 @@ mod trace;
 
 pub use detmap::{DetMap, DetSet};
 pub use event::EventQueue;
+pub use perf::RunPerf;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{twin_run, TraceHash};

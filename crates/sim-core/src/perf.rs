@@ -1,0 +1,98 @@
+//! Run-performance telemetry: deterministic counters describing how much
+//! work a simulation run performed.
+//!
+//! [`RunPerf`] is pure bookkeeping over the *virtual* event stream — it
+//! counts events, never timestamps them — so it is itself deterministic:
+//! twin runs with the same seed must report identical counter blocks, and
+//! the determinism regression suite asserts exactly that. Wall-clock
+//! measurement (events per second, batch speed-ups) lives in the harness
+//! layer behind its `WallClock` shim; wall time never enters sim state.
+
+/// Counters accumulated by a simulator over one run.
+///
+/// The per-subsystem split mirrors the event vocabulary of the netstack
+/// driver loop: radio events dominate healthy runs, so a shifted ratio
+/// (e.g. routing events spiking) is itself a useful diagnostic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunPerf {
+    /// Total events dispatched by the driver loop.
+    pub events_processed: u64,
+    /// Radio pipeline events (reception start/end, transmission done).
+    pub phy_events: u64,
+    /// MAC-layer timer events (backoff, CTS/ACK timeouts, NAV).
+    pub mac_events: u64,
+    /// Routing events (AODV timers and jittered flood enqueues).
+    pub routing_events: u64,
+    /// Transport events (TCP timers, flow starts, delayed-ACK timers).
+    pub transport_events: u64,
+    /// Mobility position-update ticks.
+    pub mobility_events: u64,
+    /// Periodic DRAI sampling ticks.
+    pub sampling_events: u64,
+    /// Scripted fault-injection events.
+    pub fault_events: u64,
+    /// High-water mark of the pending-event heap.
+    pub peak_event_queue: usize,
+    /// High-water mark of any node's interface queue.
+    pub peak_ifq_depth: usize,
+}
+
+impl RunPerf {
+    /// Folds another run's counters into this one (used when aggregating a
+    /// multi-seed batch): counts add, peaks take the maximum.
+    pub fn merge(&mut self, other: &RunPerf) {
+        self.events_processed += other.events_processed;
+        self.phy_events += other.phy_events;
+        self.mac_events += other.mac_events;
+        self.routing_events += other.routing_events;
+        self.transport_events += other.transport_events;
+        self.mobility_events += other.mobility_events;
+        self.sampling_events += other.sampling_events;
+        self.fault_events += other.fault_events;
+        self.peak_event_queue = self.peak_event_queue.max(other.peak_event_queue);
+        self.peak_ifq_depth = self.peak_ifq_depth.max(other.peak_ifq_depth);
+    }
+
+    /// Sum of the per-subsystem counters. Equals [`RunPerf::events_processed`]
+    /// when every dispatched event was classified.
+    pub fn classified_total(&self) -> u64 {
+        self.phy_events
+            + self.mac_events
+            + self.routing_events
+            + self.transport_events
+            + self.mobility_events
+            + self.sampling_events
+            + self.fault_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counts_and_maxes_peaks() {
+        let mut a = RunPerf {
+            events_processed: 10,
+            phy_events: 6,
+            mac_events: 2,
+            transport_events: 2,
+            peak_event_queue: 5,
+            peak_ifq_depth: 3,
+            ..RunPerf::default()
+        };
+        let b = RunPerf {
+            events_processed: 4,
+            phy_events: 4,
+            peak_event_queue: 2,
+            peak_ifq_depth: 9,
+            ..RunPerf::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.events_processed, 14);
+        assert_eq!(a.phy_events, 10);
+        assert_eq!(a.peak_event_queue, 5);
+        assert_eq!(a.peak_ifq_depth, 9);
+        assert_eq!(a.classified_total(), 14);
+    }
+}

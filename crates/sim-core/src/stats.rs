@@ -45,6 +45,19 @@ impl Ewma {
         }
     }
 
+    /// Ages the average as if `periods` zero-valued samples had been fed:
+    /// the value decays by `(1 - alpha)^periods`. Fractional periods are
+    /// allowed. This is ns-2 RED's idle-time correction: while a queue sits
+    /// empty no arrivals sample the EWMA, so the estimator must decay the
+    /// stale value toward the true (zero) occupancy before the next sample.
+    ///
+    /// No-op before the first sample or for non-positive `periods`.
+    pub fn age(&mut self, periods: f64) {
+        if self.initialised && periods > 0.0 {
+            self.value *= (1.0 - self.alpha).powf(periods);
+        }
+    }
+
     /// The current smoothed value (0.0 before any sample).
     pub fn value(&self) -> f64 {
         self.value
@@ -218,6 +231,30 @@ mod tests {
     #[should_panic(expected = "alpha must be in (0, 1]")]
     fn ewma_rejects_bad_alpha() {
         let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn ewma_age_decays_toward_zero() {
+        let mut e = Ewma::new(0.5);
+        e.update(8.0);
+        e.age(3.0);
+        assert!((e.value() - 1.0).abs() < 1e-12, "8 * 0.5^3 = 1");
+        // Aging by many periods drives the value to (near) zero, exactly as
+        // feeding that many zero samples would.
+        e.age(60.0);
+        assert!(e.value() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_age_is_noop_before_init_and_for_nonpositive_periods() {
+        let mut e = Ewma::new(0.3);
+        e.age(10.0);
+        assert_eq!(e.value(), 0.0);
+        assert!(!e.is_initialised());
+        e.update(4.0);
+        e.age(0.0);
+        e.age(-5.0);
+        assert_eq!(e.value(), 4.0);
     }
 
     #[test]

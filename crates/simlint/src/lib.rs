@@ -10,6 +10,11 @@
 //!    `SystemTime::now`, `thread_rng`, entropy-seeded RNG construction,
 //!    `RandomState`) are forbidden *everywhere*. All randomness must flow
 //!    through `sim_core::SimRng`; all time through `sim_core::SimTime`.
+//!    One carve-out: the measurement crates (`crates/harness/`,
+//!    `crates/bench/`) are licensed to use `Instant` — wall-clock numbers
+//!    (events/sec, batch speed-ups) are their *product*, behind the
+//!    harness `WallClock` shim, and never flow into simulator state.
+//!    `SystemTime` stays banned even there.
 //! 2. **`hash-collections`** — `HashMap`/`HashSet` are forbidden in
 //!    simulation-state crates (iteration order would silently perturb event
 //!    ordering); use `BTreeMap`/`BTreeSet` or `sim_core::DetMap`/`DetSet`.
@@ -91,6 +96,20 @@ impl fmt::Display for Rule {
 /// hash-ordered iteration there can silently reorder events between runs.
 pub const SIM_STATE_CRATES: [&str; 8] =
     ["sim-core", "netstack", "aodv", "mac80211", "tcp", "wire", "core", "faultline"];
+
+/// Crates licensed to read the wall clock (`std::time::Instant`): the
+/// measurement layer, whose events/sec and speed-up numbers *are*
+/// wall-clock quantities. Everything they time is simulator *output*;
+/// nothing flows back into simulator state, so determinism is unharmed.
+pub const WALLCLOCK_CRATES: [&str; 2] = ["harness", "bench"];
+
+/// Whether `rel_path` (workspace-relative, forward slashes) belongs to a
+/// crate licensed to use `Instant`.
+pub fn wallclock_licensed(rel_path: &str) -> bool {
+    let mut parts = rel_path.split('/');
+    parts.next() == Some("crates")
+        && parts.next().is_some_and(|krate| WALLCLOCK_CRATES.contains(&krate))
+}
 
 /// One rule hit at one source line.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -307,15 +326,20 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
 
         // Rule 1: nondeterminism sources — everywhere, test code included
         // (a flaky test is as corrosive to replication as a flaky run).
-        for (needle, advice) in [
-            ("Instant::now", "virtual time must come from sim_core::SimTime"),
-            ("std::time::Instant", "virtual time must come from sim_core::SimTime"),
-            ("SystemTime", "wall-clock time is nondeterministic; use sim_core::SimTime"),
-            ("thread_rng", "thread-local RNG is unseeded; draw from sim_core::SimRng"),
-            ("from_entropy", "entropy seeding breaks replay; seed SimRng explicitly"),
-            ("rand::random", "ambient randomness is unseeded; draw from sim_core::SimRng"),
-            ("RandomState", "per-process hash seeding; use DetMap/BTreeMap instead"),
+        // `instant` marks the needles the measurement crates are licensed
+        // to use (wall-clock timing is their product, via `WallClock`).
+        for (needle, instant, advice) in [
+            ("Instant::now", true, "virtual time must come from sim_core::SimTime"),
+            ("std::time::Instant", true, "virtual time must come from sim_core::SimTime"),
+            ("SystemTime", false, "wall-clock time is nondeterministic; use sim_core::SimTime"),
+            ("thread_rng", false, "thread-local RNG is unseeded; draw from sim_core::SimRng"),
+            ("from_entropy", false, "entropy seeding breaks replay; seed SimRng explicitly"),
+            ("rand::random", false, "ambient randomness is unseeded; draw from sim_core::SimRng"),
+            ("RandomState", false, "per-process hash seeding; use DetMap/BTreeMap instead"),
         ] {
+            if instant && wallclock_licensed(rel_path) {
+                continue;
+            }
             if line.contains(needle) {
                 push(Rule::Nondeterminism, format!("`{needle}` is nondeterministic: {advice}"));
             }
@@ -709,7 +733,6 @@ mod tests {
     #[test]
     fn nondet_rule_fires_everywhere() {
         for src in [
-            "let t = Instant::now();",
             "let t = std::time::SystemTime::now();",
             "let mut rng = rand::thread_rng();",
             "let rng = SmallRng::from_entropy();",
@@ -722,6 +745,30 @@ mod tests {
                 "test trees are also covered: {src}"
             );
         }
+        // Instant is banned outside the licensed measurement crates.
+        assert!(rules_at(SIM_PATH, "let t = Instant::now();").contains(&Rule::Nondeterminism));
+        assert!(rules_at("tests/end_to_end.rs", "let t = Instant::now();")
+            .contains(&Rule::Nondeterminism));
+    }
+
+    #[test]
+    fn instant_licensed_only_in_measurement_crates() {
+        for src in ["let t = Instant::now();", "use std::time::Instant;"] {
+            // Licensed: the harness WallClock shim and the bench crate.
+            assert!(rules_at("crates/harness/src/wallclock.rs", src).is_empty(), "{src}");
+            assert!(rules_at("crates/harness/src/bin/bench.rs", src).is_empty(), "{src}");
+            assert!(rules_at("crates/bench/src/lib.rs", src).is_empty(), "{src}");
+            // Still banned in every sim-state crate and in root trees.
+            assert!(rules_at(SIM_PATH, src).contains(&Rule::Nondeterminism), "{src}");
+            assert!(rules_at("crates/sim-core/src/time.rs", src).contains(&Rule::Nondeterminism));
+            assert!(rules_at("tests/determinism.rs", src).contains(&Rule::Nondeterminism));
+            assert!(rules_at("src/lib.rs", src).contains(&Rule::Nondeterminism));
+        }
+        // SystemTime has no licence anywhere, measurement crates included.
+        assert!(rules_at("crates/harness/src/wallclock.rs", "SystemTime::now()")
+            .contains(&Rule::Nondeterminism));
+        assert!(rules_at("crates/bench/src/lib.rs", "SystemTime::now()")
+            .contains(&Rule::Nondeterminism));
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! cargo run --release --example chain_throughput -- --full  # paper-size sweep
 //! cargo run --release --example chain_throughput -- --csv   # machine-readable
 //! ```
+//!
+//! Runs fan out across all cores (`jobs: 0`); the tables are byte-identical
+//! to a serial run, so this is purely a wall-clock optimisation.
 
 use tcp_muzha::experiments::{throughput_vs_hops, ExperimentConfig, SweepMetric};
 use tcp_muzha::export;
@@ -20,6 +23,7 @@ fn main() {
             ExperimentConfig {
                 seeds: vec![11, 23, 37, 53, 71],
                 duration: SimDuration::from_secs(30),
+                jobs: 0, // one worker per core; output independent of this
                 ..ExperimentConfig::default()
             },
         )
@@ -29,6 +33,7 @@ fn main() {
             ExperimentConfig {
                 seeds: vec![11, 23],
                 duration: SimDuration::from_secs(15),
+                jobs: 0,
                 ..ExperimentConfig::default()
             },
         )

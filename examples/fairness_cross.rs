@@ -17,6 +17,7 @@ fn main() {
     let cfg = ExperimentConfig {
         seeds: vec![11, 23, 37, 53, 71],
         duration: SimDuration::from_secs(50), // the paper's 50 s runs
+        jobs: 0, // fan runs across all cores; output independent of this
         ..ExperimentConfig::default()
     };
     let pairs = [

@@ -38,7 +38,7 @@
 /// Discrete-event simulation engine primitives.
 pub mod sim {
     pub use sim_core::stats;
-    pub use sim_core::{EventQueue, SimDuration, SimRng, SimTime};
+    pub use sim_core::{EventQueue, RunPerf, SimDuration, SimRng, SimTime};
 }
 
 /// On-the-wire types: packets, segments, frames, and the DRAI option.
@@ -65,8 +65,8 @@ pub use faultline;
 /// Assembled network stack: nodes, simulator, topologies, flow reports.
 pub mod net {
     pub use netstack::{
-        topology, BusyTracker, DropTailQueue, FlowReport, FlowSpec, NodeSummary, SimConfig,
-        Simulator, TcpVariant,
+        topology, BusyTracker, DropTailQueue, FlowReport, FlowSpec, NodeSummary, RunReport,
+        SimConfig, Simulator, TcpVariant,
     };
 }
 
@@ -74,8 +74,8 @@ pub mod net {
 pub mod experiments {
     pub use harness::experiments::*;
     pub use harness::{
-        average, render_series, render_table, significantly_greater, welch_t, ExperimentConfig,
-        Mean,
+        average, effective_jobs, render_series, render_table, run_batch, run_matrix,
+        significantly_greater, welch_t, ExperimentConfig, Mean, WallClock,
     };
 }
 

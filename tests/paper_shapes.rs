@@ -11,7 +11,12 @@ use tcp_muzha::net::{SimConfig, TcpVariant};
 use tcp_muzha::sim::{SimDuration, SimTime};
 
 fn cfg(seeds: Vec<u64>, secs: u64) -> ExperimentConfig {
-    ExperimentConfig { seeds, duration: SimDuration::from_secs(secs), base: SimConfig::default() }
+    ExperimentConfig {
+        seeds,
+        duration: SimDuration::from_secs(secs),
+        base: SimConfig::default(),
+        jobs: 1,
+    }
 }
 
 /// Figs. 5.8–5.10: goodput falls as the chain grows, for every variant.

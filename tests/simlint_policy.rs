@@ -23,6 +23,33 @@ fn workspace_satisfies_determinism_policy() {
 }
 
 #[test]
+fn wallclock_licence_covers_measurement_crates_only() {
+    // Pin the nondet carve-out: `Instant` is licensed in the measurement
+    // crates (harness owns the `WallClock` shim, bench consumes it) and
+    // nowhere else — in particular not in any sim-state crate, where wall
+    // time entering the event loop would break twin-run determinism.
+    assert!(simlint::wallclock_licensed("crates/harness/src/wallclock.rs"));
+    assert!(simlint::wallclock_licensed("crates/harness/src/bin/bench.rs"));
+    assert!(simlint::wallclock_licensed("crates/bench/src/lib.rs"));
+    for path in [
+        "crates/sim-core/src/time.rs",
+        "crates/netstack/src/sim.rs",
+        "crates/simlint/src/lib.rs",
+        "src/lib.rs",
+        "tests/determinism.rs",
+        "examples/chain_throughput.rs",
+    ] {
+        assert!(!simlint::wallclock_licensed(path), "{path} must not see the wall clock");
+    }
+    for krate in simlint::WALLCLOCK_CRATES {
+        assert!(
+            !simlint::SIM_STATE_CRATES.contains(&krate),
+            "a wall-clock licence on sim-state crate `{krate}` would defeat the policy"
+        );
+    }
+}
+
+#[test]
 fn allowlist_is_not_stale() {
     // The ratchet only moves down: when a file drops below its budget the
     // allowlist must be tightened in the same change, so budgets always
