@@ -53,6 +53,20 @@ pub enum AodvOutput {
         /// Why it was dropped.
         reason: DropReason,
     },
+    /// A routing-table entry changed. Purely informational: reports route
+    /// installs/refreshes (RREQ reverse routes, RREP forward routes, HELLO
+    /// neighbour routes) and invalidations (link failure, RERR, HELLO
+    /// loss), so observers can trace route churn.
+    RouteChange {
+        /// Route destination.
+        dst: NodeId,
+        /// Next hop (`None` once invalidated).
+        next_hop: Option<NodeId>,
+        /// Hop count of the entry (0 when invalidated).
+        hop_count: u8,
+        /// Whether the entry is valid after the change.
+        valid: bool,
+    },
 }
 
 /// Counters for diagnostics and tests.
@@ -207,7 +221,14 @@ impl Aodv {
                     .hello_interval
                     .map(|i| i.saturating_mul(u64::from(self.cfg.allowed_hello_loss) + 1))
                     .unwrap_or(self.cfg.active_route_timeout);
-                self.table.update(prev_hop, prev_hop, 1, hello.seq, now + lifetime);
+                if self.table.update(prev_hop, prev_hop, 1, hello.seq, now + lifetime) {
+                    out.push(AodvOutput::RouteChange {
+                        dst: prev_hop,
+                        next_hop: Some(prev_hop),
+                        hop_count: 1,
+                        valid: true,
+                    });
+                }
             }
             Payload::Tcp(_) => self.handle_transit_data(packet, now, &mut out),
         }
@@ -225,6 +246,14 @@ impl Aodv {
         let mut out = Vec::new();
         let broken = self.table.invalidate_via(next_hop);
         if !broken.is_empty() {
+            for (dst, _, _) in &broken {
+                out.push(AodvOutput::RouteChange {
+                    dst: *dst,
+                    next_hop: None,
+                    hop_count: 0,
+                    valid: false,
+                });
+            }
             let unreachable = broken.iter().map(|(d, s, _)| (*d, *s)).collect();
             self.send_rerr(unreachable, &mut out);
         }
@@ -300,6 +329,14 @@ impl Aodv {
             self.last_heard.remove(&neighbour);
             let broken = self.table.invalidate_via(neighbour);
             if !broken.is_empty() {
+                for (dst, _, _) in &broken {
+                    out.push(AodvOutput::RouteChange {
+                        dst: *dst,
+                        next_hop: None,
+                        hop_count: 0,
+                        valid: false,
+                    });
+                }
                 let unreachable = broken.iter().map(|(d, s, _)| (*d, *s)).collect();
                 self.send_rerr(unreachable, out);
             }
@@ -448,13 +485,20 @@ impl Aodv {
         self.seen.insert(key, now + self.cfg.rreq_seen_lifetime);
         self.purge_seen(now);
         // Learn/refresh the reverse route to the origin.
-        self.table.update(
+        if self.table.update(
             rreq.origin,
             prev_hop,
             rreq.hop_count + 1,
             rreq.origin_seq,
             now + self.cfg.active_route_timeout,
-        );
+        ) {
+            out.push(AodvOutput::RouteChange {
+                dst: rreq.origin,
+                next_hop: Some(prev_hop),
+                hop_count: rreq.hop_count + 1,
+                valid: true,
+            });
+        }
         self.flush_if_pending(rreq.origin, now, out);
         if rreq.dst == self.addr {
             // We are the destination: answer with our own sequence number.
@@ -505,13 +549,20 @@ impl Aodv {
         out: &mut Vec<AodvOutput>,
     ) {
         // Learn the forward route to the destination.
-        self.table.update(
+        if self.table.update(
             rrep.dst,
             prev_hop,
             rrep.hop_count + 1,
             rrep.dst_seq,
             now + self.cfg.active_route_timeout,
-        );
+        ) {
+            out.push(AodvOutput::RouteChange {
+                dst: rrep.dst,
+                next_hop: Some(prev_hop),
+                hop_count: rrep.hop_count + 1,
+                valid: true,
+            });
+        }
         if rrep.origin == self.addr {
             self.finish_discovery(rrep.dst, now, out);
             return;
@@ -531,6 +582,12 @@ impl Aodv {
         let mut invalidated = Vec::new();
         for &(dst, seq) in &rerr.unreachable {
             if self.table.invalidate_route(dst, prev_hop, seq) {
+                out.push(AodvOutput::RouteChange {
+                    dst,
+                    next_hop: None,
+                    hop_count: 0,
+                    valid: false,
+                });
                 invalidated.push((dst, seq));
             }
         }

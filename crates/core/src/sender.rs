@@ -314,6 +314,20 @@ impl Transport for MuzhaSender {
     fn srtt(&self) -> Option<sim_core::SimDuration> {
         self.s.rtt.srtt()
     }
+
+    fn rto(&self) -> Option<sim_core::SimDuration> {
+        Some(self.s.rtt.rto())
+    }
+
+    fn phase(&self) -> &'static str {
+        if self.recovery_point.is_some() {
+            "fast-recovery"
+        } else {
+            // Muzha has no slow-start threshold: the window is steered by
+            // router DRAI feedback from the first ACK onward (Table 4.1).
+            "rate-guided"
+        }
+    }
 }
 
 #[cfg(test)]

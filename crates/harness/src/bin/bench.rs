@@ -17,6 +17,7 @@
 use harness::{run_batch, WallClock};
 use netstack::{topology, FlowSpec, SimConfig, Simulator, TcpVariant};
 use sim_core::{RunPerf, SimDuration, SimTime};
+use tracelog::TraceLog;
 
 /// One standard scenario: a named topology + flow set, run per seed.
 struct Scenario {
@@ -42,6 +43,21 @@ fn cross_run(cfg: SimConfig, duration: SimDuration) -> RunPerf {
     sim.add_flow(FlowSpec::new(vs, vd, TcpVariant::Muzha));
     sim.run_until(SimTime::ZERO + duration);
     sim.perf()
+}
+
+/// Runs the 8-hop chain scenario with or without a full trace log
+/// installed; returns the deterministic event digest and the number of
+/// records the log kept.
+fn chain_hash_run(cfg: SimConfig, duration: SimDuration, traced: bool) -> (u64, usize) {
+    let mut sim = Simulator::new(topology::chain(8), cfg);
+    let (src, dst) = topology::chain_flow(8);
+    sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+    if traced {
+        sim.install_trace_log(TraceLog::new());
+    }
+    sim.run_until(SimTime::ZERO + duration);
+    let kept = sim.trace_log().map_or(0, tracelog::TraceLog::len);
+    (sim.trace_hash(), kept)
 }
 
 fn main() {
@@ -119,10 +135,46 @@ fn main() {
         ));
     }
 
+    // Trace-subsystem overhead guard: the same chain run with a full
+    // in-memory trace log must reproduce the untraced event digest (pure
+    // observer), and its wall-time cost is reported so the trajectory can
+    // be watched across PRs. The headline `events_per_sec_serial` numbers
+    // above always run untraced — tracing disabled costs only a skipped
+    // branch per choke point.
+    eprintln!("measuring trace overhead (chain8, 1 seed)...");
+    let trace_duration = SimDuration::from_secs(secs);
+    let trace_cfg = SimConfig { seed: 11, ..SimConfig::default() };
+    let untraced_clock = WallClock::start();
+    let (untraced_hash, _) = chain_hash_run(trace_cfg, trace_duration, false);
+    let untraced_secs = untraced_clock.elapsed_secs();
+    let traced_clock = WallClock::start();
+    let (traced_hash, records_kept) = chain_hash_run(trace_cfg, trace_duration, true);
+    let traced_secs = traced_clock.elapsed_secs();
+    assert_eq!(untraced_hash, traced_hash, "tracing changed the event stream");
+
+    let trace_overhead = format!(
+        concat!(
+            "  \"trace_overhead\": {{\n",
+            "    \"scenario\": \"chain8_muzha\",\n",
+            "    \"virtual_secs\": {},\n",
+            "    \"records_kept\": {},\n",
+            "    \"untraced_wall_secs\": {:.6},\n",
+            "    \"traced_wall_secs\": {:.6},\n",
+            "    \"overhead_ratio\": {:.3}\n",
+            "  }}"
+        ),
+        secs,
+        records_kept,
+        untraced_secs,
+        traced_secs,
+        traced_secs / untraced_secs.max(1e-9),
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"quick\": {},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"quick\": {},\n  \"scenarios\": [\n{}\n  ],\n{}\n}}\n",
         quick,
-        entries.join(",\n")
+        entries.join(",\n"),
+        trace_overhead,
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!("{json}");

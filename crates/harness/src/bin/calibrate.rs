@@ -3,27 +3,42 @@
 //! regeneration lives in the bench crate and examples.
 //!
 //! ```sh
-//! cargo run --release -p harness --bin calibrate -- [sweep|coexist|cwnd|dynamics|all] [--jobs N]
+//! cargo run --release -p harness --bin calibrate -- \
+//!     [sweep|coexist|cwnd|dynamics|all] [--jobs N] [--trace PATH] [--pcap PATH]
 //! ```
+//!
+//! `--trace PATH` / `--pcap PATH` additionally capture the representative
+//! 4-hop Muzha run through the trace subsystem (`crates/tracelog`) and
+//! write it as ns-2 trace lines / a pcap file.
 
 use harness::experiments::{
     coexistence, cwnd_traces, throughput_dynamics_batch, throughput_vs_hops, CoexistKind,
     SweepMetric,
 };
+use harness::tracecap::{self, TraceFormat};
 use harness::ExperimentConfig;
 use netstack::{SimConfig, TcpVariant};
 use sim_core::{SimDuration, SimTime};
+use tracelog::{TraceEntry, TraceFilter};
+
+/// Flags that consume the following argument (so it is not the positional
+/// experiment selector).
+const VALUE_FLAGS: [&str; 3] = ["--jobs", "--trace", "--pcap"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args
         .iter()
         .enumerate()
-        .filter(|&(i, a)| !(a.starts_with("--") || i > 0 && args[i - 1] == "--jobs"))
+        .filter(|&(i, a)| {
+            !(a.starts_with("--") || i > 0 && VALUE_FLAGS.contains(&args[i - 1].as_str()))
+        })
         .map(|(_, a)| a.as_str())
         .next()
         .unwrap_or("all");
     let jobs = parse_jobs(&args);
+    let trace_path = parse_flag(&args, "--trace");
+    let pcap_path = parse_flag(&args, "--pcap");
 
     if which == "sweep" || which == "all" {
         let cfg = ExperimentConfig {
@@ -91,6 +106,43 @@ fn main() {
             );
         }
     }
+
+    if trace_path.is_some() || pcap_path.is_some() {
+        println!("== Trace capture (4-hop Muzha chain, 10 s) ==");
+        let (log, _) = tracecap::capture_chain(
+            4,
+            TcpVariant::Muzha,
+            SimDuration::from_secs(10),
+            SimConfig::default(),
+            TraceFilter::all(),
+        );
+        let entries: Vec<TraceEntry> = log.iter().copied().collect();
+        if let Some(path) = trace_path {
+            std::fs::write(&path, tracecap::render(&entries, TraceFormat::Ns2))
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("  wrote {} ns-2 trace lines to {path}", entries.len());
+        }
+        if let Some(path) = pcap_path {
+            std::fs::write(&path, tracecap::render(&entries, TraceFormat::Pcap))
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("  wrote {} pcap records to {path}", entries.len());
+        }
+    }
+}
+
+/// Returns the value of `--flag V` or `--flag=V`, if present.
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+        if a == flag {
+            return Some(
+                args.get(i + 1).unwrap_or_else(|| panic!("{flag} expects a value")).clone(),
+            );
+        }
+    }
+    None
 }
 
 /// Parses `--jobs N` (or `--jobs=N`); defaults to 1 (serial).

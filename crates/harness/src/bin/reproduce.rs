@@ -10,6 +10,10 @@
 //! independent `(experiment, variant, seed)` runs across `N` worker
 //! threads (`0` = one per core); every output file is byte-identical to a
 //! serial (`--jobs 1`, the default) run.
+//!
+//! `--trace PATH` and/or `--pcap PATH` additionally capture the
+//! representative 4-hop Muzha run through the trace subsystem and write it
+//! as ns-2 trace lines / a pcap file (see `crates/tracelog`).
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -18,18 +22,26 @@ use harness::experiments::{
     coexistence, cwnd_traces_batch, throughput_dynamics_batch, throughput_vs_hops, CoexistKind,
     SweepMetric,
 };
+use harness::tracecap::{self, TraceFormat};
 use harness::{export, ExperimentConfig};
 use netstack::{SimConfig, TcpVariant};
 use sim_core::{SimDuration, SimTime};
+use tracelog::{TraceEntry, TraceFilter};
+
+/// Flags that consume the following argument (so it is not the OUT_DIR
+/// positional).
+const VALUE_FLAGS: [&str; 3] = ["--jobs", "--trace", "--pcap"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let jobs = parse_jobs(&args);
+    let trace_path = parse_flag(&args, "--trace");
+    let pcap_path = parse_flag(&args, "--pcap");
     let out_dir: PathBuf = args
         .iter()
         .enumerate()
-        .filter(|&(i, a)| !a.starts_with("--") && !is_jobs_value(&args, i))
+        .filter(|&(i, a)| !a.starts_with("--") && !is_flag_value(&args, i))
         .map(|(_, a)| PathBuf::from(a))
         .next()
         .unwrap_or_else(|| PathBuf::from("results"));
@@ -131,6 +143,30 @@ fn main() {
     }
     write(&out_dir, "fig5_19_to_5_22_dynamics.txt", &dyn_txt);
 
+    // ---- Optional trace capture ----------------------------------------
+    if trace_path.is_some() || pcap_path.is_some() {
+        let trace_secs = if quick { 2 } else { 10 };
+        println!("[+] trace capture (4-hop Muzha chain, {trace_secs} s)...");
+        let (log, _) = tracecap::capture_chain(
+            4,
+            TcpVariant::Muzha,
+            SimDuration::from_secs(trace_secs),
+            SimConfig::default(),
+            TraceFilter::all(),
+        );
+        let entries: Vec<TraceEntry> = log.iter().copied().collect();
+        if let Some(path) = trace_path {
+            fs::write(&path, tracecap::render(&entries, TraceFormat::Ns2))
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("    wrote {} ns-2 trace lines to {path}", entries.len());
+        }
+        if let Some(path) = pcap_path {
+            fs::write(&path, tracecap::render(&entries, TraceFormat::Pcap))
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("    wrote {} pcap records to {path}", entries.len());
+        }
+    }
+
     println!("done — results in {}", out_dir.display());
 }
 
@@ -149,9 +185,24 @@ fn parse_jobs(args: &[String]) -> usize {
     1
 }
 
-/// Whether `args[i]` is the value following a bare `--jobs` flag.
-fn is_jobs_value(args: &[String], i: usize) -> bool {
-    i > 0 && args[i - 1] == "--jobs"
+/// Whether `args[i]` is the value following a bare value-taking flag.
+fn is_flag_value(args: &[String], i: usize) -> bool {
+    i > 0 && VALUE_FLAGS.contains(&args[i - 1].as_str())
+}
+
+/// Returns the value of `--flag V` or `--flag=V`, if present.
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+        if a == flag {
+            return Some(
+                args.get(i + 1).unwrap_or_else(|| panic!("{flag} expects a value")).clone(),
+            );
+        }
+    }
+    None
 }
 
 fn write(dir: &Path, name: &str, contents: &str) {

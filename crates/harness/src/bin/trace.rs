@@ -1,0 +1,92 @@
+//! Trace capture CLI: runs a single-flow chain scenario with the trace
+//! subsystem enabled and emits the capture as ns-2 trace lines, a pcap
+//! file, or CSV.
+//!
+//! ```sh
+//! cargo run --release -p harness --bin trace -- \
+//!     [--hops N] [--variant NAME] [--secs S] [--seed S] [--quick] \
+//!     [--format ns2|pcap|csv] [--follow-flow F] [--last N] [--out PATH]
+//! ```
+//!
+//! Defaults: a 4-hop chain, one Muzha flow, 10 virtual seconds, ns-2
+//! format on stdout. `--quick` shortens the run to 2 s (used by the CI
+//! smoke job). `--follow-flow F` keeps only records attributable to flow
+//! `F`; `--last N` keeps only the final `N` records. `--out` writes to a
+//! file instead of stdout; pcap output is binary and requires it.
+
+use harness::tracecap::{self, TraceFormat};
+use netstack::{SimConfig, TcpVariant};
+use sim_core::SimDuration;
+use tracelog::{TraceEntry, TraceFilter};
+use wire::FlowId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let hops: usize = parse_flag(&args, "--hops").map_or(4, |v| v.parse().expect("--hops number"));
+    let variant = parse_flag(&args, "--variant").map_or(TcpVariant::Muzha, |v| {
+        tracecap::variant_by_name(&v)
+            .unwrap_or_else(|| panic!("unknown variant {v:?}; known: {:?}", TcpVariant::ALL))
+    });
+    let secs: u64 = parse_flag(&args, "--secs")
+        .map_or(if quick { 2 } else { 10 }, |v| v.parse().expect("--secs number"));
+    let seed: Option<u64> = parse_flag(&args, "--seed").map(|v| v.parse().expect("--seed number"));
+    let format = parse_flag(&args, "--format").map_or(TraceFormat::Ns2, |v| {
+        TraceFormat::parse(&v).unwrap_or_else(|| panic!("unknown format {v:?}; want ns2|pcap|csv"))
+    });
+    let follow: Option<FlowId> = parse_flag(&args, "--follow-flow")
+        .map(|v| FlowId::new(v.parse().expect("--follow-flow number")));
+    let last: Option<usize> =
+        parse_flag(&args, "--last").map(|v| v.parse().expect("--last number"));
+    let out = parse_flag(&args, "--out");
+
+    let mut cfg = SimConfig::default();
+    if let Some(seed) = seed {
+        cfg.seed = seed;
+    }
+    let mut filter = TraceFilter::all();
+    if let Some(flow) = follow {
+        filter = filter.flow(flow);
+    }
+
+    eprintln!("capturing {hops}-hop chain, {} flow, {secs} s virtual...", variant.name());
+    let (log, flow) =
+        tracecap::capture_chain(hops, variant, SimDuration::from_secs(secs), cfg, filter);
+    eprintln!("flow {flow}: {} records seen, {} kept", log.seen(), log.kept());
+
+    let entries: Vec<TraceEntry> = tracecap::tail(log.iter().copied().collect(), last);
+    let bytes = tracecap::render(&entries, format);
+
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &bytes).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("wrote {} records ({} bytes) to {path}", entries.len(), bytes.len());
+        }
+        None => {
+            assert!(
+                !format.is_binary(),
+                "pcap output is binary; pass --out PATH instead of writing to stdout"
+            );
+            // Tolerate a closed pipe (`trace ... | head`) instead of
+            // panicking mid-write.
+            use std::io::Write as _;
+            let _ = std::io::stdout().write_all(&bytes);
+        }
+    }
+}
+
+/// Returns the value of `--flag V` or `--flag=V`, if present.
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+        if a == flag {
+            return Some(
+                args.get(i + 1).unwrap_or_else(|| panic!("{flag} expects a value")).clone(),
+            );
+        }
+    }
+    None
+}

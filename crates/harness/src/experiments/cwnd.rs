@@ -6,6 +6,7 @@
 use netstack::{topology, FlowSpec, SimConfig, Simulator, TcpVariant};
 use sim_core::stats::TimeSeries;
 use sim_core::{SimDuration, SimTime};
+use tracelog::{FlowSeries, Layer, TraceFilter, TraceLog};
 
 /// One congestion-window trace (one curve in Figs. 5.2–5.7).
 #[derive(Clone, Debug)]
@@ -22,16 +23,7 @@ impl CwndTrace {
     /// The trace resampled on a uniform grid of `step` over `[0, until)` —
     /// convenient for plotting and for comparing against the paper.
     pub fn resampled(&self, step: SimDuration, until: SimTime) -> Vec<(f64, f64)> {
-        let mut out = Vec::new();
-        let mut t = SimTime::ZERO;
-        let samples = self.trace.samples();
-        while t < until {
-            let idx = samples.partition_point(|&(st, _)| st <= t);
-            let v = if idx == 0 { 0.0 } else { samples[idx - 1].1 };
-            out.push((t.as_secs_f64(), v));
-            t += step;
-        }
-        out
+        tracelog::resample(&self.trace, step, until)
     }
 
     /// Mean window over `[from, to)` (time weighted).
@@ -85,9 +77,15 @@ pub fn cwnd_traces_batch(
         let mut sim = Simulator::new(topology::chain(hops), cfg);
         let (src, dst) = topology::chain_flow(hops);
         let flow = sim.add_flow(FlowSpec::new(src, dst, variant));
+        // The window curve comes from the trace subsystem: transport-layer
+        // records only, extracted per flow. The `TcpCwnd` stream mirrors the
+        // sender's internal change-triggered trace exactly, so this is
+        // byte-identical with reading `FlowReport::cwnd_trace` directly.
+        sim.install_trace_log(TraceLog::with_filter(TraceFilter::all().layer(Layer::Agt)));
         sim.run_until(SimTime::ZERO + duration);
-        let report = sim.flow_report(flow);
-        CwndTrace { hops, variant, trace: report.cwnd_trace }
+        let log = sim.take_trace_log().expect("log installed above");
+        let series = FlowSeries::collect(flow, None, log.iter());
+        CwndTrace { hops, variant, trace: series.cwnd }
     });
     hops_list.iter().map(|_| traces.drain(..variants.len()).collect()).collect()
 }

@@ -24,6 +24,7 @@ pub mod export;
 mod parallel;
 mod runner;
 mod table;
+pub mod tracecap;
 mod wallclock;
 
 pub use parallel::{effective_jobs, run_batch, run_matrix};

@@ -77,6 +77,17 @@ pub enum MacOutput {
     /// The MAC finished its current packet (success or failure) and can
     /// accept another via [`Mac::start_packet`].
     ReadyForNext,
+    /// The DCF armed its contention countdown. Purely informational (the
+    /// matching `SetTimer` drives the behaviour): reports the backoff slots
+    /// in force — freshly drawn from `cw`, or carried over from a frozen
+    /// countdown — so observers can trace contention. Not emitted for
+    /// zero-slot (pure IFS) waits.
+    Backoff {
+        /// Backoff slots ahead of the transmission attempt.
+        slots: u32,
+        /// Contention window the draw was (or would have been) taken from.
+        cw: u32,
+    },
 }
 
 /// Counters exposed for diagnostics, DRAI utilisation input, and tests.
@@ -519,6 +530,9 @@ impl Mac {
         let id = self.alloc_timer();
         self.attempt_timer = Some(id);
         self.phase = Phase::Count;
+        if slots > 0 {
+            out.push(MacOutput::Backoff { slots, cw: self.cw });
+        }
         out.push(MacOutput::SetTimer { id, at: fire });
     }
 

@@ -74,9 +74,15 @@ pub enum RedOutcome {
     Enqueued,
     /// Stored, but the packet was ECN-marked (early congestion signal).
     EnqueuedMarked,
-    /// Dropped (early drop, or hard-limit overflow); the packet is
-    /// returned to the caller for statistics.
-    Dropped(Packet),
+    /// Dropped; the packet is returned to the caller for statistics.
+    /// `early` distinguishes probabilistic early detection from hard-limit
+    /// overflow (and from priority evictions, which are never early).
+    Dropped {
+        /// The shed packet (may differ from the arrival on priority evict).
+        packet: Packet,
+        /// Whether early detection, rather than overflow, shed it.
+        early: bool,
+    },
 }
 
 /// A RED queue with the same interface shape as
@@ -131,10 +137,10 @@ impl RedQueue {
                     let (evicted, _) = self.items.remove(idx).expect("index valid");
                     self.store_front(packet, next_hop);
                     self.stats.dropped += 1;
-                    return RedOutcome::Dropped(evicted);
+                    return RedOutcome::Dropped { packet: evicted, early: false };
                 }
                 self.stats.dropped += 1;
-                return RedOutcome::Dropped(packet);
+                return RedOutcome::Dropped { packet, early: false };
             }
             self.store_front(packet, next_hop);
             return RedOutcome::Enqueued;
@@ -149,7 +155,7 @@ impl RedQueue {
         self.avg.update(self.items.len() as f64);
         if self.items.len() >= self.cfg.capacity {
             self.stats.dropped += 1;
-            return RedOutcome::Dropped(packet);
+            return RedOutcome::Dropped { packet, early: false };
         }
         let avg = self.avg.value();
         if avg >= self.cfg.max_threshold {
@@ -160,7 +166,7 @@ impl RedQueue {
             }
             self.early_drops += 1;
             self.stats.dropped += 1;
-            return RedOutcome::Dropped(packet);
+            return RedOutcome::Dropped { packet, early: true };
         }
         if avg > self.cfg.min_threshold {
             let p = self.cfg.max_probability * (avg - self.cfg.min_threshold)
@@ -173,7 +179,7 @@ impl RedQueue {
                 }
                 self.early_drops += 1;
                 self.stats.dropped += 1;
-                return RedOutcome::Dropped(packet);
+                return RedOutcome::Dropped { packet, early: true };
             }
         }
         self.store_back(packet, next_hop);
@@ -307,7 +313,7 @@ mod tests {
         for uid in 0..60 {
             match q.push(data(uid), hop(), false, t0(), &mut rng) {
                 RedOutcome::EnqueuedMarked => marked += 1,
-                RedOutcome::Dropped(_) => {}
+                RedOutcome::Dropped { .. } => {}
                 RedOutcome::Enqueued => {}
             }
         }
@@ -322,7 +328,10 @@ mod tests {
         let mut rng = SimRng::new(1);
         let mut dropped = 0;
         for uid in 0..60 {
-            if matches!(q.push(data(uid), hop(), false, t0(), &mut rng), RedOutcome::Dropped(_)) {
+            if matches!(
+                q.push(data(uid), hop(), false, t0(), &mut rng),
+                RedOutcome::Dropped { early: true, .. }
+            ) {
                 dropped += 1;
             }
         }

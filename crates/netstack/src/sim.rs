@@ -13,6 +13,7 @@ use tcp::{
     DoorSender, RenoSender, SackSender, TcpOutput, TcpReceiver, TcpTimer, Transport, VegasSender,
     VenoSender, WestwoodSender,
 };
+use tracelog::{PacketKind, TraceLog, TraceRecord};
 use wire::{
     AodvMessage, FlowId, FrameKind, MacFrame, NodeId, Packet, Payload, TcpSegment, TcpSegmentKind,
     UidGen,
@@ -142,6 +143,9 @@ enum NodeStatus {
 struct SenderEndpoint {
     dst: NodeId,
     transport: Box<dyn Transport>,
+    /// Samples of `transport.cwnd_trace()` already mirrored into the trace
+    /// log as [`TraceRecord::TcpCwnd`] records.
+    traced_cwnd: usize,
 }
 
 struct ReceiverEndpoint {
@@ -155,9 +159,20 @@ enum Ifq {
     Red(RedQueue),
 }
 
+/// What the interface queue did with an arriving packet, in the vocabulary
+/// the trace log needs (mark and early-drop provenance preserved).
+enum IfqPush {
+    /// Stored; `marked` is true when RED ECN-marked the packet on the way
+    /// in (drop-tail never marks).
+    Stored { marked: bool },
+    /// Shed; the packet returned may differ from the arrival (RED's
+    /// priority path evicts stored data to protect routing control).
+    Dropped { packet: Packet, early: bool },
+}
+
 impl Ifq {
-    /// Returns the dropped packet, if any. `now` feeds RED's idle-time
-    /// aging; drop-tail ignores it.
+    /// Enqueues a packet. `now` feeds RED's idle-time aging; drop-tail
+    /// ignores it.
     fn push(
         &mut self,
         packet: Packet,
@@ -165,12 +180,16 @@ impl Ifq {
         priority: bool,
         now: SimTime,
         rng: &mut SimRng,
-    ) -> Option<Packet> {
+    ) -> IfqPush {
         match self {
-            Ifq::DropTail(q) => q.push(packet, next_hop, priority),
+            Ifq::DropTail(q) => match q.push(packet, next_hop, priority) {
+                None => IfqPush::Stored { marked: false },
+                Some(packet) => IfqPush::Dropped { packet, early: false },
+            },
             Ifq::Red(q) => match q.push(packet, next_hop, priority, now, rng) {
-                RedOutcome::Enqueued | RedOutcome::EnqueuedMarked => None,
-                RedOutcome::Dropped(p) => Some(p),
+                RedOutcome::Enqueued => IfqPush::Stored { marked: false },
+                RedOutcome::EnqueuedMarked => IfqPush::Stored { marked: true },
+                RedOutcome::Dropped { packet, early } => IfqPush::Dropped { packet, early },
             },
         }
     }
@@ -240,6 +259,10 @@ pub struct Simulator {
     movements: DetMap<NodeId, Movement>,
     tracer: Option<Tracer>,
     trace_hash: TraceHash,
+    /// Structured trace log fed from the same choke points as the checker
+    /// and the trace hash. A pure observer: `None` costs one branch per
+    /// choke point and recording never changes simulation behaviour.
+    log: Option<TraceLog>,
     /// Runtime invariant checker fed from the cross-layer event stream.
     checker: Option<InvariantChecker>,
     /// Every scripted fault loaded so far, addressed by [`Event::Fault`].
@@ -392,6 +415,7 @@ impl Simulator {
             movements: DetMap::new(),
             trace_hash: TraceHash::new(),
             tracer: if std::env::var("SIM_TRACE").is_ok() { Some(stderr_tracer()) } else { None },
+            log: None,
             checker: None,
             scripted_faults: Vec::new(),
             node_status: vec![NodeStatus::Up; node_count],
@@ -460,7 +484,7 @@ impl Simulator {
         };
         self.nodes[spec.src.index()]
             .senders
-            .insert(flow, SenderEndpoint { dst: spec.dst, transport });
+            .insert(flow, SenderEndpoint { dst: spec.dst, transport, traced_cwnd: 0 });
         let sack = spec.variant == TcpVariant::Sack;
         let receiver = if spec.delayed_ack {
             TcpReceiver::with_delayed_ack(flow, sack)
@@ -511,6 +535,36 @@ impl Simulator {
         self.checker = Some(checker);
     }
 
+    // ------------------------------------------------------------------
+    // Structured tracing (crates/tracelog)
+    // ------------------------------------------------------------------
+
+    /// Installs a structured trace log fed from the simulator's choke
+    /// points. Recording is a pure observation: twin runs with and without
+    /// a log installed dispatch byte-identical event streams. Replaces any
+    /// previously installed log.
+    pub fn install_trace_log(&mut self, log: TraceLog) {
+        self.log = Some(log);
+    }
+
+    /// Removes and returns the trace log, if one is installed.
+    pub fn take_trace_log(&mut self) -> Option<TraceLog> {
+        self.log.take()
+    }
+
+    /// A borrow of the installed trace log, if any.
+    pub fn trace_log(&self) -> Option<&TraceLog> {
+        self.log.as_ref()
+    }
+
+    /// Records one trace observation at the current virtual time.
+    #[inline]
+    fn rec(&mut self, record: TraceRecord) {
+        if let Some(log) = &mut self.log {
+            log.record(self.now, record);
+        }
+    }
+
     /// Removes the checker, sealing it with [`InvariantChecker::finish`] at
     /// the current virtual time, and returns it for inspection.
     pub fn take_checker(&mut self) -> Option<InvariantChecker> {
@@ -526,8 +580,19 @@ impl Simulator {
 
     #[inline]
     fn emit(&mut self, event: CheckEvent) {
-        if let Some(checker) = &mut self.checker {
-            checker.on_event(self.now, &event);
+        let Some(checker) = &mut self.checker else { return };
+        let before = checker.violations().len();
+        checker.on_event(self.now, &event);
+        let violations = checker.violations();
+        if violations.len() > before {
+            // A flight-recorder log dumps its window the moment an
+            // invariant trips, capturing the lead-up to the failure.
+            let reason = violations.last().map(|v| v.to_string());
+            if let Some(log) = &mut self.log {
+                if log.is_flight_recorder() {
+                    log.dump(self.now, reason.as_deref().unwrap_or("?"));
+                }
+            }
         }
     }
 
@@ -917,6 +982,36 @@ impl Simulator {
                     kind: frame.kind(),
                     outcome,
                 });
+                if self.log.is_some() {
+                    let uid = frame.packet().map(|p| p.uid);
+                    match outcome {
+                        RxOutcome::Decoded => self.rec(TraceRecord::PhyRx {
+                            node,
+                            from: frame.src,
+                            frame: frame.kind(),
+                            bytes: frame.size_bytes(),
+                            uid,
+                        }),
+                        RxOutcome::CollisionLost => self.rec(TraceRecord::PhyCollision {
+                            node,
+                            from: frame.src,
+                            frame: frame.kind(),
+                            uid,
+                        }),
+                        // In-range but undecodable means the channel error
+                        // model corrupted it; out-of-range carrier sense is
+                        // not a loss and stays untraced.
+                        RxOutcome::NotDecodable if in_rx_range => {
+                            self.rec(TraceRecord::PhyLoss {
+                                node,
+                                from: frame.src,
+                                frame: frame.kind(),
+                                uid,
+                            });
+                        }
+                        RxOutcome::NotDecodable => {}
+                    }
+                }
                 let medium = self.medium(node);
                 let mut outputs = Vec::new();
                 {
@@ -996,6 +1091,17 @@ impl Simulator {
                 };
                 if let Some(segment) = ack {
                     let uid = self.nodes[node.index()].uid.next();
+                    if self.log.is_some() {
+                        if let TcpSegmentKind::Ack { ack, mrai, .. } = &segment.kind {
+                            self.rec(TraceRecord::TcpAckTx {
+                                node,
+                                flow,
+                                ack: *ack,
+                                uid,
+                                mrai: *mrai,
+                            });
+                        }
+                    }
                     let packet = ack_packet(uid, node, src, segment);
                     self.route_local(node, packet);
                 }
@@ -1050,6 +1156,15 @@ impl Simulator {
                 }
                 MacOutput::Deliver { packet, from } => {
                     let now = self.now;
+                    if self.log.is_some() {
+                        self.rec(TraceRecord::RtrRecv {
+                            node,
+                            kind: PacketKind::of(&packet),
+                            uid: packet.uid,
+                            flow: packet.tcp().map(|s| s.flow),
+                            bytes: packet.size_bytes(),
+                        });
+                    }
                     let outs = self.nodes[node.index()].aodv.on_packet_received(packet, from, now);
                     self.process_aodv_outputs(node, outs);
                 }
@@ -1061,8 +1176,12 @@ impl Simulator {
                     let now = self.now;
                     self.trace(TraceEvent::LinkFailure { node, next_hop });
                     self.emit(CheckEvent::LinkFailure { node, next_hop });
+                    self.rec(TraceRecord::MacRetryDrop { node, next_hop, uid: packet.uid });
                     let outs = self.nodes[node.index()].aodv.on_link_failure(packet, next_hop, now);
                     self.process_aodv_outputs(node, outs);
+                }
+                MacOutput::Backoff { slots, cw } => {
+                    self.rec(TraceRecord::MacBackoff { node, slots, cw });
                 }
                 MacOutput::ReadyForNext => self.try_feed_mac(node),
             }
@@ -1075,6 +1194,18 @@ impl Simulator {
                 AodvOutput::Forward { packet, next_hop } => {
                     if self.checker.is_some() {
                         self.note_forward(node, &packet, next_hop);
+                    }
+                    if self.log.is_some() {
+                        self.rec(TraceRecord::RtrForward {
+                            node,
+                            next_hop,
+                            kind: PacketKind::of(&packet),
+                            uid: packet.uid,
+                            flow: packet.tcp().map(|s| s.flow),
+                            bytes: packet.size_bytes(),
+                            ttl: packet.ttl,
+                            origin: packet.src == node,
+                        });
                     }
                     if next_hop.is_broadcast() {
                         // ns-2's AODV jitters every flood (re)broadcast by
@@ -1098,7 +1229,24 @@ impl Simulator {
                 AodvOutput::Dropped { packet, .. } => {
                     self.nodes[node.index()].routing_drops += 1;
                     let uid = packet.uid;
+                    if self.log.is_some() {
+                        self.rec(TraceRecord::RtrDrop {
+                            node,
+                            kind: PacketKind::of(&packet),
+                            uid,
+                            flow: packet.tcp().map(|s| s.flow),
+                        });
+                    }
                     self.emit(CheckEvent::RoutingDrop { node, uid });
+                }
+                AodvOutput::RouteChange { dst, next_hop, hop_count, valid } => {
+                    self.rec(TraceRecord::RtrRouteChange {
+                        node,
+                        dst,
+                        next_hop,
+                        hops: u32::from(hop_count),
+                        valid,
+                    });
                 }
             }
         }
@@ -1126,9 +1274,27 @@ impl Simulator {
             match output {
                 TcpOutput::SendSegment(segment) => {
                     let is_data = segment.is_data();
-                    let n = &mut self.nodes[node.index()];
-                    let dst = n.senders.get(&flow).map(|ep| ep.dst).expect("unknown flow");
-                    let uid = n.uid.next();
+                    let (dst, uid) = {
+                        let n = &mut self.nodes[node.index()];
+                        let dst = n.senders.get(&flow).map(|ep| ep.dst).expect("unknown flow");
+                        (dst, n.uid.next())
+                    };
+                    if self.log.is_some() {
+                        let record = match &segment.kind {
+                            TcpSegmentKind::Data { seq, retransmit, .. } => TraceRecord::TcpSend {
+                                node,
+                                flow,
+                                seq: *seq,
+                                uid,
+                                bytes: segment.size_bytes(),
+                                retransmit: *retransmit,
+                            },
+                            TcpSegmentKind::Ack { ack, mrai, .. } => {
+                                TraceRecord::TcpAckTx { node, flow, ack: *ack, uid, mrai: *mrai }
+                            }
+                        };
+                        self.rec(record);
+                    }
                     let packet = Packet::new(uid, node, dst, Payload::Tcp(segment));
                     if is_data {
                         self.emit(CheckEvent::Injected { node, flow, uid });
@@ -1147,6 +1313,36 @@ impl Simulator {
                 .map(|ep| (ep.transport.name(), ep.transport.cwnd(), ep.transport.ssthresh()));
             if let Some((variant, cwnd, ssthresh)) = snapshot {
                 self.emit(CheckEvent::CwndUpdate { node, flow, variant, cwnd, ssthresh });
+            }
+        }
+        if self.log.is_some() {
+            self.sync_cwnd_trace(node, flow);
+        }
+    }
+
+    /// Mirrors any congestion-window samples the sender appended during the
+    /// last transport call into the trace log, one [`TraceRecord::TcpCwnd`]
+    /// per sample at the sample's own virtual time. The companion state
+    /// (ssthresh, srtt, rto, phase) is the sender's current value — exact
+    /// for the common case of one sample per call.
+    fn sync_cwnd_trace(&mut self, node: NodeId, flow: FlowId) {
+        let Some(ep) = self.nodes[node.index()].senders.get_mut(&flow) else { return };
+        let samples = ep.transport.cwnd_trace().samples();
+        if ep.traced_cwnd >= samples.len() {
+            return;
+        }
+        let fresh: Vec<(SimTime, f64)> = samples[ep.traced_cwnd..].to_vec();
+        ep.traced_cwnd = samples.len();
+        let ssthresh = ep.transport.ssthresh();
+        let srtt = ep.transport.srtt();
+        let rto = ep.transport.rto();
+        let phase = ep.transport.phase();
+        if let Some(log) = &mut self.log {
+            for (at, cwnd) in fresh {
+                log.record(
+                    at,
+                    TraceRecord::TcpCwnd { node, flow, cwnd, ssthresh, srtt, rto, phase },
+                );
             }
         }
     }
@@ -1172,31 +1368,59 @@ impl Simulator {
         if let Some(cap) = self.saturated.get(&node).copied() {
             if self.nodes[node.index()].ifq.len() >= cap {
                 let uid = packet.uid;
+                let flow = packet.tcp().map(|s| s.flow);
                 self.nodes[node.index()].router.drai_mut().note_congestion_drop(now);
                 self.trace(TraceEvent::QueueDrop { node, uid });
+                self.rec(TraceRecord::IfqDrop { node, uid, flow, early: false });
                 self.emit(CheckEvent::QueueDrop { node, uid });
                 self.try_feed_mac(node);
                 return;
             }
         }
-        let dropped_uid = {
+        let (outcome, uid, flow, avbw, marked, depth) = {
             let rng = &mut self.rng;
             let n = &mut self.nodes[node.index()];
             n.router.process_packet(&mut packet, now);
             let priority = packet.is_control();
-            let dropped = n.ifq.push(packet, next_hop, priority, now, rng);
+            let uid = packet.uid;
+            let flow = packet.tcp().map(|s| s.flow);
+            let avbw = packet.tcp().and_then(|s| s.avbw());
+            let marked = packet.tcp().is_some_and(|s| s.congestion_marked());
+            let outcome = n.ifq.push(packet, next_hop, priority, now, rng);
             self.perf.peak_ifq_depth = self.perf.peak_ifq_depth.max(n.ifq.len());
-            if dropped.is_some() {
+            if matches!(outcome, IfqPush::Dropped { .. }) {
                 // Congestion drop: future packets get marked (paper §4.7).
                 n.router.drai_mut().note_congestion_drop(now);
             }
             let len = n.ifq.len();
             n.router.drai_mut().observe_queue(len, now);
-            dropped.map(|p| p.uid)
+            (outcome, uid, flow, avbw, marked, len)
         };
-        if let Some(uid) = dropped_uid {
-            self.trace(TraceEvent::QueueDrop { node, uid });
-            self.emit(CheckEvent::QueueDrop { node, uid });
+        match outcome {
+            IfqPush::Stored { marked: red_marked } => {
+                if self.log.is_some() {
+                    self.rec(TraceRecord::IfqEnqueue {
+                        node,
+                        uid,
+                        flow,
+                        depth: depth as u32,
+                        avbw,
+                        marked: marked || red_marked,
+                    });
+                    if red_marked {
+                        self.rec(TraceRecord::IfqMark { node, uid, flow });
+                    }
+                }
+            }
+            IfqPush::Dropped { packet: shed, early } => {
+                // The shed packet can differ from the arrival (priority
+                // eviction), so trace its own identity.
+                let uid = shed.uid;
+                let flow = shed.tcp().map(|s| s.flow);
+                self.trace(TraceEvent::QueueDrop { node, uid });
+                self.rec(TraceRecord::IfqDrop { node, uid, flow, early });
+                self.emit(CheckEvent::QueueDrop { node, uid });
+            }
         }
         self.try_feed_mac(node);
     }
@@ -1223,6 +1447,15 @@ impl Simulator {
     fn transmit(&mut self, sender: NodeId, frame: MacFrame, airtime: sim_core::SimDuration) {
         let now = self.now;
         self.trace(TraceEvent::FrameSent { node: sender, frame: &frame });
+        if self.log.is_some() {
+            self.rec(TraceRecord::PhyTx {
+                node: sender,
+                dst: frame.dst,
+                frame: frame.kind(),
+                bytes: frame.size_bytes(),
+                uid: frame.packet().map(|p| p.uid),
+            });
+        }
         if self.checker.is_some() {
             let cw = self.nodes[sender.index()].mac.current_cw();
             let nav_ahead = self.nodes[sender.index()].mac.nav_ahead(now);
@@ -1294,6 +1527,22 @@ impl Simulator {
         let flow = segment.flow;
         let is_data = segment.is_data();
         self.trace(TraceEvent::SegmentDelivered { node, flow, is_data });
+        if self.log.is_some() {
+            let record = match &segment.kind {
+                TcpSegmentKind::Data { seq, avbw, marked, .. } => TraceRecord::TcpRecvData {
+                    node,
+                    flow,
+                    seq: *seq,
+                    uid,
+                    avbw: *avbw,
+                    marked: *marked,
+                },
+                TcpSegmentKind::Ack { ack, mrai, .. } => {
+                    TraceRecord::TcpRecvAck { node, flow, ack: *ack, uid, mrai: *mrai }
+                }
+            };
+            self.rec(record);
+        }
         if is_data {
             let delayed = self.flows[flow.index()].delayed_ack;
             let (ack_segment, timer, rcv_nxt_after) = {
@@ -1314,6 +1563,11 @@ impl Simulator {
             }
             if let Some(segment) = ack_segment {
                 let uid = self.nodes[node.index()].uid.next();
+                if self.log.is_some() {
+                    if let TcpSegmentKind::Ack { ack, mrai, .. } = &segment.kind {
+                        self.rec(TraceRecord::TcpAckTx { node, flow, ack: *ack, uid, mrai: *mrai });
+                    }
+                }
                 let ack = ack_packet(uid, node, packet.src, segment);
                 self.route_local(node, ack);
             }
@@ -1644,6 +1898,132 @@ mod tests {
         // awnd numerically for Reno, but flight is capped; at least verify
         // data flowed.
         assert!(small.delivered_segments > 10);
+    }
+}
+
+#[cfg(test)]
+mod tracelog_tests {
+    use super::*;
+    use crate::topology;
+    use tracelog::{Layer, TraceFilter};
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn traced_chain(hops: usize, variant: TcpVariant, duration: f64) -> (TraceLog, u64) {
+        let mut sim = Simulator::new(topology::chain(hops), SimConfig::default());
+        let (src, dst) = topology::chain_flow(hops);
+        let _ = sim.add_flow(FlowSpec::new(src, dst, variant));
+        sim.install_trace_log(TraceLog::new());
+        sim.run_until(secs(duration));
+        let log = sim.take_trace_log().expect("log installed");
+        (log, sim.trace_hash())
+    }
+
+    #[test]
+    fn tracing_is_a_pure_observer() {
+        // Same seed, with and without a log: identical event streams.
+        let mut plain = Simulator::new(topology::chain(4), SimConfig::default());
+        let (src, dst) = topology::chain_flow(4);
+        let flow = plain.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+        plain.run_until(secs(3.0));
+        let (log, traced_hash) = traced_chain(4, TcpVariant::Muzha, 3.0);
+        assert_eq!(plain.trace_hash(), traced_hash, "recording must not perturb the run");
+        assert!(log.len() > 100, "a 3 s run must produce plenty of records");
+        assert!(plain.flow_report(flow).delivered_segments > 0);
+    }
+
+    #[test]
+    fn twin_runs_produce_identical_record_streams() {
+        let (a, ha) = traced_chain(4, TcpVariant::NewReno, 3.0);
+        let (b, hb) = traced_chain(4, TcpVariant::NewReno, 3.0);
+        assert_eq!(ha, hb);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y), "record streams must match");
+    }
+
+    #[test]
+    fn every_layer_shows_up_in_a_muzha_run() {
+        let (log, _) = traced_chain(4, TcpVariant::Muzha, 3.0);
+        for layer in Layer::ALL {
+            assert!(
+                log.iter().any(|e| e.record.layer() == layer),
+                "no {layer:?} records in a 3 s multi-hop run"
+            );
+        }
+        // Muzha data carries AVBW-S stamps through the queues.
+        assert!(log
+            .iter()
+            .any(|e| matches!(e.record, TraceRecord::IfqEnqueue { avbw: Some(_), .. })));
+        // Window snapshots mirror the transport's own trace.
+        assert!(log.iter().any(|e| matches!(e.record, TraceRecord::TcpCwnd { .. })));
+    }
+
+    #[test]
+    fn filter_restricts_what_is_kept() {
+        let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
+        let (src, dst) = topology::chain_flow(2);
+        let _ = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno));
+        sim.install_trace_log(TraceLog::with_filter(TraceFilter::all().layer(Layer::Agt)));
+        sim.run_until(secs(2.0));
+        let log = sim.take_trace_log().expect("log installed");
+        assert!(!log.is_empty(), "transport records expected");
+        assert!(log.iter().all(|e| e.record.layer() == Layer::Agt));
+        assert!(log.seen() > log.kept(), "non-AGT records were filtered out");
+    }
+
+    #[test]
+    fn cwnd_records_mirror_the_transport_trace_exactly() {
+        let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
+        let (src, dst) = topology::chain_flow(2);
+        let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+        sim.install_trace_log(TraceLog::new());
+        sim.run_until(secs(3.0));
+        let log = sim.take_trace_log().expect("log installed");
+        let report = sim.flow_report(flow);
+        let from_log: Vec<(SimTime, f64)> = log
+            .iter()
+            .filter_map(|e| match e.record {
+                TraceRecord::TcpCwnd { cwnd, .. } => Some((e.at, cwnd)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(from_log, report.cwnd_trace.samples().to_vec());
+    }
+
+    #[test]
+    fn flight_recorder_dumps_exactly_the_last_n_on_violation() {
+        // An absurdly tight cwnd limit guarantees a violation as soon as
+        // the window grows past two segments.
+        let limits = faultline::CheckerLimits {
+            max_cwnd_segments: 2.0,
+            ..faultline::CheckerLimits::default()
+        };
+        let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
+        let (src, dst) = topology::chain_flow(2);
+        let _ = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno));
+        sim.install_checker(InvariantChecker::with_limits(limits));
+        sim.install_trace_log(TraceLog::flight_recorder(16));
+        sim.run_until(secs(3.0));
+        let checker = sim.take_checker().expect("checker installed");
+        assert!(!checker.is_clean(), "the tight limit must trip");
+        let log = sim.take_trace_log().expect("log installed");
+        let dumps = log.dumps();
+        assert!(!dumps.is_empty(), "violation must trigger a dump");
+        let first = &dumps[0];
+        assert!(first.entries.len() <= 16, "dump window bounded by capacity");
+        assert!(!first.reason.is_empty(), "dump carries the violation text");
+        // The dumped window is exactly the ring content at dump time: the
+        // last ≤16 records seen before the violation.
+        assert!(!first.entries.is_empty());
+    }
+
+    #[test]
+    fn disabled_log_leaves_no_trace_state() {
+        let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
+        assert!(sim.trace_log().is_none());
+        assert!(sim.take_trace_log().is_none());
     }
 }
 

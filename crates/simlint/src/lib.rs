@@ -94,8 +94,8 @@ impl fmt::Display for Rule {
 
 /// Crates whose in-memory state participates in event ordering: a stray
 /// hash-ordered iteration there can silently reorder events between runs.
-pub const SIM_STATE_CRATES: [&str; 8] =
-    ["sim-core", "netstack", "aodv", "mac80211", "tcp", "wire", "core", "faultline"];
+pub const SIM_STATE_CRATES: [&str; 9] =
+    ["sim-core", "netstack", "aodv", "mac80211", "tcp", "wire", "core", "faultline", "tracelog"];
 
 /// Crates licensed to read the wall clock (`std::time::Instant`): the
 /// measurement layer, whose events/sec and speed-up numbers *are*

@@ -81,4 +81,22 @@ pub trait Transport: std::fmt::Debug {
     fn ssthresh(&self) -> Option<f64> {
         None
     }
+
+    /// The current retransmission timeout, for variants that expose their
+    /// RTT estimator. Consumed by trace observers.
+    fn rto(&self) -> Option<sim_core::SimDuration> {
+        None
+    }
+
+    /// A short label for the congestion-control phase the sender is in,
+    /// recorded in trace snapshots. The default derives slow start vs.
+    /// congestion avoidance from `cwnd`/`ssthresh`; variants with richer
+    /// state (fast recovery, rate control) override it.
+    fn phase(&self) -> &'static str {
+        match self.ssthresh() {
+            Some(ss) if self.cwnd() < ss => "slow-start",
+            Some(_) => "congestion-avoidance",
+            None => "steady",
+        }
+    }
 }

@@ -274,6 +274,20 @@ impl Transport for RenoSender {
     fn ssthresh(&self) -> Option<f64> {
         Some(self.ssthresh)
     }
+
+    fn rto(&self) -> Option<sim_core::SimDuration> {
+        Some(self.s.rtt.rto())
+    }
+
+    fn phase(&self) -> &'static str {
+        if self.in_fast_recovery() {
+            "fast-recovery"
+        } else if self.in_slow_start() {
+            "slow-start"
+        } else {
+            "congestion-avoidance"
+        }
+    }
 }
 
 #[cfg(test)]

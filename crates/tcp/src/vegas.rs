@@ -238,6 +238,18 @@ impl Transport for VegasSender {
     fn srtt(&self) -> Option<sim_core::SimDuration> {
         self.s.rtt.srtt()
     }
+
+    fn rto(&self) -> Option<sim_core::SimDuration> {
+        Some(self.s.rtt.rto())
+    }
+
+    fn phase(&self) -> &'static str {
+        if self.in_slow_start() {
+            "slow-start"
+        } else {
+            "congestion-avoidance"
+        }
+    }
 }
 
 #[cfg(test)]

@@ -250,6 +250,20 @@ impl Transport for WestwoodSender {
     fn ssthresh(&self) -> Option<f64> {
         Some(self.ssthresh)
     }
+
+    fn rto(&self) -> Option<sim_core::SimDuration> {
+        Some(self.s.rtt.rto())
+    }
+
+    fn phase(&self) -> &'static str {
+        if self.in_fast_recovery() {
+            "fast-recovery"
+        } else if self.cwnd < self.ssthresh {
+            "slow-start"
+        } else {
+            "congestion-avoidance"
+        }
+    }
 }
 
 #[cfg(test)]

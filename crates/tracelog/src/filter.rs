@@ -1,0 +1,159 @@
+//! Record admission filtering by layer, node, and flow.
+
+use crate::record::{Layer, TraceRecord};
+use sim_core::DetSet;
+use wire::{FlowId, NodeId};
+
+/// Decides which records a [`crate::TraceLog`] keeps.
+///
+/// The default admits everything. Narrowing is conjunctive: a record must
+/// match the layer mask, the node set (if any), *and* the flow set (if any).
+/// Records that carry no flow attribution (e.g. MAC backoffs) are rejected
+/// once a flow filter is set.
+///
+/// # Example
+///
+/// ```
+/// use tracelog::{Layer, TraceFilter, TraceRecord};
+/// use wire::{FlowId, NodeId};
+/// let f = TraceFilter::all().layers(&[Layer::Agt]).flow(FlowId::new(0));
+/// let rec = TraceRecord::TcpSend {
+///     node: NodeId::new(0),
+///     flow: FlowId::new(0),
+///     seq: 0,
+///     uid: 1,
+///     bytes: 1500,
+///     retransmit: false,
+/// };
+/// assert!(f.admits(&rec));
+/// let other = TraceRecord::MacBackoff { node: NodeId::new(0), slots: 3, cw: 31 };
+/// assert!(!f.admits(&other));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceFilter {
+    layer_mask: u8,
+    nodes: Option<DetSet<NodeId>>,
+    flows: Option<DetSet<FlowId>>,
+}
+
+impl Default for TraceFilter {
+    fn default() -> Self {
+        TraceFilter::all()
+    }
+}
+
+impl TraceFilter {
+    /// A filter admitting every record.
+    pub fn all() -> Self {
+        TraceFilter { layer_mask: u8::MAX, nodes: None, flows: None }
+    }
+
+    /// Restricts to the given layers (replaces any previous layer choice).
+    #[must_use]
+    pub fn layers(mut self, layers: &[Layer]) -> Self {
+        self.layer_mask = layers.iter().fold(0, |mask, l| mask | l.bit());
+        self
+    }
+
+    /// Restricts to a single layer (replaces any previous layer choice).
+    #[must_use]
+    pub fn layer(self, layer: Layer) -> Self {
+        self.layers(&[layer])
+    }
+
+    /// Adds `node` to the node allowlist (first call switches from
+    /// "any node" to "only listed nodes").
+    #[must_use]
+    pub fn node(mut self, node: NodeId) -> Self {
+        self.nodes.get_or_insert_with(DetSet::new).insert(node);
+        self
+    }
+
+    /// Adds `flow` to the flow allowlist (first call switches from
+    /// "any flow" to "only listed flows"; flow-less records are then
+    /// rejected).
+    #[must_use]
+    pub fn flow(mut self, flow: FlowId) -> Self {
+        self.flows.get_or_insert_with(DetSet::new).insert(flow);
+        self
+    }
+
+    /// Whether `record` passes the filter.
+    pub fn admits(&self, record: &TraceRecord) -> bool {
+        if self.layer_mask & record.layer().bit() == 0 {
+            return false;
+        }
+        if let Some(nodes) = &self.nodes {
+            if !nodes.contains(&record.node()) {
+                return false;
+            }
+        }
+        if let Some(flows) = &self.flows {
+            match record.flow() {
+                Some(f) if flows.contains(&f) => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Whether the filter admits everything (the cheap common case).
+    pub fn is_all(&self) -> bool {
+        self.layer_mask == u8::MAX && self.nodes.is_none() && self.flows.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcp_send(node: u16, flow: u32) -> TraceRecord {
+        TraceRecord::TcpSend {
+            node: NodeId::new(node),
+            flow: FlowId::new(flow),
+            seq: 0,
+            uid: 1,
+            bytes: 1500,
+            retransmit: false,
+        }
+    }
+
+    #[test]
+    fn default_admits_everything() {
+        let f = TraceFilter::all();
+        assert!(f.is_all());
+        assert!(f.admits(&tcp_send(0, 0)));
+        assert!(f.admits(&TraceRecord::MacBackoff { node: NodeId::new(3), slots: 1, cw: 31 }));
+    }
+
+    #[test]
+    fn layer_mask_excludes() {
+        let f = TraceFilter::all().layers(&[Layer::Mac, Layer::Ifq]);
+        assert!(!f.admits(&tcp_send(0, 0)));
+        assert!(f.admits(&TraceRecord::MacBackoff { node: NodeId::new(0), slots: 1, cw: 31 }));
+    }
+
+    #[test]
+    fn node_allowlist() {
+        let f = TraceFilter::all().node(NodeId::new(1)).node(NodeId::new(2));
+        assert!(f.admits(&tcp_send(1, 0)));
+        assert!(f.admits(&tcp_send(2, 0)));
+        assert!(!f.admits(&tcp_send(0, 0)));
+    }
+
+    #[test]
+    fn flow_allowlist_rejects_flowless() {
+        let f = TraceFilter::all().flow(FlowId::new(7));
+        assert!(f.admits(&tcp_send(0, 7)));
+        assert!(!f.admits(&tcp_send(0, 8)));
+        assert!(!f.admits(&TraceRecord::MacBackoff { node: NodeId::new(0), slots: 1, cw: 31 }));
+    }
+
+    #[test]
+    fn conjunction_of_dimensions() {
+        let f = TraceFilter::all().layer(Layer::Agt).node(NodeId::new(1)).flow(FlowId::new(0));
+        assert!(f.admits(&tcp_send(1, 0)));
+        assert!(!f.admits(&tcp_send(2, 0)));
+        assert!(!f.admits(&tcp_send(1, 1)));
+    }
+}

@@ -1,0 +1,630 @@
+//! The typed trace-record catalogue: one variant per observable event class,
+//! covering every layer of the stack.
+//!
+//! Records are small `Copy` values built from data the simulator already has
+//! in hand at its choke points — recording allocates nothing per record
+//! beyond the log's own growth.
+
+use sim_core::{SimDuration, SimTime};
+use wire::{Drai, FlowId, FrameKind, NodeId, Packet, Payload};
+
+/// The protocol layer a record belongs to, used by [`crate::TraceFilter`]
+/// and as the pseudo-header tag in pcap output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// Radio channel: frames on the air, collisions, channel losses.
+    Phy,
+    /// 802.11 DCF: backoff draws and retry-limit drops.
+    Mac,
+    /// AODV routing: per-hop receive/forward, route-table changes, drops.
+    Rtr,
+    /// Interface queue: enqueues, RED marks, drops, AVBW-S stamps.
+    Ifq,
+    /// Transport agents: TCP send/receive and congestion-state snapshots.
+    Agt,
+}
+
+impl Layer {
+    /// All layers, in filter-mask bit order.
+    pub const ALL: [Layer; 5] = [Layer::Phy, Layer::Mac, Layer::Rtr, Layer::Ifq, Layer::Agt];
+
+    /// Bit used in [`crate::TraceFilter`]'s layer mask.
+    pub(crate) fn bit(self) -> u8 {
+        match self {
+            Layer::Phy => 1 << 0,
+            Layer::Mac => 1 << 1,
+            Layer::Rtr => 1 << 2,
+            Layer::Ifq => 1 << 3,
+            Layer::Agt => 1 << 4,
+        }
+    }
+
+    /// Numeric code carried in the pcap pseudo-header.
+    pub fn code(self) -> u8 {
+        match self {
+            Layer::Phy => 0,
+            Layer::Mac => 1,
+            Layer::Rtr => 2,
+            Layer::Ifq => 3,
+            Layer::Agt => 4,
+        }
+    }
+
+    /// Inverse of [`Layer::code`].
+    pub fn from_code(code: u8) -> Option<Layer> {
+        Layer::ALL.iter().copied().find(|l| l.code() == code)
+    }
+
+    /// The ns-2 wireless trace layer tag. PHY-level frame events use the
+    /// `MAC` tag because that is where ns-2's old wireless format logs
+    /// frames on the air — keeping lines eyeball-comparable.
+    pub fn ns2_tag(self) -> &'static str {
+        match self {
+            Layer::Phy | Layer::Mac => "MAC",
+            Layer::Rtr => "RTR",
+            Layer::Ifq => "IFQ",
+            Layer::Agt => "AGT",
+        }
+    }
+
+    /// Parses a CLI spelling (`phy`, `mac`, `rtr`/`aodv`, `ifq`, `agt`/`tcp`).
+    pub fn from_name(name: &str) -> Option<Layer> {
+        match name {
+            "phy" => Some(Layer::Phy),
+            "mac" => Some(Layer::Mac),
+            "rtr" | "aodv" | "rtg" => Some(Layer::Rtr),
+            "ifq" | "queue" => Some(Layer::Ifq),
+            "agt" | "tcp" => Some(Layer::Agt),
+            _ => None,
+        }
+    }
+}
+
+/// Which way a record points, encoded in the pcap pseudo-header and mapped
+/// to the ns-2 operation character (`s`/`r`/`d`/`f`/`v`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Originating transmission (`s`).
+    Send,
+    /// Reception (`r`).
+    Recv,
+    /// Drop (`d`).
+    Drop,
+    /// Transit forward at an intermediate node (`f`).
+    Forward,
+    /// A state observation with no packet motion (`v`).
+    Meta,
+}
+
+impl Direction {
+    /// Numeric code carried in the pcap pseudo-header.
+    pub fn code(self) -> u8 {
+        match self {
+            Direction::Send => 0,
+            Direction::Recv => 1,
+            Direction::Drop => 2,
+            Direction::Forward => 3,
+            Direction::Meta => 4,
+        }
+    }
+
+    /// The ns-2 trace-line operation character.
+    pub fn ns2_op(self) -> char {
+        match self {
+            Direction::Send => 's',
+            Direction::Recv => 'r',
+            Direction::Drop => 'd',
+            Direction::Forward => 'f',
+            Direction::Meta => 'v',
+        }
+    }
+}
+
+/// Coarse packet classification used in routing/queue records (the ns-2
+/// "packet type" column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// A TCP data segment.
+    TcpData,
+    /// A TCP acknowledgement.
+    TcpAck,
+    /// AODV route request.
+    Rreq,
+    /// AODV route reply.
+    Rrep,
+    /// AODV route error.
+    Rerr,
+    /// AODV HELLO beacon.
+    Hello,
+}
+
+impl PacketKind {
+    /// Classifies a network-layer packet.
+    pub fn of(packet: &Packet) -> PacketKind {
+        match &packet.payload {
+            Payload::Tcp(seg) if seg.is_data() => PacketKind::TcpData,
+            Payload::Tcp(_) => PacketKind::TcpAck,
+            Payload::Aodv(wire::AodvMessage::Rreq(_)) => PacketKind::Rreq,
+            Payload::Aodv(wire::AodvMessage::Rrep(_)) => PacketKind::Rrep,
+            Payload::Aodv(wire::AodvMessage::Rerr(_)) => PacketKind::Rerr,
+            Payload::Aodv(wire::AodvMessage::Hello(_)) => PacketKind::Hello,
+        }
+    }
+
+    /// The ns-2 packet-type column string.
+    pub fn ptype(self) -> &'static str {
+        match self {
+            PacketKind::TcpData => "tcp",
+            PacketKind::TcpAck => "ack",
+            PacketKind::Rreq => "rreq",
+            PacketKind::Rrep => "rrep",
+            PacketKind::Rerr => "rerr",
+            PacketKind::Hello => "hello",
+        }
+    }
+}
+
+/// One observable event, as recorded at the simulator's choke points.
+///
+/// Every variant is a pure observation: constructing and recording one must
+/// never change simulation behaviour (no RNG draws, no queue mutation).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceRecord {
+    /// A frame put on the air by `node`.
+    PhyTx {
+        /// Transmitting node.
+        node: NodeId,
+        /// Link-layer destination (may be broadcast).
+        dst: NodeId,
+        /// Frame kind (RTS/CTS/DATA/ACK).
+        frame: FrameKind,
+        /// Frame size on the wire.
+        bytes: u32,
+        /// Uid of the carried packet (data frames only).
+        uid: Option<u64>,
+    },
+    /// A frame decoded successfully at `node`.
+    PhyRx {
+        /// Receiving node.
+        node: NodeId,
+        /// Transmitting node.
+        from: NodeId,
+        /// Frame kind.
+        frame: FrameKind,
+        /// Frame size on the wire.
+        bytes: u32,
+        /// Uid of the carried packet (data frames only).
+        uid: Option<u64>,
+    },
+    /// A reception ruined by an overlapping transmission.
+    PhyCollision {
+        /// Node whose reception collided.
+        node: NodeId,
+        /// Transmitter of the frame that was being received.
+        from: NodeId,
+        /// Frame kind.
+        frame: FrameKind,
+        /// Uid of the carried packet, if any.
+        uid: Option<u64>,
+    },
+    /// A frame corrupted by the channel error model for this receiver.
+    PhyLoss {
+        /// Receiver that lost the frame.
+        node: NodeId,
+        /// Transmitting node.
+        from: NodeId,
+        /// Frame kind.
+        frame: FrameKind,
+        /// Uid of the carried packet, if any.
+        uid: Option<u64>,
+    },
+    /// The DCF drew a backoff and armed its countdown.
+    MacBackoff {
+        /// Contending node.
+        node: NodeId,
+        /// Slots drawn (possibly carried over from an interrupted countdown).
+        slots: u32,
+        /// Contention window the draw came from.
+        cw: u32,
+    },
+    /// The MAC gave up on a packet after exhausting its retry limit.
+    MacRetryDrop {
+        /// Node that dropped the packet.
+        node: NodeId,
+        /// Next hop the packet was addressed to.
+        next_hop: NodeId,
+        /// Uid of the dropped packet.
+        uid: u64,
+    },
+    /// The routing layer received a packet from the MAC.
+    RtrRecv {
+        /// Receiving node.
+        node: NodeId,
+        /// Packet classification.
+        kind: PacketKind,
+        /// Packet uid.
+        uid: u64,
+        /// Flow, for TCP packets.
+        flow: Option<FlowId>,
+        /// Packet size.
+        bytes: u32,
+    },
+    /// The routing layer handed a packet down toward `next_hop`.
+    RtrForward {
+        /// Forwarding node.
+        node: NodeId,
+        /// Chosen next hop (may be broadcast for floods).
+        next_hop: NodeId,
+        /// Packet classification.
+        kind: PacketKind,
+        /// Packet uid.
+        uid: u64,
+        /// Flow, for TCP packets.
+        flow: Option<FlowId>,
+        /// Packet size.
+        bytes: u32,
+        /// Remaining TTL.
+        ttl: u8,
+        /// Whether `node` originated the packet (ns-2 `s` vs `f`).
+        origin: bool,
+    },
+    /// The routing layer dropped a packet (no route, TTL expiry, …).
+    RtrDrop {
+        /// Dropping node.
+        node: NodeId,
+        /// Packet classification.
+        kind: PacketKind,
+        /// Packet uid.
+        uid: u64,
+        /// Flow, for TCP packets.
+        flow: Option<FlowId>,
+    },
+    /// A routing-table entry was installed, refreshed, or invalidated.
+    RtrRouteChange {
+        /// Node whose table changed.
+        node: NodeId,
+        /// Route destination.
+        dst: NodeId,
+        /// Next hop (`None` once invalidated).
+        next_hop: Option<NodeId>,
+        /// Advertised hop count.
+        hops: u32,
+        /// Whether the entry is valid after the change.
+        valid: bool,
+    },
+    /// A packet was accepted into a node's interface queue. For Muzha
+    /// routers this is the point where the AVBW-S option has just been
+    /// folded, so `avbw` is the path-minimum DRAI leaving this hop.
+    IfqEnqueue {
+        /// Queueing node.
+        node: NodeId,
+        /// Packet uid.
+        uid: u64,
+        /// Flow, for TCP packets.
+        flow: Option<FlowId>,
+        /// Queue depth after the enqueue.
+        depth: u32,
+        /// AVBW-S option value on the packet after this hop's stamp.
+        avbw: Option<Drai>,
+        /// Whether the packet carries a congestion mark.
+        marked: bool,
+    },
+    /// RED marked a packet instead of dropping it.
+    IfqMark {
+        /// Marking node.
+        node: NodeId,
+        /// Packet uid.
+        uid: u64,
+        /// Flow, for TCP packets.
+        flow: Option<FlowId>,
+    },
+    /// The interface queue dropped a packet.
+    IfqDrop {
+        /// Dropping node.
+        node: NodeId,
+        /// Packet uid.
+        uid: u64,
+        /// Flow, for TCP packets.
+        flow: Option<FlowId>,
+        /// Whether this was a RED early drop (vs. queue overflow).
+        early: bool,
+    },
+    /// A sender put a data segment on the wire.
+    TcpSend {
+        /// Sending node.
+        node: NodeId,
+        /// Flow.
+        flow: FlowId,
+        /// Segment sequence number.
+        seq: u64,
+        /// Packet uid.
+        uid: u64,
+        /// Segment size on the wire.
+        bytes: u32,
+        /// Whether this is a retransmission.
+        retransmit: bool,
+    },
+    /// A receiver's agent accepted a data segment.
+    TcpRecvData {
+        /// Receiving node.
+        node: NodeId,
+        /// Flow.
+        flow: FlowId,
+        /// Segment sequence number.
+        seq: u64,
+        /// Packet uid.
+        uid: u64,
+        /// AVBW-S option as it arrived (path-minimum DRAI).
+        avbw: Option<Drai>,
+        /// Whether the segment was congestion-marked en route.
+        marked: bool,
+    },
+    /// A receiver emitted an acknowledgement.
+    TcpAckTx {
+        /// Acknowledging node.
+        node: NodeId,
+        /// Flow.
+        flow: FlowId,
+        /// Cumulative ACK number.
+        ack: u64,
+        /// Packet uid.
+        uid: u64,
+        /// Echoed MRAI, for Muzha flows.
+        mrai: Option<Drai>,
+    },
+    /// A sender's agent accepted an acknowledgement.
+    TcpRecvAck {
+        /// Sending node (where the ACK arrived).
+        node: NodeId,
+        /// Flow.
+        flow: FlowId,
+        /// Cumulative ACK number.
+        ack: u64,
+        /// Packet uid.
+        uid: u64,
+        /// Echoed MRAI, for Muzha flows.
+        mrai: Option<Drai>,
+    },
+    /// A congestion-state snapshot, recorded whenever the sender's window
+    /// changes (mirrors the transport's internal cwnd trace exactly).
+    TcpCwnd {
+        /// Sending node.
+        node: NodeId,
+        /// Flow.
+        flow: FlowId,
+        /// Congestion window, in segments.
+        cwnd: f64,
+        /// Slow-start threshold, for variants that expose one.
+        ssthresh: Option<f64>,
+        /// Smoothed RTT estimate, once measured.
+        srtt: Option<SimDuration>,
+        /// Current retransmission timeout.
+        rto: Option<SimDuration>,
+        /// Congestion-control phase label (`slow-start`,
+        /// `congestion-avoidance`, `fast-recovery`, or variant-specific).
+        phase: &'static str,
+    },
+}
+
+impl TraceRecord {
+    /// The layer this record belongs to.
+    pub fn layer(&self) -> Layer {
+        match self {
+            TraceRecord::PhyTx { .. }
+            | TraceRecord::PhyRx { .. }
+            | TraceRecord::PhyCollision { .. }
+            | TraceRecord::PhyLoss { .. } => Layer::Phy,
+            TraceRecord::MacBackoff { .. } | TraceRecord::MacRetryDrop { .. } => Layer::Mac,
+            TraceRecord::RtrRecv { .. }
+            | TraceRecord::RtrForward { .. }
+            | TraceRecord::RtrDrop { .. }
+            | TraceRecord::RtrRouteChange { .. } => Layer::Rtr,
+            TraceRecord::IfqEnqueue { .. }
+            | TraceRecord::IfqMark { .. }
+            | TraceRecord::IfqDrop { .. } => Layer::Ifq,
+            TraceRecord::TcpSend { .. }
+            | TraceRecord::TcpRecvData { .. }
+            | TraceRecord::TcpAckTx { .. }
+            | TraceRecord::TcpRecvAck { .. }
+            | TraceRecord::TcpCwnd { .. } => Layer::Agt,
+        }
+    }
+
+    /// The node the record is attributed to (where it was observed).
+    pub fn node(&self) -> NodeId {
+        match *self {
+            TraceRecord::PhyTx { node, .. }
+            | TraceRecord::PhyRx { node, .. }
+            | TraceRecord::PhyCollision { node, .. }
+            | TraceRecord::PhyLoss { node, .. }
+            | TraceRecord::MacBackoff { node, .. }
+            | TraceRecord::MacRetryDrop { node, .. }
+            | TraceRecord::RtrRecv { node, .. }
+            | TraceRecord::RtrForward { node, .. }
+            | TraceRecord::RtrDrop { node, .. }
+            | TraceRecord::RtrRouteChange { node, .. }
+            | TraceRecord::IfqEnqueue { node, .. }
+            | TraceRecord::IfqMark { node, .. }
+            | TraceRecord::IfqDrop { node, .. }
+            | TraceRecord::TcpSend { node, .. }
+            | TraceRecord::TcpRecvData { node, .. }
+            | TraceRecord::TcpAckTx { node, .. }
+            | TraceRecord::TcpRecvAck { node, .. }
+            | TraceRecord::TcpCwnd { node, .. } => node,
+        }
+    }
+
+    /// The flow the record concerns, when attributable to one.
+    pub fn flow(&self) -> Option<FlowId> {
+        match *self {
+            TraceRecord::RtrRecv { flow, .. }
+            | TraceRecord::RtrForward { flow, .. }
+            | TraceRecord::RtrDrop { flow, .. }
+            | TraceRecord::IfqEnqueue { flow, .. }
+            | TraceRecord::IfqMark { flow, .. }
+            | TraceRecord::IfqDrop { flow, .. } => flow,
+            TraceRecord::TcpSend { flow, .. }
+            | TraceRecord::TcpRecvData { flow, .. }
+            | TraceRecord::TcpAckTx { flow, .. }
+            | TraceRecord::TcpRecvAck { flow, .. }
+            | TraceRecord::TcpCwnd { flow, .. } => Some(flow),
+            TraceRecord::PhyTx { .. }
+            | TraceRecord::PhyRx { .. }
+            | TraceRecord::PhyCollision { .. }
+            | TraceRecord::PhyLoss { .. }
+            | TraceRecord::MacBackoff { .. }
+            | TraceRecord::MacRetryDrop { .. }
+            | TraceRecord::RtrRouteChange { .. } => None,
+        }
+    }
+
+    /// The uid of the packet involved, when one is.
+    pub fn uid(&self) -> Option<u64> {
+        match *self {
+            TraceRecord::PhyTx { uid, .. }
+            | TraceRecord::PhyRx { uid, .. }
+            | TraceRecord::PhyCollision { uid, .. }
+            | TraceRecord::PhyLoss { uid, .. } => uid,
+            TraceRecord::MacRetryDrop { uid, .. }
+            | TraceRecord::RtrRecv { uid, .. }
+            | TraceRecord::RtrForward { uid, .. }
+            | TraceRecord::RtrDrop { uid, .. }
+            | TraceRecord::IfqEnqueue { uid, .. }
+            | TraceRecord::IfqMark { uid, .. }
+            | TraceRecord::IfqDrop { uid, .. }
+            | TraceRecord::TcpSend { uid, .. }
+            | TraceRecord::TcpRecvData { uid, .. }
+            | TraceRecord::TcpAckTx { uid, .. }
+            | TraceRecord::TcpRecvAck { uid, .. } => Some(uid),
+            TraceRecord::MacBackoff { .. }
+            | TraceRecord::RtrRouteChange { .. }
+            | TraceRecord::TcpCwnd { .. } => None,
+        }
+    }
+
+    /// Which way the record points (ns-2 `s`/`r`/`d`/`f`/`v`).
+    pub fn direction(&self) -> Direction {
+        match self {
+            TraceRecord::PhyTx { .. }
+            | TraceRecord::TcpSend { .. }
+            | TraceRecord::TcpAckTx { .. } => Direction::Send,
+            TraceRecord::PhyRx { .. }
+            | TraceRecord::RtrRecv { .. }
+            | TraceRecord::TcpRecvData { .. }
+            | TraceRecord::TcpRecvAck { .. } => Direction::Recv,
+            TraceRecord::PhyCollision { .. }
+            | TraceRecord::PhyLoss { .. }
+            | TraceRecord::MacRetryDrop { .. }
+            | TraceRecord::RtrDrop { .. }
+            | TraceRecord::IfqDrop { .. } => Direction::Drop,
+            TraceRecord::RtrForward { origin, .. } => {
+                if *origin {
+                    Direction::Send
+                } else {
+                    Direction::Forward
+                }
+            }
+            TraceRecord::MacBackoff { .. }
+            | TraceRecord::RtrRouteChange { .. }
+            | TraceRecord::IfqEnqueue { .. }
+            | TraceRecord::IfqMark { .. }
+            | TraceRecord::TcpCwnd { .. } => Direction::Meta,
+        }
+    }
+}
+
+/// A timestamped record, as stored in [`crate::TraceLog`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEntry {
+    /// Virtual time the event was observed.
+    pub at: SimTime,
+    /// The observation.
+    pub record: TraceRecord,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wire::TcpSegment;
+
+    #[test]
+    fn layer_codes_round_trip() {
+        for layer in Layer::ALL {
+            assert_eq!(Layer::from_code(layer.code()), Some(layer));
+        }
+        assert_eq!(Layer::from_code(9), None);
+    }
+
+    #[test]
+    fn layer_names_parse() {
+        assert_eq!(Layer::from_name("phy"), Some(Layer::Phy));
+        assert_eq!(Layer::from_name("aodv"), Some(Layer::Rtr));
+        assert_eq!(Layer::from_name("tcp"), Some(Layer::Agt));
+        assert_eq!(Layer::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn packet_kind_classification() {
+        let data = Packet::new(
+            1,
+            NodeId::new(0),
+            NodeId::new(2),
+            Payload::Tcp(TcpSegment::data(FlowId::new(0), 0, 1460, None)),
+        );
+        assert_eq!(PacketKind::of(&data), PacketKind::TcpData);
+        assert_eq!(PacketKind::of(&data).ptype(), "tcp");
+        let ack = Packet::new(
+            2,
+            NodeId::new(2),
+            NodeId::new(0),
+            Payload::Tcp(TcpSegment::ack(FlowId::new(0), 1)),
+        );
+        assert_eq!(PacketKind::of(&ack), PacketKind::TcpAck);
+        let hello = Packet::new(
+            3,
+            NodeId::new(1),
+            NodeId::BROADCAST,
+            Payload::Aodv(wire::AodvMessage::Hello(wire::Hello { seq: 1 })),
+        );
+        assert_eq!(PacketKind::of(&hello), PacketKind::Hello);
+    }
+
+    #[test]
+    fn record_accessors() {
+        let rec = TraceRecord::TcpSend {
+            node: NodeId::new(0),
+            flow: FlowId::new(3),
+            seq: 7,
+            uid: 42,
+            bytes: 1500,
+            retransmit: false,
+        };
+        assert_eq!(rec.layer(), Layer::Agt);
+        assert_eq!(rec.node(), NodeId::new(0));
+        assert_eq!(rec.flow(), Some(FlowId::new(3)));
+        assert_eq!(rec.uid(), Some(42));
+        assert_eq!(rec.direction(), Direction::Send);
+
+        let backoff = TraceRecord::MacBackoff { node: NodeId::new(2), slots: 5, cw: 31 };
+        assert_eq!(backoff.layer(), Layer::Mac);
+        assert_eq!(backoff.flow(), None);
+        assert_eq!(backoff.uid(), None);
+        assert_eq!(backoff.direction(), Direction::Meta);
+    }
+
+    #[test]
+    fn forward_direction_distinguishes_origin() {
+        let mk = |origin| TraceRecord::RtrForward {
+            node: NodeId::new(1),
+            next_hop: NodeId::new(2),
+            kind: PacketKind::TcpData,
+            uid: 5,
+            flow: Some(FlowId::new(0)),
+            bytes: 1500,
+            ttl: 62,
+            origin,
+        };
+        assert_eq!(mk(true).direction(), Direction::Send);
+        assert_eq!(mk(false).direction(), Direction::Forward);
+    }
+}

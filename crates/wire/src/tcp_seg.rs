@@ -159,6 +159,40 @@ impl TcpSegment {
         }
     }
 
+    /// The cumulative acknowledgement number, if this is an ACK.
+    pub fn ack_no(&self) -> Option<u64> {
+        match self.kind {
+            TcpSegmentKind::Data { .. } => None,
+            TcpSegmentKind::Ack { ack, .. } => Some(ack),
+        }
+    }
+
+    /// The `AVBW-S` option of a data segment (`None` for ACKs and for
+    /// non-Muzha data segments).
+    pub fn avbw(&self) -> Option<Drai> {
+        match self.kind {
+            TcpSegmentKind::Data { avbw, .. } => avbw,
+            TcpSegmentKind::Ack { .. } => None,
+        }
+    }
+
+    /// The echoed MRAI of an ACK (`None` for data segments and non-Muzha
+    /// ACKs).
+    pub fn mrai(&self) -> Option<Drai> {
+        match self.kind {
+            TcpSegmentKind::Data { .. } => None,
+            TcpSegmentKind::Ack { mrai, .. } => mrai,
+        }
+    }
+
+    /// Whether the segment carries a congestion-experienced mark (either
+    /// direction).
+    pub fn congestion_marked(&self) -> bool {
+        match self.kind {
+            TcpSegmentKind::Data { marked, .. } | TcpSegmentKind::Ack { marked, .. } => marked,
+        }
+    }
+
     /// Folds a router's DRAI recommendation into the `AVBW-S` option of a
     /// data segment (no-op for ACKs or non-Muzha segments).
     pub fn fold_drai(&mut self, level: Drai) {

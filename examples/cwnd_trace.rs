@@ -5,19 +5,29 @@
 //! statistics the paper discusses (Muzha: fast rise, small oscillation;
 //! NewReno/SACK: sawtooth; Vegas: small and flat).
 //!
+//! The window curves come from the trace subsystem (`crates/tracelog`):
+//! `experiments::cwnd` captures each run's transport-layer records and
+//! extracts the per-flow series with `tracelog::FlowSeries`. `--ns2`
+//! additionally prints the raw transport trace lines of the 4-hop Muzha
+//! run, eyeball-comparable with the paper's NS-2 substrate.
+//!
 //! ```sh
 //! cargo run --release --example cwnd_trace           # summary only
 //! cargo run --release --example cwnd_trace -- --series  # full series too
+//! cargo run --release --example cwnd_trace -- --ns2     # + raw trace lines
 //! ```
 
 use tcp_muzha::experiments::{cwnd_traces, render_series};
 use tcp_muzha::export;
 use tcp_muzha::net::{SimConfig, TcpVariant};
 use tcp_muzha::sim::{SimDuration, SimTime};
+use tcp_muzha::tracecap;
+use tcp_muzha::tracelog::{ns2, Layer, TraceFilter};
 
 fn main() {
     let print_series = std::env::args().any(|a| a == "--series");
     let print_csv = std::env::args().any(|a| a == "--csv");
+    let print_ns2 = std::env::args().any(|a| a == "--ns2");
     for hops in [4usize, 8, 16] {
         println!("== {hops}-hop chain, 0–10 s (Figs 5.2–5.7) ==");
         let traces =
@@ -48,6 +58,18 @@ fn main() {
                 print!("{}", export::cwnd_csv(t, 0.1, 10.0));
             }
         }
+        println!();
+    }
+    if print_ns2 {
+        println!("== raw transport trace, 4-hop Muzha, first 2 s (ns-2 format) ==");
+        let (log, _) = tracecap::capture_chain(
+            4,
+            TcpVariant::Muzha,
+            SimDuration::from_secs(2),
+            SimConfig::default(),
+            TraceFilter::all().layer(Layer::Agt),
+        );
+        print!("{}", ns2::render(log.iter()));
         println!();
     }
     println!(

@@ -62,6 +62,10 @@ pub use muzha;
 /// Deterministic fault injection and the runtime invariant checker.
 pub use faultline;
 
+/// Deterministic trace subsystem: typed records, filters, flight recorder,
+/// ns-2/pcap sink adapters, per-flow time series.
+pub use tracelog;
+
 /// Assembled network stack: nodes, simulator, topologies, flow reports.
 pub mod net {
     pub use netstack::{
@@ -81,3 +85,7 @@ pub mod experiments {
 
 /// CSV export of experiment results for external plotting.
 pub use harness::export;
+
+/// Trace capture and rendering plumbing shared by the harness binaries
+/// (`trace`, `reproduce --trace`, `calibrate --pcap`).
+pub use harness::tracecap;

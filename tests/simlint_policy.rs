@@ -50,6 +50,21 @@ fn wallclock_licence_covers_measurement_crates_only() {
 }
 
 #[test]
+fn trace_subsystem_is_held_to_sim_state_policy() {
+    // The trace log runs *inside* the event loop as a pure observer; a
+    // nondeterministic iteration order or wall-clock read there would leak
+    // straight into the recorded streams. Pin it into the strict set.
+    assert!(
+        simlint::SIM_STATE_CRATES.contains(&"tracelog"),
+        "crates/tracelog must stay in the sim-state crate list"
+    );
+    assert!(
+        !simlint::WALLCLOCK_CRATES.contains(&"tracelog"),
+        "crates/tracelog must not gain a wall-clock licence"
+    );
+}
+
+#[test]
 fn allowlist_is_not_stale() {
     // The ratchet only moves down: when a file drops below its budget the
     // allowlist must be tightened in the same change, so budgets always
