@@ -4,14 +4,20 @@ use std::collections::VecDeque;
 
 use sim_core::DetMap;
 
-use sim_core::SimTime;
+use sim_core::{SimTime, SmallVec, TimerHandle, TimerSlab};
 use wire::{AodvMessage, NodeId, Packet, Payload, RouteError, RouteReply, RouteRequest, UidGen};
 
 use crate::{AodvConfig, RouteTable};
 
-/// Identifies a discovery-timeout timer set by the engine.
+/// Identifies a discovery-timeout (or HELLO) timer set by the engine. The
+/// driver can skip stale pops entirely by checking [`Aodv::timer_is_live`]
+/// (a generation-checked tombstone from `sim_core`'s [`TimerSlab`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct AodvTimer(u64);
+pub struct AodvTimer(TimerHandle);
+
+/// Output batch returned by the engine's event handlers. Usually 0–3
+/// entries, so the inline representation avoids a heap allocation per call.
+pub type AodvOutputs = SmallVec<AodvOutput, 4>;
 
 /// Why a packet was dropped by the routing layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -87,7 +93,9 @@ pub struct AodvStats {
 #[derive(Debug)]
 struct Pending {
     retries: u32,
-    timer: AodvTimer,
+    /// The armed discovery timeout; `None` only between creation and the
+    /// first [`Aodv::send_rreq`] for this destination.
+    timer: Option<AodvTimer>,
     buffered: VecDeque<Packet>,
 }
 
@@ -109,7 +117,7 @@ pub struct Aodv {
     /// liveness when beacons are enabled.
     last_heard: DetMap<NodeId, SimTime>,
     hello_timer: Option<AodvTimer>,
-    next_timer: u64,
+    timers: TimerSlab,
     uid: UidGen,
     stats: AodvStats,
 }
@@ -132,7 +140,7 @@ impl Aodv {
             pending: DetMap::new(),
             last_heard: DetMap::new(),
             hello_timer: None,
-            next_timer: 0,
+            timers: TimerSlab::new(),
             uid,
             stats: AodvStats::default(),
         }
@@ -146,6 +154,19 @@ impl Aodv {
     /// Diagnostic counters.
     pub fn stats(&self) -> AodvStats {
         self.stats
+    }
+
+    /// Whether a timer id set via [`AodvOutput::SetTimer`] has been neither
+    /// cancelled nor fired. The driver consults this at its dispatch choke
+    /// point to discard stale timer pops without entering the engine.
+    pub fn timer_is_live(&self, id: AodvTimer) -> bool {
+        self.timers.is_live(id.0)
+    }
+
+    /// Number of timers cancelled before firing (lazy tombstones whose
+    /// queued events will pop stale).
+    pub fn timers_cancelled(&self) -> u64 {
+        self.timers.cancelled_count()
     }
 
     /// Whether a usable route to `dst` exists right now.
@@ -171,21 +192,28 @@ impl Aodv {
     /// traffic.
     pub fn reset_routes(&mut self) -> Vec<Packet> {
         let mut flushed = Vec::new();
+        let mut dead_timers = Vec::new();
         for (_, pending) in self.pending.iter_mut() {
             flushed.extend(pending.buffered.drain(..));
+            dead_timers.extend(pending.timer.take());
+        }
+        for id in dead_timers {
+            self.timers.cancel(id.0);
         }
         self.pending.clear();
         self.table = RouteTable::new();
         self.seen.clear();
         self.last_heard.clear();
-        self.hello_timer = None;
+        if let Some(id) = self.hello_timer.take() {
+            self.timers.cancel(id.0);
+        }
         flushed
     }
 
     /// Routes a locally-originated packet: forward if a route exists,
     /// otherwise buffer it and start (or join) a route discovery.
-    pub fn route_packet(&mut self, packet: Packet, now: SimTime) -> Vec<AodvOutput> {
-        let mut out = Vec::new();
+    pub fn route_packet(&mut self, packet: Packet, now: SimTime) -> AodvOutputs {
+        let mut out = AodvOutputs::new();
         self.route_or_buffer(packet, now, &mut out);
         out
     }
@@ -196,8 +224,8 @@ impl Aodv {
         packet: Packet,
         prev_hop: NodeId,
         now: SimTime,
-    ) -> Vec<AodvOutput> {
-        let mut out = Vec::new();
+    ) -> AodvOutputs {
+        let mut out = AodvOutputs::new();
         self.table.update_neighbor(prev_hop, now + self.cfg.active_route_timeout);
         self.last_heard.insert(prev_hop, now);
         match &packet.payload {
@@ -242,8 +270,8 @@ impl Aodv {
         packet: Packet,
         next_hop: NodeId,
         now: SimTime,
-    ) -> Vec<AodvOutput> {
-        let mut out = Vec::new();
+    ) -> AodvOutputs {
+        let mut out = AodvOutputs::new();
         let broken = self.table.invalidate_via(next_hop);
         if !broken.is_empty() {
             for (dst, _, _) in &broken {
@@ -275,16 +303,15 @@ impl Aodv {
     /// Starts a route discovery toward `dst` if none is pending and no
     /// usable route exists — used by ELFN-style probing, where the caller
     /// wants a route re-established without having a packet to buffer.
-    pub fn ensure_route(&mut self, dst: NodeId, now: SimTime) -> Vec<AodvOutput> {
-        let mut out = Vec::new();
+    pub fn ensure_route(&mut self, dst: NodeId, now: SimTime) -> AodvOutputs {
+        let mut out = AodvOutputs::new();
         if dst == self.addr
             || self.table.lookup(dst, now).is_some()
             || self.pending.contains_key(&dst)
         {
             return out;
         }
-        let timer = self.alloc_timer();
-        self.pending.insert(dst, Pending { retries: 0, timer, buffered: VecDeque::new() });
+        self.pending.insert(dst, Pending { retries: 0, timer: None, buffered: VecDeque::new() });
         self.stats.discoveries += 1;
         self.send_rreq(dst, now, &mut out);
         out
@@ -293,8 +320,8 @@ impl Aodv {
     /// Starts periodic HELLO beaconing (no-op unless
     /// [`AodvConfig::hello_interval`] is set). Call once at node start-up
     /// and execute the returned actions.
-    pub fn start_hello(&mut self, now: SimTime) -> Vec<AodvOutput> {
-        let mut out = Vec::new();
+    pub fn start_hello(&mut self, now: SimTime) -> AodvOutputs {
+        let mut out = AodvOutputs::new();
         if self.cfg.hello_interval.is_some() && self.hello_timer.is_none() {
             let id = self.alloc_timer();
             self.hello_timer = Some(id);
@@ -305,7 +332,7 @@ impl Aodv {
         out
     }
 
-    fn fire_hello(&mut self, now: SimTime, out: &mut Vec<AodvOutput>) {
+    fn fire_hello(&mut self, now: SimTime, out: &mut AodvOutputs) {
         let Some(interval) = self.cfg.hello_interval else { return };
         // Beacon.
         self.seq += 1;
@@ -348,16 +375,20 @@ impl Aodv {
     }
 
     /// A discovery timer fired.
-    pub fn on_timer(&mut self, id: AodvTimer, now: SimTime) -> Vec<AodvOutput> {
-        let mut out = Vec::new();
+    pub fn on_timer(&mut self, id: AodvTimer, now: SimTime) -> AodvOutputs {
+        let mut out = AodvOutputs::new();
+        if !self.timers.fire(id.0) {
+            // Cancelled (or already consumed): a lazy tombstone popping.
+            return out;
+        }
         if self.hello_timer == Some(id) {
             self.hello_timer = None;
             self.fire_hello(now, &mut out);
             return out;
         }
-        let dst = self.pending.iter().find(|(_, p)| p.timer == id).map(|(dst, _)| *dst);
-        // A stale timer carries no destination; otherwise check whether a
-        // route appeared in the meantime — flush and finish if so.
+        let dst = self.pending.iter().find(|(_, p)| p.timer == Some(id)).map(|(dst, _)| *dst);
+        // A live timer always belongs to one owner; if a route appeared in
+        // the meantime, flush and finish instead of retrying.
         let Some(dst) = dst else { return out };
         if self.table.lookup(dst, now).is_some() {
             self.finish_discovery(dst, now, &mut out);
@@ -383,7 +414,7 @@ impl Aodv {
 
     // ------------------------------------------------------------------
 
-    fn route_or_buffer(&mut self, packet: Packet, now: SimTime, out: &mut Vec<AodvOutput>) {
+    fn route_or_buffer(&mut self, packet: Packet, now: SimTime, out: &mut AodvOutputs) {
         if packet.dst == self.addr {
             out.push(AodvOutput::DeliverLocal(packet));
             return;
@@ -410,10 +441,9 @@ impl Aodv {
                 p.buffered.push_back(packet);
             }
             None => {
-                let timer = self.alloc_timer();
                 let mut buffered = VecDeque::new();
                 buffered.push_back(packet);
-                self.pending.insert(dst, Pending { retries: 0, timer, buffered });
+                self.pending.insert(dst, Pending { retries: 0, timer: None, buffered });
                 self.stats.discoveries += 1;
                 self.send_rreq(dst, now, out);
             }
@@ -432,7 +462,7 @@ impl Aodv {
         }
     }
 
-    fn send_rreq(&mut self, dst: NodeId, now: SimTime, out: &mut Vec<AodvOutput>) {
+    fn send_rreq(&mut self, dst: NodeId, now: SimTime, out: &mut AodvOutputs) {
         self.seq += 1;
         self.bcast_id += 1;
         // Suppress our own flood when neighbours rebroadcast it back at us.
@@ -459,8 +489,9 @@ impl Aodv {
         // Arm (or re-arm) the discovery timeout with binary exponential wait.
         let wait = self.cfg.net_traversal_time.saturating_mul(1 << retries.min(8));
         let id = self.alloc_timer();
-        if let Some(p) = self.pending.get_mut(&dst) {
-            p.timer = id;
+        if let Some(old) = self.pending.get_mut(&dst).and_then(|p| p.timer.replace(id)) {
+            // Tombstone a previously armed timeout (no-op if it just fired).
+            self.timers.cancel(old.0);
         }
         out.push(AodvOutput::SetTimer { id, at: now + wait });
     }
@@ -471,7 +502,7 @@ impl Aodv {
         prev_hop: NodeId,
         ttl: u8,
         now: SimTime,
-        out: &mut Vec<AodvOutput>,
+        out: &mut AodvOutputs,
     ) {
         if rreq.origin == self.addr {
             return; // our own flood reflected back
@@ -546,7 +577,7 @@ impl Aodv {
         mut rrep: RouteReply,
         prev_hop: NodeId,
         now: SimTime,
-        out: &mut Vec<AodvOutput>,
+        out: &mut AodvOutputs,
     ) {
         // Learn the forward route to the destination.
         if self.table.update(
@@ -578,7 +609,7 @@ impl Aodv {
         // No reverse route: the RREP dies here.
     }
 
-    fn handle_rerr(&mut self, rerr: &RouteError, prev_hop: NodeId, out: &mut Vec<AodvOutput>) {
+    fn handle_rerr(&mut self, rerr: &RouteError, prev_hop: NodeId, out: &mut AodvOutputs) {
         let mut invalidated = Vec::new();
         for &(dst, seq) in &rerr.unreachable {
             if self.table.invalidate_route(dst, prev_hop, seq) {
@@ -596,7 +627,7 @@ impl Aodv {
         }
     }
 
-    fn handle_transit_data(&mut self, mut packet: Packet, now: SimTime, out: &mut Vec<AodvOutput>) {
+    fn handle_transit_data(&mut self, mut packet: Packet, now: SimTime, out: &mut AodvOutputs) {
         if packet.dst == self.addr {
             out.push(AodvOutput::DeliverLocal(packet));
             return;
@@ -622,8 +653,12 @@ impl Aodv {
         }
     }
 
-    fn finish_discovery(&mut self, dst: NodeId, now: SimTime, out: &mut Vec<AodvOutput>) {
+    fn finish_discovery(&mut self, dst: NodeId, now: SimTime, out: &mut AodvOutputs) {
         if let Some(pending) = self.pending.remove(&dst) {
+            if let Some(id) = pending.timer {
+                // Tombstone the pending timeout (no-op if it just fired).
+                self.timers.cancel(id.0);
+            }
             for packet in pending.buffered {
                 self.route_or_buffer(packet, now, out);
             }
@@ -632,17 +667,17 @@ impl Aodv {
 
     /// If `dst` became reachable as a side effect (e.g. reverse route from a
     /// RREQ), flush any traffic we had buffered for it.
-    fn flush_if_pending(&mut self, dst: NodeId, now: SimTime, out: &mut Vec<AodvOutput>) {
+    fn flush_if_pending(&mut self, dst: NodeId, now: SimTime, out: &mut AodvOutputs) {
         if self.pending.contains_key(&dst) && self.table.lookup(dst, now).is_some() {
             self.finish_discovery(dst, now, out);
         }
     }
 
-    fn unicast_rrep(&mut self, rrep: RouteReply, next_hop: NodeId, out: &mut Vec<AodvOutput>) {
+    fn unicast_rrep(&mut self, rrep: RouteReply, next_hop: NodeId, out: &mut AodvOutputs) {
         self.unicast_rrep_to(rrep, next_hop, out);
     }
 
-    fn unicast_rrep_to(&mut self, rrep: RouteReply, next_hop: NodeId, out: &mut Vec<AodvOutput>) {
+    fn unicast_rrep_to(&mut self, rrep: RouteReply, next_hop: NodeId, out: &mut AodvOutputs) {
         let packet = Packet::new(
             self.uid.next(),
             self.addr,
@@ -653,7 +688,7 @@ impl Aodv {
         out.push(AodvOutput::Forward { packet, next_hop });
     }
 
-    fn send_rerr(&mut self, unreachable: Vec<(NodeId, u32)>, out: &mut Vec<AodvOutput>) {
+    fn send_rerr(&mut self, unreachable: Vec<(NodeId, u32)>, out: &mut AodvOutputs) {
         let packet = Packet::with_ttl(
             self.uid.next(),
             self.addr,
@@ -672,9 +707,7 @@ impl Aodv {
     }
 
     fn alloc_timer(&mut self) -> AodvTimer {
-        let id = AodvTimer(self.next_timer);
-        self.next_timer += 1;
-        id
+        AodvTimer(self.timers.schedule())
     }
 }
 
@@ -705,7 +738,7 @@ mod tests {
         SimTime::ZERO
     }
 
-    fn find_rreq(out: &[AodvOutput]) -> Option<&Packet> {
+    fn find_rreq(out: &AodvOutputs) -> Option<&Packet> {
         out.iter().find_map(|o| match o {
             AodvOutput::Forward { packet, .. }
                 if matches!(packet.payload, Payload::Aodv(AodvMessage::Rreq(_))) =>
@@ -716,7 +749,7 @@ mod tests {
         })
     }
 
-    fn find_rrep(out: &[AodvOutput]) -> Option<(&Packet, NodeId)> {
+    fn find_rrep(out: &AodvOutputs) -> Option<(&Packet, NodeId)> {
         out.iter().find_map(|o| match o {
             AodvOutput::Forward { packet, next_hop }
                 if matches!(packet.payload, Payload::Aodv(AodvMessage::Rrep(_))) =>
@@ -897,7 +930,7 @@ mod tests {
             t0() + sim_core::SimDuration::from_secs(10),
         );
         let out = m.on_packet_received(data(5, 0, 2), n(0), t0());
-        match &out[0] {
+        match out.get(0).expect("one output expected") {
             AodvOutput::Forward { packet, next_hop } => {
                 assert_eq!(*next_hop, n(2));
                 assert_eq!(packet.ttl, wire::DEFAULT_TTL - 1);
@@ -1060,10 +1093,10 @@ mod tests {
         let _ = a.route_packet(data(1, 0, 2), t0());
         let _ = a.route_packet(data(2, 0, 2), t0());
         let out = a.route_packet(data(3, 0, 2), t0());
-        match out
+        let overflow = out
             .iter()
-            .find(|o| matches!(o, AodvOutput::Dropped { reason: DropReason::BufferOverflow, .. }))
-        {
+            .find(|o| matches!(o, AodvOutput::Dropped { reason: DropReason::BufferOverflow, .. }));
+        match overflow {
             Some(AodvOutput::Dropped { packet, .. }) => assert_eq!(packet.uid, 1),
             _ => panic!("expected overflow drop: {out:?}"),
         }
@@ -1108,6 +1141,46 @@ mod tests {
     }
 
     #[test]
+    fn discovery_completion_tombstones_the_timeout() {
+        let mut a = mk(0);
+        let out = a.route_packet(data(1, 0, 2), t0());
+        let (id, at) = out
+            .iter()
+            .find_map(|o| match o {
+                AodvOutput::SetTimer { id, at } => Some((*id, *at)),
+                _ => None,
+            })
+            .unwrap();
+        assert!(a.timer_is_live(id));
+        // The RREP arrives before the timeout: discovery finishes and the
+        // pending timeout becomes a tombstone.
+        let rrep = RouteReply { origin: n(0), dst: n(2), dst_seq: 1, hop_count: 1 };
+        let pkt = Packet::new(9, n(1), n(0), Payload::Aodv(AodvMessage::Rrep(rrep)));
+        let _ = a.on_packet_received(pkt, n(1), t0());
+        assert!(!a.timer_is_live(id), "completed discovery must kill its timer");
+        assert_eq!(a.timers_cancelled(), 1);
+        // The stale pop is ignored without starting a retry flood.
+        let out = a.on_timer(id, at);
+        assert!(out.is_empty(), "stale discovery timer must be ignored: {out:?}");
+    }
+
+    #[test]
+    fn reset_routes_tombstones_pending_timers() {
+        let mut a = mk(0);
+        let out = a.route_packet(data(1, 0, 2), t0());
+        let id = out
+            .iter()
+            .find_map(|o| match o {
+                AodvOutput::SetTimer { id, .. } => Some(*id),
+                _ => None,
+            })
+            .unwrap();
+        let _ = a.reset_routes();
+        assert!(!a.timer_is_live(id));
+        assert!(a.on_timer(id, t0()).is_empty());
+    }
+
+    #[test]
     fn own_rreq_echo_ignored() {
         let mut a = mk(0);
         let out = a.route_packet(data(1, 0, 2), t0());
@@ -1142,7 +1215,7 @@ mod hello_tests {
         }
     }
 
-    fn timer_of(out: &[AodvOutput]) -> (AodvTimer, SimTime) {
+    fn timer_of(out: &AodvOutputs) -> (AodvTimer, SimTime) {
         out.iter()
             .find_map(|o| match o {
                 AodvOutput::SetTimer { id, at } => Some((*id, *at)),
@@ -1151,7 +1224,7 @@ mod hello_tests {
             .expect("timer expected")
     }
 
-    fn hello_pkt(out: &[AodvOutput]) -> Option<&Packet> {
+    fn hello_pkt(out: &AodvOutputs) -> Option<&Packet> {
         out.iter().find_map(|o| match o {
             AodvOutput::Forward { packet, .. }
                 if matches!(packet.payload, Payload::Aodv(AodvMessage::Hello(_))) =>

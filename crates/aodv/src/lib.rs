@@ -36,5 +36,5 @@ mod engine;
 mod table;
 
 pub use config::AodvConfig;
-pub use engine::{Aodv, AodvOutput, AodvStats, AodvTimer, DropReason};
+pub use engine::{Aodv, AodvOutput, AodvOutputs, AodvStats, AodvTimer, DropReason};
 pub use table::{Route, RouteTable};

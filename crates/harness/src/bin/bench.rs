@@ -16,7 +16,7 @@
 
 use harness::{run_batch, WallClock};
 use netstack::{topology, FlowSpec, SimConfig, Simulator, TcpVariant};
-use sim_core::{RunPerf, SimDuration, SimTime};
+use sim_core::{DriverQueue, RunPerf, SchedulerKind, SimDuration, SimRng, SimTime};
 use tracelog::TraceLog;
 
 /// One standard scenario: a named topology + flow set, run per seed.
@@ -58,6 +58,91 @@ fn chain_hash_run(cfg: SimConfig, duration: SimDuration, traced: bool) -> (u64, 
     sim.run_until(SimTime::ZERO + duration);
     let kept = sim.trace_log().map_or(0, tracelog::TraceLog::len);
     (sim.trace_hash(), kept)
+}
+
+/// The classic hold model for scheduler microbenchmarks: keep the queue at
+/// a steady size and repeatedly pop the earliest event, pushing a
+/// replacement at `now + draw`. The increment distribution decides which
+/// access pattern the queue sees.
+#[derive(Clone, Copy, Debug)]
+enum HoldDist {
+    /// Uniform increments — the calendar queue's best case.
+    Uniform,
+    /// 90% near-immediate, 10% far — MAC-timer-like burstiness.
+    Bursty,
+    /// Mostly short with rare multi-second outliers — retransmission-timer
+    /// tails that force lap scans / direct search in the calendar.
+    FarFuture,
+}
+
+impl HoldDist {
+    fn name(self) -> &'static str {
+        match self {
+            HoldDist::Uniform => "uniform",
+            HoldDist::Bursty => "bursty",
+            HoldDist::FarFuture => "far_future",
+        }
+    }
+
+    fn draw(self, rng: &mut SimRng) -> SimDuration {
+        match self {
+            HoldDist::Uniform => SimDuration::from_nanos(u64::from(rng.below(1_000_000))),
+            HoldDist::Bursty => {
+                if rng.chance(0.9) {
+                    SimDuration::from_nanos(u64::from(rng.below(10_000)))
+                } else {
+                    SimDuration::from_nanos(u64::from(rng.below(50_000_000)))
+                }
+            }
+            HoldDist::FarFuture => {
+                if rng.chance(0.99) {
+                    SimDuration::from_nanos(u64::from(rng.below(1_000_000)))
+                } else {
+                    SimDuration::from_secs(1 + u64::from(rng.below(4)))
+                }
+            }
+        }
+    }
+}
+
+/// Hold-model ops/sec for one scheduler at one distribution. Both
+/// schedulers see the identical seeded increment stream.
+fn hold_ops_per_sec(kind: SchedulerKind, dist: HoldDist, size: usize, ops: usize) -> f64 {
+    let mut rng = SimRng::new(0x686f6c64); // "hold"
+    let mut queue = DriverQueue::new(kind);
+    for i in 0..size {
+        queue.push(SimTime::ZERO + dist.draw(&mut rng), i as u64);
+    }
+    let clock = WallClock::start();
+    for i in 0..ops {
+        let (now, _) = queue.pop().expect("hold model keeps the queue non-empty");
+        queue.push(now + dist.draw(&mut rng), i as u64);
+    }
+    ops as f64 / clock.elapsed_secs().max(1e-9)
+}
+
+/// End-to-end run of the 8-hop chain under one scheduler: returns the
+/// trace digest (asserted identical across schedulers), the perf counters
+/// and the serial wall time.
+fn chain_sched_run(kind: SchedulerKind, duration: SimDuration) -> (u64, RunPerf, f64) {
+    let cfg = SimConfig { seed: 11, scheduler: kind, ..SimConfig::default() };
+    let clock = WallClock::start();
+    let mut sim = Simulator::new(topology::chain(8), cfg);
+    let (src, dst) = topology::chain_flow(8);
+    sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+    sim.run_until(SimTime::ZERO + duration);
+    let secs = clock.elapsed_secs();
+    (sim.trace_hash(), sim.perf(), secs)
+}
+
+/// Extracts `"key": <number>` from hand-rolled JSON text (enough for the
+/// baseline file this binary writes itself).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))?;
+    rest[..end].parse().ok()
 }
 
 fn main() {
@@ -170,11 +255,96 @@ fn main() {
         traced_secs / untraced_secs.max(1e-9),
     );
 
+    // Scheduler comparison: hold-model microbenchmarks over both queue
+    // implementations, then an end-to-end chain run per scheduler with the
+    // trace digests asserted identical — the perf claim is only meaningful
+    // because the event streams are bit-identical.
+    eprintln!("benchmarking schedulers (hold model + chain8 end-to-end)...");
+    let (hold_size, hold_ops) = if quick { (2_000, 200_000) } else { (10_000, 2_000_000) };
+    let mut hold_entries = Vec::new();
+    for dist in [HoldDist::Uniform, HoldDist::Bursty, HoldDist::FarFuture] {
+        let calendar = hold_ops_per_sec(SchedulerKind::Calendar, dist, hold_size, hold_ops);
+        let heap = hold_ops_per_sec(SchedulerKind::Heap, dist, hold_size, hold_ops);
+        hold_entries.push(format!(
+            concat!(
+                "      {{\"dist\": \"{}\", \"queue_size\": {}, ",
+                "\"ops_per_sec_calendar\": {:.1}, \"ops_per_sec_heap\": {:.1}, ",
+                "\"calendar_speedup\": {:.3}}}"
+            ),
+            dist.name(),
+            hold_size,
+            calendar,
+            heap,
+            calendar / heap.max(1e-9),
+        ));
+    }
+    let sched_duration = SimDuration::from_secs(secs);
+    let (cal_hash, cal_perf, cal_secs) = chain_sched_run(SchedulerKind::Calendar, sched_duration);
+    let (heap_hash, heap_perf, heap_secs) = chain_sched_run(SchedulerKind::Heap, sched_duration);
+    assert_eq!(cal_hash, heap_hash, "schedulers must replay identical event streams");
+    assert_eq!(cal_perf.events_processed, heap_perf.events_processed);
+    let eps_calendar = cal_perf.events_processed as f64 / cal_secs.max(1e-9);
+    let eps_heap = heap_perf.events_processed as f64 / heap_secs.max(1e-9);
+    let scheduler_block = format!(
+        concat!(
+            "  \"scheduler\": {{\n",
+            "    \"hold\": [\n{}\n    ],\n",
+            "    \"end_to_end\": {{\n",
+            "      \"scenario\": \"chain8_muzha\",\n",
+            "      \"virtual_secs\": {},\n",
+            "      \"trace_hash_match\": true,\n",
+            "      \"events_per_sec_calendar\": {:.1},\n",
+            "      \"events_per_sec_heap\": {:.1},\n",
+            "      \"calendar_speedup\": {:.3},\n",
+            "      \"peak_event_queue\": {},\n",
+            "      \"timers_cancelled\": {},\n",
+            "      \"timers_stale_popped\": {}\n",
+            "    }}\n",
+            "  }}"
+        ),
+        hold_entries.join(",\n"),
+        secs,
+        eps_calendar,
+        eps_heap,
+        eps_calendar / eps_heap.max(1e-9),
+        cal_perf.peak_event_queue,
+        cal_perf.timers_cancelled,
+        cal_perf.timers_stale_popped,
+    );
+    if eps_calendar < eps_heap {
+        println!(
+            "::warning title=scheduler perf::calendar queue slower than heap \
+             ({eps_calendar:.0} vs {eps_heap:.0} events/sec)"
+        );
+    }
+
+    // Soft regression gate against the committed baseline: a >20% drop in
+    // calendar events/sec prints a CI annotation but does not fail the
+    // build — wall-clock numbers on shared runners are advisory.
+    let baseline_path =
+        parse_flag(&args, "--baseline").unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    if let Ok(baseline) = std::fs::read_to_string(&baseline_path) {
+        if let Some(base_eps) = json_number(&baseline, "events_per_sec_calendar") {
+            if eps_calendar < 0.8 * base_eps {
+                println!(
+                    "::warning title=scheduler perf regression::calendar events/sec \
+                     {eps_calendar:.0} is more than 20% below the committed baseline \
+                     {base_eps:.0} ({baseline_path})"
+                );
+            } else {
+                eprintln!(
+                    "baseline check ok: {eps_calendar:.0} events/sec vs baseline {base_eps:.0}"
+                );
+            }
+        }
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"quick\": {},\n  \"scenarios\": [\n{}\n  ],\n{}\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"quick\": {},\n  \"scenarios\": [\n{}\n  ],\n{},\n{}\n}}\n",
         quick,
         entries.join(",\n"),
         trace_overhead,
+        scheduler_block,
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!("{json}");

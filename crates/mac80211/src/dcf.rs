@@ -1,9 +1,13 @@
 //! The DCF medium-access state machine.
 
-use sim_core::{SimDuration, SimRng, SimTime};
-use wire::{FrameBody, FrameKind, MacFrame, NodeId, Packet};
+use sim_core::{SimDuration, SimRng, SimTime, SmallVec, TimerHandle, TimerSlab};
+use wire::{FrameBody, FrameKind, MacFrame, NodeId, Packet, SharedPacket};
 
 use crate::MacParams;
+
+/// Output batch returned by the MAC's event handlers. Usually 0–3 entries,
+/// so the inline representation avoids a heap allocation per handler call.
+pub type MacOutputs = SmallVec<MacOutput, 4>;
 
 /// A snapshot of physical carrier sense, supplied by the driver on every
 /// call (the MAC never talks to the PHY directly).
@@ -27,9 +31,11 @@ impl MediumView {
 
 /// Identifies one timer set by the MAC. The driver schedules an event at the
 /// requested time and calls [`Mac::on_timer`] with the id; stale ids are
-/// ignored by the MAC.
+/// ignored by the MAC, and the driver can skip the call entirely by checking
+/// [`Mac::timer_is_live`] first (the generation-checked tombstone from
+/// `sim_core`'s [`TimerSlab`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct TimerId(u64);
+pub struct TimerId(TimerHandle);
 
 /// Actions the driver must execute on the MAC's behalf.
 #[derive(Clone, Debug)]
@@ -111,7 +117,8 @@ pub struct MacStats {
 
 #[derive(Clone, Debug)]
 struct Outgoing {
-    packet: Packet,
+    /// Shared so each retry's DATA frame is an `Rc` clone, not a deep copy.
+    packet: SharedPacket,
     next_hop: NodeId,
     short_retries: u32,
     long_retries: u32,
@@ -176,7 +183,7 @@ pub struct Mac {
     response: Option<ResponseKind>,
     transmitting: Option<TxKind>,
 
-    next_timer: u64,
+    timers: TimerSlab,
     attempt_timer: Option<TimerId>,
     response_timer: Option<TimerId>,
     wait_timer: Option<TimerId>,
@@ -221,7 +228,7 @@ impl Mac {
             nav_until: SimTime::ZERO,
             response: None,
             transmitting: None,
-            next_timer: 0,
+            timers: TimerSlab::new(),
             attempt_timer: None,
             response_timer: None,
             wait_timer: None,
@@ -254,6 +261,19 @@ impl Mac {
         self.cw
     }
 
+    /// Whether a timer id set via [`MacOutput::SetTimer`] has been neither
+    /// cancelled nor fired. The driver consults this at its dispatch choke
+    /// point to discard stale timer pops without entering the MAC.
+    pub fn timer_is_live(&self, id: TimerId) -> bool {
+        self.timers.is_live(id.0)
+    }
+
+    /// Number of timers cancelled before firing (lazy tombstones whose
+    /// queued events will pop stale).
+    pub fn timers_cancelled(&self) -> u64 {
+        self.timers.cancelled_count()
+    }
+
     /// How far the NAV reservation reaches beyond `now` (zero when the
     /// virtual carrier sense is clear).
     pub fn nav_ahead(&self, now: SimTime) -> SimDuration {
@@ -271,7 +291,7 @@ impl Mac {
     /// already delivered; pending timers become stale ids, which
     /// [`Mac::on_timer`] already ignores.
     pub fn abort(&mut self) -> Option<Packet> {
-        let packet = self.current.take().map(|c| c.packet);
+        let packet = self.current.take().map(|c| c.packet.into_owned());
         self.phase = Phase::NoPacket;
         self.countdown = None;
         self.carried_slots = None;
@@ -281,11 +301,11 @@ impl Mac {
         self.nav_until = SimTime::ZERO;
         self.response = None;
         self.transmitting = None;
-        self.attempt_timer = None;
-        self.response_timer = None;
-        self.wait_timer = None;
-        self.nav_timer = None;
-        self.nav_reset_timer = None;
+        self.cancel_attempt_timer();
+        self.cancel_response_timer();
+        self.cancel_wait_timer();
+        self.cancel_nav_timer();
+        self.cancel_nav_reset_timer();
         self.nav_reset_armed_at = SimTime::ZERO;
         self.last_busy = None;
         packet
@@ -303,12 +323,17 @@ impl Mac {
         next_hop: NodeId,
         now: SimTime,
         medium: MediumView,
-    ) -> Vec<MacOutput> {
+    ) -> MacOutputs {
         assert!(self.current.is_none(), "MAC already busy with a packet");
-        self.current = Some(Outgoing { packet, next_hop, short_retries: 0, long_retries: 0 });
+        self.current = Some(Outgoing {
+            packet: SharedPacket::new(packet),
+            next_hop,
+            short_retries: 0,
+            long_retries: 0,
+        });
         self.phase = Phase::Defer;
         self.carried_slots = None;
-        let mut out = Vec::new();
+        let mut out = MacOutputs::new();
         self.try_start_countdown(now, medium, &mut out);
         out
     }
@@ -323,8 +348,8 @@ impl Mac {
     /// The driver reports that the medium may have gone idle (a reception or
     /// transmission ended). The MAC re-evaluates whether to resume its
     /// backoff countdown.
-    pub fn on_medium_maybe_idle(&mut self, now: SimTime, medium: MediumView) -> Vec<MacOutput> {
-        let mut out = Vec::new();
+    pub fn on_medium_maybe_idle(&mut self, now: SimTime, medium: MediumView) -> MacOutputs {
+        let mut out = MacOutputs::new();
         self.try_start_countdown(now, medium, &mut out);
         out
     }
@@ -335,8 +360,8 @@ impl Mac {
         frame: MacFrame,
         now: SimTime,
         medium: MediumView,
-    ) -> Vec<MacOutput> {
-        let mut out = Vec::new();
+    ) -> MacOutputs {
+        let mut out = MacOutputs::new();
         // A correct reception ends any EIFS obligation.
         self.use_eifs = false;
         let for_me = frame.addressed_to(self.addr);
@@ -371,8 +396,12 @@ impl Mac {
     }
 
     /// A timer set via [`MacOutput::SetTimer`] fired.
-    pub fn on_timer(&mut self, id: TimerId, now: SimTime, medium: MediumView) -> Vec<MacOutput> {
-        let mut out = Vec::new();
+    pub fn on_timer(&mut self, id: TimerId, now: SimTime, medium: MediumView) -> MacOutputs {
+        let mut out = MacOutputs::new();
+        if !self.timers.fire(id.0) {
+            // Cancelled (or already consumed): a lazy tombstone popping.
+            return out;
+        }
         if self.attempt_timer == Some(id) {
             self.attempt_timer = None;
             self.fire_attempt(now, medium, &mut out);
@@ -394,13 +423,12 @@ impl Mac {
                 self.try_start_countdown(now, medium, &mut out);
             }
         }
-        // Any other id is stale; ignore.
         out
     }
 
     /// Our transmission (started via [`MacOutput::Transmit`]) left the air.
-    pub fn on_tx_done(&mut self, now: SimTime, medium: MediumView) -> Vec<MacOutput> {
-        let mut out = Vec::new();
+    pub fn on_tx_done(&mut self, now: SimTime, medium: MediumView) -> MacOutputs {
+        let mut out = MacOutputs::new();
         let kind = self.transmitting.take().expect("tx done without transmission");
         match kind {
             TxKind::AttemptRts => {
@@ -441,7 +469,7 @@ impl Mac {
     // Receive-side handlers
     // ------------------------------------------------------------------
 
-    fn handle_rts(&mut self, frame: MacFrame, now: SimTime, out: &mut Vec<MacOutput>) {
+    fn handle_rts(&mut self, frame: MacFrame, now: SimTime, out: &mut MacOutputs) {
         // Respond with CTS only if our virtual carrier sense is idle and we
         // are not mid-transmission or already committed to a response.
         let available = self.nav_until <= now
@@ -460,9 +488,9 @@ impl Mac {
         }
     }
 
-    fn handle_cts(&mut self, _frame: MacFrame, now: SimTime, out: &mut Vec<MacOutput>) {
+    fn handle_cts(&mut self, _frame: MacFrame, now: SimTime, out: &mut MacOutputs) {
         if self.phase == Phase::WaitCts {
-            self.wait_timer = None;
+            self.cancel_wait_timer();
             // Reset the short retry count: the RTS got through.
             if let Some(c) = self.current.as_mut() {
                 c.short_retries = 0;
@@ -472,7 +500,7 @@ impl Mac {
         }
     }
 
-    fn handle_data(&mut self, frame: MacFrame, now: SimTime, out: &mut Vec<MacOutput>) {
+    fn handle_data(&mut self, frame: MacFrame, now: SimTime, out: &mut MacOutputs) {
         let src = frame.src;
         let unicast = !frame.dst.is_broadcast();
         let seq_key = frame.packet().map(|p| p.uid).unwrap_or(0);
@@ -491,9 +519,9 @@ impl Mac {
         }
     }
 
-    fn handle_ack(&mut self, now: SimTime, out: &mut Vec<MacOutput>) {
+    fn handle_ack(&mut self, now: SimTime, out: &mut MacOutputs) {
         if self.phase == Phase::WaitAck {
-            self.wait_timer = None;
+            self.cancel_wait_timer();
             self.finish_success(now, out);
         }
     }
@@ -502,7 +530,7 @@ impl Mac {
     // Attempt path
     // ------------------------------------------------------------------
 
-    fn try_start_countdown(&mut self, now: SimTime, medium: MediumView, out: &mut Vec<MacOutput>) {
+    fn try_start_countdown(&mut self, now: SimTime, medium: MediumView, out: &mut MacOutputs) {
         if self.phase != Phase::Defer || self.current.is_none() {
             return;
         }
@@ -549,12 +577,12 @@ impl Mac {
             cd.slots.saturating_sub(consumed as u32)
         };
         self.carried_slots = Some(remaining);
-        self.attempt_timer = None; // invalidate pending timer
+        self.cancel_attempt_timer(); // tombstone the pending timer
         self.needs_backoff = true; // deferral always implies backoff
         self.phase = Phase::Defer;
     }
 
-    fn fire_attempt(&mut self, now: SimTime, medium: MediumView, out: &mut Vec<MacOutput>) {
+    fn fire_attempt(&mut self, now: SimTime, medium: MediumView, out: &mut MacOutputs) {
         if self.phase != Phase::Count {
             return; // stale
         }
@@ -575,7 +603,7 @@ impl Mac {
         }
     }
 
-    fn transmit_rts(&mut self, now: SimTime, out: &mut Vec<MacOutput>) {
+    fn transmit_rts(&mut self, now: SimTime, out: &mut MacOutputs) {
         let (dst, data_bytes) = {
             let c = self.current.as_ref().expect("no packet");
             (c.next_hop, c.packet.size_bytes() + wire::DATA_OVERHEAD_BYTES)
@@ -603,9 +631,10 @@ impl Mac {
         out.push(MacOutput::Transmit { frame, airtime });
     }
 
-    fn transmit_attempt_data(&mut self, now: SimTime, out: &mut Vec<MacOutput>) {
+    fn transmit_attempt_data(&mut self, now: SimTime, out: &mut MacOutputs) {
         let (dst, packet) = {
             let c = self.current.as_ref().expect("no packet");
+            // An `Rc` clone: every retry's frame shares the one allocation.
             (c.next_hop, c.packet.clone())
         };
         let p = &self.params;
@@ -629,7 +658,7 @@ impl Mac {
         out.push(MacOutput::Transmit { frame, airtime });
     }
 
-    fn fire_wait_timeout(&mut self, now: SimTime, medium: MediumView, out: &mut Vec<MacOutput>) {
+    fn fire_wait_timeout(&mut self, now: SimTime, medium: MediumView, out: &mut MacOutputs) {
         match self.phase {
             Phase::WaitCts => {
                 self.stats.cts_timeouts += 1;
@@ -661,7 +690,7 @@ impl Mac {
         }
     }
 
-    fn retry(&mut self, now: SimTime, medium: MediumView, out: &mut Vec<MacOutput>) {
+    fn retry(&mut self, now: SimTime, medium: MediumView, out: &mut MacOutputs) {
         self.cw = (self.cw * 2 + 1).min(self.params.cw_max);
         self.needs_backoff = true;
         self.carried_slots = None;
@@ -669,26 +698,26 @@ impl Mac {
         self.try_start_countdown(now, medium, out);
     }
 
-    fn finish_success(&mut self, _now: SimTime, out: &mut Vec<MacOutput>) {
+    fn finish_success(&mut self, _now: SimTime, out: &mut MacOutputs) {
         let c = self.current.take().expect("success without packet");
         self.cw = self.params.cw_min;
         self.needs_backoff = true; // post-transmission backoff
         self.phase = Phase::NoPacket;
         self.carried_slots = None;
         if !c.next_hop.is_broadcast() {
-            out.push(MacOutput::TxSuccess { packet: c.packet, next_hop: c.next_hop });
+            out.push(MacOutput::TxSuccess { packet: c.packet.into_owned(), next_hop: c.next_hop });
         }
         out.push(MacOutput::ReadyForNext);
     }
 
-    fn finish_failure(&mut self, _now: SimTime, out: &mut Vec<MacOutput>) {
+    fn finish_failure(&mut self, _now: SimTime, out: &mut MacOutputs) {
         let c = self.current.take().expect("failure without packet");
         self.stats.drops += 1;
         self.cw = self.params.cw_min;
         self.needs_backoff = true;
         self.phase = Phase::NoPacket;
         self.carried_slots = None;
-        out.push(MacOutput::TxFailed { packet: c.packet, next_hop: c.next_hop });
+        out.push(MacOutput::TxFailed { packet: c.packet.into_owned(), next_hop: c.next_hop });
         out.push(MacOutput::ReadyForNext);
     }
 
@@ -696,7 +725,7 @@ impl Mac {
     // Response path (SIFS-timed CTS / ACK / post-CTS DATA)
     // ------------------------------------------------------------------
 
-    fn schedule_response(&mut self, kind: ResponseKind, now: SimTime, out: &mut Vec<MacOutput>) {
+    fn schedule_response(&mut self, kind: ResponseKind, now: SimTime, out: &mut MacOutputs) {
         debug_assert!(self.response.is_none());
         // Committing to a response suspends our own countdown.
         self.freeze_countdown(now);
@@ -706,7 +735,7 @@ impl Mac {
         out.push(MacOutput::SetTimer { id, at: now + self.params.sifs });
     }
 
-    fn fire_response(&mut self, now: SimTime, out: &mut Vec<MacOutput>) {
+    fn fire_response(&mut self, now: SimTime, out: &mut MacOutputs) {
         let Some(kind) = self.response.take() else { return };
         if self.transmitting.is_some() {
             // Radio unexpectedly occupied; drop the response (peer retries).
@@ -750,7 +779,7 @@ impl Mac {
     // NAV
     // ------------------------------------------------------------------
 
-    fn observe_nav(&mut self, nav_until_nanos: u64, now: SimTime, _out: &mut [MacOutput]) {
+    fn observe_nav(&mut self, nav_until_nanos: u64, now: SimTime, _out: &mut MacOutputs) {
         let until = SimTime::from_nanos(nav_until_nanos);
         if until > self.nav_until {
             self.nav_until = until;
@@ -761,7 +790,9 @@ impl Mac {
         }
     }
 
-    fn arm_nav_reset(&mut self, now: SimTime, wait: SimDuration, out: &mut Vec<MacOutput>) {
+    fn arm_nav_reset(&mut self, now: SimTime, wait: SimDuration, out: &mut MacOutputs) {
+        // Re-arming tombstones the previous reset timer, if still pending.
+        self.cancel_nav_reset_timer();
         let id = self.alloc_timer();
         self.nav_reset_timer = Some(id);
         self.nav_reset_armed_at = now;
@@ -769,9 +800,37 @@ impl Mac {
     }
 
     fn alloc_timer(&mut self) -> TimerId {
-        let id = TimerId(self.next_timer);
-        self.next_timer += 1;
-        id
+        TimerId(self.timers.schedule())
+    }
+
+    fn cancel_attempt_timer(&mut self) {
+        if let Some(id) = self.attempt_timer.take() {
+            self.timers.cancel(id.0);
+        }
+    }
+
+    fn cancel_response_timer(&mut self) {
+        if let Some(id) = self.response_timer.take() {
+            self.timers.cancel(id.0);
+        }
+    }
+
+    fn cancel_wait_timer(&mut self) {
+        if let Some(id) = self.wait_timer.take() {
+            self.timers.cancel(id.0);
+        }
+    }
+
+    fn cancel_nav_timer(&mut self) {
+        if let Some(id) = self.nav_timer.take() {
+            self.timers.cancel(id.0);
+        }
+    }
+
+    fn cancel_nav_reset_timer(&mut self) {
+        if let Some(id) = self.nav_reset_timer.take() {
+            self.timers.cancel(id.0);
+        }
     }
 }
 
@@ -803,7 +862,7 @@ mod tests {
     }
 
     /// Extracts the single SetTimer from outputs.
-    fn timer_of(out: &[MacOutput]) -> (TimerId, SimTime) {
+    fn timer_of(out: &MacOutputs) -> (TimerId, SimTime) {
         let timers: Vec<_> = out
             .iter()
             .filter_map(|o| match o {
@@ -815,7 +874,7 @@ mod tests {
         timers[0]
     }
 
-    fn transmit_of(out: &[MacOutput]) -> (&MacFrame, SimDuration) {
+    fn transmit_of(out: &MacOutputs) -> (&MacFrame, SimDuration) {
         out.iter()
             .find_map(|o| match o {
                 MacOutput::Transmit { frame, airtime } => Some((frame, *airtime)),
@@ -938,10 +997,11 @@ mod tests {
             let (id, at) = timer_of(&out);
             now = at;
             out = mac.on_timer(id, now, MediumView::idle());
-            if let Some((frame, air)) = out.iter().find_map(|o| match o {
+            let tx = out.iter().find_map(|o| match o {
                 MacOutput::Transmit { frame, airtime } => Some((frame.clone(), *airtime)),
                 _ => None,
-            }) {
+            });
+            if let Some((frame, air)) = tx {
                 assert_eq!(frame.kind(), FrameKind::Rts);
                 now += air;
                 out = mac.on_tx_done(now, MediumView::idle());
@@ -1009,7 +1069,7 @@ mod tests {
         let frame = MacFrame {
             src: n(0),
             dst: n(1),
-            body: FrameBody::Data(data_packet(9, 0, 1)),
+            body: FrameBody::Data(SharedPacket::new(data_packet(9, 0, 1))),
             nav_until_nanos: 0,
         };
         let out = mac.on_frame_decoded(frame, t(0), MediumView::idle());
@@ -1028,7 +1088,7 @@ mod tests {
         let frame = MacFrame {
             src: n(0),
             dst: n(1),
-            body: FrameBody::Data(data_packet(9, 0, 1)),
+            body: FrameBody::Data(SharedPacket::new(data_packet(9, 0, 1))),
             nav_until_nanos: 0,
         };
         let out = mac.on_frame_decoded(frame.clone(), t(0), MediumView::idle());
@@ -1144,10 +1204,64 @@ mod tests {
         let mut mac = mk_mac(0);
         let out = mac.start_packet(data_packet(1, 0, 1), n(1), t(0), MediumView::idle());
         let (id, _) = timer_of(&out);
-        // Medium goes busy; the pending timer is invalidated.
+        assert!(mac.timer_is_live(id));
+        // Medium goes busy; the pending timer is tombstoned.
         mac.on_medium_busy(t(10));
+        assert!(!mac.timer_is_live(id), "cancelled timer must read as dead");
+        assert_eq!(mac.timers_cancelled(), 1);
         let out = mac.on_timer(id, t(50), MediumView::idle());
         assert!(out.is_empty(), "stale timer must be ignored: {out:?}");
+    }
+
+    #[test]
+    fn fired_timer_goes_dead_and_cannot_replay() {
+        let mut mac = mk_mac(0);
+        let out = mac.start_packet(data_packet(1, 0, 1), n(1), t(0), MediumView::idle());
+        let (id, at) = timer_of(&out);
+        let out = mac.on_timer(id, at, MediumView::idle());
+        assert!(!out.is_empty());
+        assert!(!mac.timer_is_live(id), "fired timer must read as dead");
+        // Replaying the same id is a stale pop, not a second attempt.
+        let replay = mac.on_timer(id, at, MediumView::idle());
+        assert!(replay.is_empty(), "replay must be ignored: {replay:?}");
+        assert_eq!(mac.timers_cancelled(), 0, "firing is not a cancellation");
+    }
+
+    #[test]
+    fn retry_frames_share_the_packet_allocation() {
+        let params = MacParams { rts_enabled: false, ..MacParams::default() };
+        let mut mac = Mac::new(n(0), params, SimRng::new(1));
+        let mut now = t(0);
+        let out = mac.start_packet(data_packet(1, 0, 1), n(1), now, MediumView::idle());
+        let (id, at) = timer_of(&out);
+        now = at;
+        let out = mac.on_timer(id, now, MediumView::idle());
+        let (frame, air) = transmit_of(&out);
+        let first = match &frame.body {
+            FrameBody::Data(shared) => shared.clone(),
+            other => panic!("expected DATA, got {other:?}"),
+        };
+        // The MAC's custody copy plus our extracted handle share one
+        // allocation (ref_count counts every outstanding Rc clone).
+        assert!(first.ref_count() >= 2, "custody + frame must share");
+        now += air;
+        let out = mac.on_tx_done(now, MediumView::idle());
+        let (to_id, to_at) = timer_of(&out);
+        now = to_at;
+        // ACK timeout -> retry: the retry frame is another shared clone.
+        let out = mac.on_timer(to_id, now, MediumView::idle());
+        let out = {
+            let (id2, at2) = timer_of(&out);
+            mac.on_timer(id2, at2, MediumView::idle())
+        };
+        let (frame2, _) = transmit_of(&out);
+        match &frame2.body {
+            FrameBody::Data(shared) => {
+                assert_eq!(shared.get().uid, 1);
+                assert!(shared.ref_count() >= 2, "retry must not deep-copy");
+            }
+            other => panic!("expected DATA retry, got {other:?}"),
+        }
     }
 
     #[test]

@@ -25,5 +25,5 @@
 mod dcf;
 mod params;
 
-pub use dcf::{Mac, MacOutput, MacStats, MediumView, TimerId};
+pub use dcf::{Mac, MacOutput, MacOutputs, MacStats, MediumView, TimerId};
 pub use params::MacParams;

@@ -6,7 +6,7 @@ use muzha::{AdjustmentCadence, DraiConfig};
 
 use crate::RedConfig;
 use phy::RadioParams;
-use sim_core::{SimDuration, SimTime};
+use sim_core::{SchedulerKind, SimDuration, SimTime};
 use tcp::{TcpConfig, VegasConfig};
 use wire::NodeId;
 
@@ -104,6 +104,10 @@ pub struct SimConfig {
     /// How often each node samples channel utilisation and queue length
     /// for its DRAI computer.
     pub sample_interval: SimDuration,
+    /// Which event-queue implementation drives the run. Both produce
+    /// bit-identical traces; the calendar queue is the fast default and
+    /// the binary heap remains as a differential reference.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for SimConfig {
@@ -117,6 +121,7 @@ impl Default for SimConfig {
             queue: QueueDiscipline::DropTail,
             seed: 0x4d757a6861, // "Muzha"
             sample_interval: SimDuration::from_millis(50),
+            scheduler: SchedulerKind::Calendar,
         }
     }
 }

@@ -8,7 +8,7 @@ use faultline::{CheckEvent, FaultEvent, InvariantChecker, ScenarioScript, TimedF
 use mac80211::{Mac, MacOutput, MediumView};
 use muzha::{MuzhaSender, RouterAgent};
 use phy::{Channel, GeState, GilbertElliott, PhyState, Position, RxOutcome, TxId};
-use sim_core::{EventQueue, SimRng, SimTime};
+use sim_core::{DriverQueue, SimRng, SimTime};
 use tcp::{
     DoorSender, RenoSender, SackSender, TcpOutput, TcpReceiver, TcpTimer, Transport, VegasSender,
     VenoSender, WestwoodSender,
@@ -251,7 +251,7 @@ pub struct Simulator {
     cfg: SimConfig,
     channel: Channel,
     nodes: Vec<Node>,
-    events: EventQueue<Event>,
+    events: DriverQueue<Event>,
     rng: SimRng,
     now: SimTime,
     next_tx_id: u64,
@@ -400,7 +400,7 @@ impl Simulator {
                 }
             })
             .collect();
-        let mut events = EventQueue::new();
+        let mut events = DriverQueue::new(cfg.scheduler);
         events.push(SimTime::ZERO + cfg.sample_interval, Event::Sample);
         let node_count = channel.node_count();
         let mut sim = Simulator {
@@ -787,9 +787,20 @@ impl Simulator {
         self.now = end.max(self.now);
     }
 
-    /// This run's deterministic work counters so far.
+    /// This run's deterministic work counters so far. Timer cancellations
+    /// are aggregated on demand from every layer's own tombstone counter.
     pub fn perf(&self) -> RunPerf {
-        self.perf
+        let mut perf = self.perf;
+        for n in &self.nodes {
+            perf.timers_cancelled += n.mac.timers_cancelled() + n.aodv.timers_cancelled();
+            for ep in n.senders.values() {
+                perf.timers_cancelled += ep.transport.timers_cancelled();
+            }
+            for ep in n.receivers.values() {
+                perf.timers_cancelled += ep.receiver.timers_cancelled();
+            }
+        }
+        perf
     }
 
     /// Report for one flow.
@@ -827,7 +838,7 @@ impl Simulator {
         crate::RunReport {
             flows: self.all_flow_reports(),
             nodes: self.all_node_summaries(),
-            perf: self.perf,
+            perf: self.perf(),
         }
     }
 
@@ -1042,12 +1053,22 @@ impl Simulator {
                 self.process_mac_outputs(node, outputs);
             }
             Event::MacTimer { node, id } => {
+                // Lazy cancellation: a tombstoned timer's queued event still
+                // pops, but is discarded here instead of entering the MAC.
+                if !self.nodes[node.index()].mac.timer_is_live(id) {
+                    self.perf.timers_stale_popped += 1;
+                    return;
+                }
                 let now = self.now;
                 let medium = self.medium(node);
                 let outputs = self.nodes[node.index()].mac.on_timer(id, now, medium);
                 self.process_mac_outputs(node, outputs);
             }
             Event::AodvTimer { node, id } => {
+                if !self.nodes[node.index()].aodv.timer_is_live(id) {
+                    self.perf.timers_stale_popped += 1;
+                    return;
+                }
                 let now = self.now;
                 let outputs = self.nodes[node.index()].aodv.on_timer(id, now);
                 self.process_aodv_outputs(node, outputs);
@@ -1070,10 +1091,18 @@ impl Simulator {
                     );
                     return;
                 }
+                // The staleness check must come after the ELFN freeze above:
+                // a frozen timer is still the armed one and keeps re-probing.
                 let outputs = match self.nodes[node.index()].senders.get_mut(&flow) {
+                    Some(ep) if !ep.transport.timer_is_live(id) => {
+                        self.perf.timers_stale_popped += 1;
+                        Vec::new()
+                    }
                     Some(ep) => ep.transport.on_timer(id, now),
                     None => Vec::new(),
                 };
+                // Even a discarded pop flows through here so the checker's
+                // cwnd bookkeeping sees the same event stream as before.
                 self.process_tcp_outputs(node, flow, outputs);
             }
             Event::JitteredEnqueue { node, packet, next_hop } => {
@@ -1081,6 +1110,14 @@ impl Simulator {
             }
             Event::MobilityTick { node } => self.mobility_tick(node),
             Event::DelAckTimer { node, flow, id } => {
+                let stale = self.nodes[node.index()]
+                    .receivers
+                    .get(&flow)
+                    .is_some_and(|ep| !ep.receiver.delack_is_live(id));
+                if stale {
+                    self.perf.timers_stale_popped += 1;
+                    return;
+                }
                 let (ack, src) = {
                     let spec = self.flows[flow.index()];
                     let n = &mut self.nodes[node.index()];
@@ -1147,7 +1184,7 @@ impl Simulator {
     // Output processing
     // ------------------------------------------------------------------
 
-    fn process_mac_outputs(&mut self, node: NodeId, outputs: Vec<MacOutput>) {
+    fn process_mac_outputs(&mut self, node: NodeId, outputs: impl IntoIterator<Item = MacOutput>) {
         for output in outputs {
             match output {
                 MacOutput::Transmit { frame, airtime } => self.transmit(node, frame, airtime),
@@ -1188,7 +1225,11 @@ impl Simulator {
         }
     }
 
-    fn process_aodv_outputs(&mut self, node: NodeId, outputs: Vec<AodvOutput>) {
+    fn process_aodv_outputs(
+        &mut self,
+        node: NodeId,
+        outputs: impl IntoIterator<Item = AodvOutput>,
+    ) {
         for output in outputs {
             match output {
                 AodvOutput::Forward { packet, next_hop } => {
@@ -1673,6 +1714,41 @@ mod tests {
             short.delivered_bytes,
             long.delivered_bytes
         );
+    }
+
+    #[test]
+    fn schedulers_produce_identical_runs() {
+        let run = |kind| {
+            let cfg = SimConfig { scheduler: kind, ..SimConfig::default() };
+            let mut sim = Simulator::new(topology::chain(4), cfg);
+            let (src, dst) = topology::chain_flow(4);
+            let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha).with_delayed_ack());
+            sim.run_until(secs(3.0));
+            (sim.trace_hash(), sim.flow_report(flow).delivered_segments, sim.perf())
+        };
+        let (cal_hash, cal_segs, cal_perf) = run(sim_core::SchedulerKind::Calendar);
+        let (heap_hash, heap_segs, heap_perf) = run(sim_core::SchedulerKind::Heap);
+        assert_eq!(cal_hash, heap_hash, "calendar and heap must replay the same event stream");
+        assert_eq!(cal_segs, heap_segs);
+        assert_eq!(cal_perf.events_processed, heap_perf.events_processed);
+        assert_eq!(cal_perf.timers_stale_popped, heap_perf.timers_stale_popped);
+    }
+
+    #[test]
+    fn timer_tombstones_are_counted() {
+        let (_, sim) = run_chain(4, TcpVariant::NewReno, 3.0);
+        let perf = sim.perf();
+        // Every ACK re-arms the retransmission timer, tombstoning the old
+        // one, and the MAC cancels response timers on every handshake.
+        assert!(perf.timers_cancelled > 0, "expected lazy cancellations, got none");
+        assert!(
+            perf.timers_stale_popped <= perf.timers_cancelled,
+            "stale pops ({}) cannot exceed cancellations ({})",
+            perf.timers_stale_popped,
+            perf.timers_cancelled
+        );
+        // Stale pops are classified before being discarded.
+        assert_eq!(perf.classified_total(), perf.events_processed);
     }
 
     #[test]

@@ -1,36 +1,22 @@
 //! The stable, timed event queue at the heart of the simulator.
+//!
+//! Two implementations share one contract:
+//!
+//! * [`EventQueue`] — a calendar queue (Brown's O(1) event list, the
+//!   scheduler ns-2 ships as its default), used by the driver loop.
+//! * [`HeapQueue`] — the original `BinaryHeap` implementation, kept as the
+//!   reference oracle for differential tests and scheduler benchmarks.
+//!
+//! Both pop events in `(time, seq)` order with FIFO tie-break, so swapping
+//! one for the other must never change a simulation's event stream — the
+//! scenario-corpus trace hashes pin exactly that.
 
+use std::cell::Cell;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt::Debug;
 
 use crate::SimTime;
-
-/// A priority queue of `(SimTime, E)` pairs that pops events in time order,
-/// breaking ties by insertion order (FIFO).
-///
-/// The FIFO tie-break is what makes simulations deterministic: two events
-/// scheduled for the same instant are always delivered in the order they were
-/// scheduled, independent of heap internals.
-///
-/// # Example
-///
-/// ```
-/// use sim_core::{EventQueue, SimTime};
-///
-/// let mut q = EventQueue::new();
-/// let t = SimTime::from_nanos(10);
-/// q.push(t, 'a');
-/// q.push(t, 'b');
-/// assert_eq!(q.pop(), Some((t, 'a')));
-/// assert_eq!(q.pop(), Some((t, 'b')));
-/// assert_eq!(q.pop(), None);
-/// ```
-#[derive(Debug)]
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    next_seq: u64,
-    last_popped: SimTime,
-}
 
 #[derive(Debug)]
 struct Entry<E> {
@@ -59,10 +45,106 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Smallest bucket count the calendar ever shrinks to.
+const MIN_BUCKETS: usize = 4;
+/// Initial estimate of the gap between consecutive event times (ns).
+const INITIAL_GAP: u64 = 1_024;
+
+/// Cached location of the earliest pending entry: `bucket` holds the head
+/// with the minimal `(time, seq)` over the whole queue.
+#[derive(Clone, Copy, Debug)]
+struct Hint {
+    time: SimTime,
+    bucket: usize,
+}
+
+/// A priority queue of `(SimTime, E)` pairs that pops events in time order,
+/// breaking ties by insertion order (FIFO).
+///
+/// The FIFO tie-break is what makes simulations deterministic: two events
+/// scheduled for the same instant are always delivered in the order they were
+/// scheduled, independent of queue internals.
+///
+/// # Implementation
+///
+/// A calendar queue: a power-of-two array of buckets, each a `(time, seq)`-
+/// sorted deque, with bucket `(t / width) & mask` owning every event whose
+/// time is `t` modulo one "year" (`nbuckets × width`). Pops scan at most one
+/// lap from a cursor committed at the previous pop; a lap that finds nothing
+/// in its year window falls back to a direct minimum search, which also
+/// handles far-future jumps. The bucket width tracks an EWMA of observed
+/// pop-to-pop gaps, and the bucket count doubles when occupancy exceeds two
+/// per bucket and halves below one per two buckets (ns-2's resize policy),
+/// so push and pop stay O(1) amortised against the heap's O(log n).
+///
+/// Because equal times always map to the same bucket, FIFO ties cost one
+/// sorted-insert into a run of equal-time entries and pop in insertion order.
+///
+/// # Example
+///
+/// ```
+/// use sim_core::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let t = SimTime::from_nanos(10);
+/// q.push(t, 'a');
+/// q.push(t, 'b');
+/// assert_eq!(q.pop(), Some((t, 'a')));
+/// assert_eq!(q.pop(), Some((t, 'b')));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    buckets: Vec<VecDeque<Entry<E>>>,
+    /// Bucket width in nanoseconds (≥ 1).
+    width: u64,
+    len: usize,
+    next_seq: u64,
+    /// Time of the most recent pop — the queue's notion of "now" and the
+    /// monotonicity floor for [`Self::push`]. Pops at an equal timestamp
+    /// are legal and keep FIFO order via `next_seq`; only a push *behind*
+    /// this stamp is a bug (it would mean an event tried to reach into the
+    /// simulated past) and panics with the event's debug summary.
+    last_popped: SimTime,
+    /// Bucket the next lap scan starts from. Committed only at pop time
+    /// (and at resize), which keeps the scan invariant `window start ≤`
+    /// [`Self::now`] `≤ every queued time` true at all times.
+    cursor: usize,
+    /// Exclusive end of the cursor bucket's current year window (u128: the
+    /// window math must not overflow near `SimTime::MAX`).
+    year_end: u128,
+    /// EWMA of nonzero gaps between consecutively popped times; feeds the
+    /// bucket width at the next resize.
+    gap_avg: u64,
+    /// Cached minimum, maintained by pushes and invalidated by pops and
+    /// resizes; `Cell` so [`Self::peek_time`] can memoise its search.
+    hint: Cell<Option<Hint>>,
+}
+
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, last_popped: SimTime::ZERO }
+        let width = INITIAL_GAP * 2;
+        EventQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| VecDeque::new()).collect(),
+            width,
+            len: 0,
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+            cursor: 0,
+            year_end: u128::from(width),
+            gap_avg: INITIAL_GAP,
+            hint: Cell::new(None),
+        }
+    }
+
+    fn bucket_of(&self, time: SimTime) -> usize {
+        ((time.as_nanos() / self.width) as usize) & (self.buckets.len() - 1)
+    }
+
+    fn window_end(&self, time: SimTime) -> u128 {
+        let w = u128::from(self.width);
+        (u128::from(time.as_nanos()) / w + 1) * w
     }
 
     /// Schedules `event` to fire at `time`.
@@ -70,11 +152,211 @@ impl<E> EventQueue<E> {
     /// # Panics
     ///
     /// Panics if `time` is earlier than the last popped event — scheduling
-    /// into the past is always a simulation bug.
-    pub fn push(&mut self, time: SimTime, event: E) {
+    /// into the past is always a simulation bug. The message carries the
+    /// offending event's debug summary alongside the two times.
+    pub fn push(&mut self, time: SimTime, event: E)
+    where
+        E: Debug,
+    {
         assert!(
             time >= self.last_popped,
-            "scheduled event at {time} before current time {}",
+            "scheduled event at {time} before current time {}: {event:?}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.len + 1 > self.buckets.len() * 2 {
+            self.resize(self.buckets.len() * 2);
+        }
+        let bucket = self.bucket_of(time);
+        Self::insert_sorted(&mut self.buckets[bucket], Entry { time, seq, event });
+        self.len += 1;
+        if let Some(h) = self.hint.get() {
+            if time < h.time {
+                self.hint.set(Some(Hint { time, bucket }));
+            }
+        } else if self.len == 1 {
+            // Only event in the queue: it is trivially the minimum. The
+            // cursor is NOT moved here — commits happen at pop time only.
+            self.hint.set(Some(Hint { time, bucket }));
+        }
+    }
+
+    /// Inserts keeping the deque sorted by `(time, seq)`. Fresh pushes carry
+    /// the largest `seq` so far, so this walks back only past strictly later
+    /// times — O(1) for the common append case.
+    fn insert_sorted(deque: &mut VecDeque<Entry<E>>, entry: Entry<E>) {
+        let mut pos = deque.len();
+        while pos > 0 {
+            let prev = &deque[pos - 1];
+            if (prev.time, prev.seq) <= (entry.time, entry.seq) {
+                break;
+            }
+            pos -= 1;
+        }
+        deque.insert(pos, entry);
+    }
+
+    /// Locates the bucket holding the global `(time, seq)` minimum: one lap
+    /// from the committed cursor checking each bucket head against its year
+    /// window, then a direct minimum search over all heads (far-future
+    /// fallback). Equal times share a bucket, so the minimal head time is
+    /// unique and identifies the bucket unambiguously.
+    fn locate_min(&self) -> Hint {
+        if let Some(h) = self.hint.get() {
+            return h;
+        }
+        let n = self.buckets.len();
+        let mut top = self.year_end;
+        for i in 0..n {
+            let b = (self.cursor + i) & (n - 1);
+            if let Some(head) = self.buckets[b].front() {
+                if u128::from(head.time.as_nanos()) < top {
+                    let h = Hint { time: head.time, bucket: b };
+                    self.hint.set(Some(h));
+                    return h;
+                }
+            }
+            top += u128::from(self.width);
+        }
+        let mut best: Option<Hint> = None;
+        for (b, q) in self.buckets.iter().enumerate() {
+            if let Some(head) = q.front() {
+                if best.is_none_or(|h| head.time < h.time) {
+                    best = Some(Hint { time: head.time, bucket: b });
+                }
+            }
+        }
+        let Some(h) = best else { unreachable!("locate_min called on an empty queue") };
+        self.hint.set(Some(h));
+        h
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        let Hint { time, bucket } = self.locate_min();
+        // Commit the cursor: the window start is ≤ the popped time, which
+        // becomes `last_popped`, so every later push lands at or ahead of it.
+        self.cursor = bucket;
+        self.year_end = self.window_end(time);
+        let Some(entry) = self.buckets[bucket].pop_front() else {
+            unreachable!("hint pointed at an empty bucket")
+        };
+        debug_assert!(entry.time == time, "hint disagreed with bucket head");
+        self.len -= 1;
+        let gap = entry.time.as_nanos() - self.last_popped.as_nanos();
+        if gap > 0 {
+            self.gap_avg = (self.gap_avg.saturating_mul(3).saturating_add(gap)) / 4;
+        }
+        self.last_popped = entry.time;
+        self.hint.set(None);
+        if self.buckets.len() > MIN_BUCKETS && self.len < self.buckets.len() / 2 {
+            self.resize(self.buckets.len() / 2);
+        } else if let Some(head) = self.buckets[bucket].front() {
+            // The next head of the popped bucket is the global minimum while
+            // it stays inside the committed year window (same argument as
+            // the lap scan's first bucket) — covers bursts and FIFO ties.
+            if u128::from(head.time.as_nanos()) < self.year_end {
+                self.hint.set(Some(Hint { time: head.time, bucket }));
+            }
+        }
+        Some((entry.time, entry.event))
+    }
+
+    /// Rebuilds the bucket array at `nbuckets` (a power of two), re-deriving
+    /// the width from the pop-gap EWMA so each bucket spans roughly two
+    /// expected events, and re-anchoring the cursor at [`Self::now`].
+    fn resize(&mut self, nbuckets: usize) {
+        debug_assert!(nbuckets.is_power_of_two());
+        self.width = self.gap_avg.saturating_mul(2).max(1);
+        let mut all: Vec<Entry<E>> = Vec::with_capacity(self.len);
+        for q in &mut self.buckets {
+            all.extend(q.drain(..));
+        }
+        all.sort_unstable_by_key(|a| (a.time, a.seq));
+        self.buckets = (0..nbuckets).map(|_| VecDeque::new()).collect();
+        for entry in all {
+            let b = self.bucket_of(entry.time);
+            // Entries arrive in (time, seq) order, so push_back keeps every
+            // bucket sorted without a search.
+            self.buckets[b].push_back(entry);
+        }
+        self.cursor = self.bucket_of(self.last_popped);
+        self.year_end = self.window_end(self.last_popped);
+        self.hint.set(None);
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        Some(self.locate_min().time)
+    }
+
+    /// The virtual time of the most recently popped event — the tie stamp
+    /// against which [`Self::push`] enforces monotonicity.
+    ///
+    /// Pushing at exactly `now()` is allowed: the new event sorts after
+    /// everything already popped (its pop is still in the future) and after
+    /// any pending event at the same instant that was pushed earlier (FIFO).
+    /// `now()` never moves backwards; it advances only when `pop` returns an
+    /// event with a strictly later time.
+    pub fn now(&self) -> SimTime {
+        self.last_popped
+    }
+
+    /// Number of pending events. This is a live count maintained by
+    /// push/pop, so the driver's high-water mark reads it for free.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The original `BinaryHeap`-backed queue: same contract as [`EventQueue`]
+/// (time order, FIFO ties, monotonic push), O(log n) push/pop. Kept as the
+/// reference implementation the differential property tests and the
+/// scheduler microbenchmarks compare the calendar queue against.
+#[derive(Debug)]
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    last_popped: SimTime,
+}
+
+impl<E> HeapQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        HeapQueue { heap: BinaryHeap::new(), next_seq: 0, last_popped: SimTime::ZERO }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the last popped event (with the
+    /// offending event's debug summary, mirroring [`EventQueue::push`]).
+    pub fn push(&mut self, time: SimTime, event: E)
+    where
+        E: Debug,
+    {
+        assert!(
+            time >= self.last_popped,
+            "scheduled event at {time} before current time {}: {event:?}",
             self.last_popped
         );
         let seq = self.next_seq;
@@ -95,7 +377,8 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|e| e.time)
     }
 
-    /// The virtual time of the most recently popped event.
+    /// The virtual time of the most recently popped event (see
+    /// [`EventQueue::now`] for the tie-stamp semantics).
     pub fn now(&self) -> SimTime {
         self.last_popped
     }
@@ -111,9 +394,88 @@ impl<E> EventQueue<E> {
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Which scheduler backs a simulation's event queue.
+///
+/// The two are contractually identical (the scenario corpus asserts equal
+/// trace hashes across both); `Heap` exists so benchmarks and differential
+/// tests can run the reference implementation end to end.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// The calendar queue — the default, O(1) amortised.
+    #[default]
+    Calendar,
+    /// The reference `BinaryHeap`, O(log n).
+    Heap,
+}
+
+/// An event queue dispatching on [`SchedulerKind`] at runtime, so a driver
+/// can be steered onto either scheduler by configuration.
+#[derive(Debug)]
+pub enum DriverQueue<E> {
+    /// Backed by the calendar queue.
+    Calendar(EventQueue<E>),
+    /// Backed by the reference heap.
+    Heap(HeapQueue<E>),
+}
+
+impl<E: Debug> DriverQueue<E> {
+    /// Creates an empty queue backed by `kind`.
+    pub fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::Calendar => DriverQueue::Calendar(EventQueue::new()),
+            SchedulerKind::Heap => DriverQueue::Heap(HeapQueue::new()),
+        }
+    }
+
+    /// Schedules `event` at `time`; panics on non-monotonic times.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        match self {
+            DriverQueue::Calendar(q) => q.push(time, event),
+            DriverQueue::Heap(q) => q.push(time, event),
+        }
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        match self {
+            DriverQueue::Calendar(q) => q.pop(),
+            DriverQueue::Heap(q) => q.pop(),
+        }
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            DriverQueue::Calendar(q) => q.peek_time(),
+            DriverQueue::Heap(q) => q.peek_time(),
+        }
+    }
+
+    /// The virtual time of the most recently popped event.
+    pub fn now(&self) -> SimTime {
+        match self {
+            DriverQueue::Calendar(q) => q.now(),
+            DriverQueue::Heap(q) => q.now(),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        match self {
+            DriverQueue::Calendar(q) => q.len(),
+            DriverQueue::Heap(q) => q.len(),
+        }
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -169,6 +531,19 @@ mod tests {
     }
 
     #[test]
+    fn past_panic_names_the_event() {
+        let caught = std::panic::catch_unwind(|| {
+            let mut q = EventQueue::new();
+            q.push(t(10), "late-rto");
+            q.pop();
+            q.push(t(9), "late-rto");
+        });
+        let msg = caught.unwrap_err();
+        let msg = msg.downcast_ref::<String>().expect("formatted panic message");
+        assert!(msg.contains("late-rto"), "panic must carry the event: {msg}");
+    }
+
+    #[test]
     fn now_and_len_track_state() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
@@ -180,6 +555,111 @@ mod tests {
         assert_eq!(q.now(), t(42));
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn far_future_jump_then_near_pushes() {
+        // A pop far in the future commits the cursor out there; pushes at
+        // (or just after) the new `now` must still be found by the scan.
+        let mut q = EventQueue::new();
+        q.push(t(10_000_000_000), 'f'); // +10 s
+        assert_eq!(q.pop(), Some((t(10_000_000_000), 'f')));
+        q.push(t(10_000_000_000), 'a'); // exactly at now
+        q.push(t(10_000_000_001), 'b');
+        q.push(t(10_000_500_000), 'c');
+        assert_eq!(q.pop(), Some((t(10_000_000_000), 'a')));
+        assert_eq!(q.pop(), Some((t(10_000_000_001), 'b')));
+        assert_eq!(q.pop(), Some((t(10_000_500_000), 'c')));
+    }
+
+    #[test]
+    fn grow_and_shrink_preserve_order() {
+        // Push enough to force several grows, drain to force shrinks, with
+        // deliberately colliding times so sorted-insert paths are exercised.
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        for i in 0u64..5_000 {
+            let time = t((i * 7919) % 1_000 * 1_000);
+            q.push(time, i);
+            expect.push((time, i));
+        }
+        assert!(q.buckets.len() > MIN_BUCKETS, "growth heuristic never fired");
+        expect.sort_by_key(|&(time, i)| (time, i));
+        for (time, i) in expect {
+            assert_eq!(q.pop(), Some((time, i)));
+        }
+        assert_eq!(q.buckets.len(), MIN_BUCKETS, "drained queue should shrink back");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn matches_heap_reference_on_mixed_workload() {
+        // Deterministic pseudo-random interleaving of pushes and pops,
+        // including ties and multi-year spreads, checked pop-for-pop
+        // against the reference heap.
+        let mut cal = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let step = |s: &mut u64| {
+            *s ^= *s << 13;
+            *s ^= *s >> 7;
+            *s ^= *s << 17;
+            *s
+        };
+        for i in 0..20_000u64 {
+            let r = step(&mut state);
+            if r % 100 < 65 {
+                let base = cal.now().as_nanos();
+                let delta = match r % 3 {
+                    0 => r % 50,                // tie-heavy
+                    1 => r % 1_000_000,         // in-year
+                    _ => 1_000_000_000 + r % 7, // far future
+                };
+                cal.push(t(base + delta), i);
+                heap.push(t(base + delta), i);
+            } else {
+                assert_eq!(cal.pop(), heap.pop());
+                assert_eq!(cal.now(), heap.now());
+            }
+            assert_eq!(cal.len(), heap.len());
+            assert_eq!(cal.peek_time(), heap.peek_time());
+        }
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn heap_queue_keeps_contract() {
+        let mut q = HeapQueue::new();
+        q.push(t(5), 'b');
+        q.push(t(1), 'a');
+        q.push(t(5), 'c');
+        assert_eq!(q.peek_time(), Some(t(1)));
+        assert_eq!(q.pop(), Some((t(1), 'a')));
+        assert_eq!(q.pop(), Some((t(5), 'b')));
+        assert_eq!(q.pop(), Some((t(5), 'c')));
+        assert_eq!(q.now(), t(5));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn driver_queue_dispatches_both_kinds() {
+        for kind in [SchedulerKind::Calendar, SchedulerKind::Heap] {
+            let mut q = DriverQueue::new(kind);
+            q.push(t(20), 'y');
+            q.push(t(10), 'x');
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.peek_time(), Some(t(10)));
+            assert_eq!(q.pop(), Some((t(10), 'x')));
+            assert_eq!(q.now(), t(10));
+            assert_eq!(q.pop(), Some((t(20), 'y')));
+            assert!(q.is_empty());
+        }
     }
 }
 
@@ -224,6 +704,25 @@ mod proptests {
             expected.sort_unstable();
             popped.sort_unstable();
             prop_assert_eq!(popped, expected);
+        }
+
+        /// The calendar queue and the reference heap agree pop-for-pop on
+        /// arbitrary push batches (times spread over several bucket years).
+        #[test]
+        fn calendar_matches_heap(times in proptest::collection::vec(0u64..5_000_000, 0..300)) {
+            let mut cal = EventQueue::new();
+            let mut heap = HeapQueue::new();
+            for (i, &nanos) in times.iter().enumerate() {
+                cal.push(SimTime::from_nanos(nanos), i);
+                heap.push(SimTime::from_nanos(nanos), i);
+            }
+            loop {
+                let (a, b) = (cal.pop(), heap.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
         }
     }
 }

@@ -4,7 +4,11 @@
 //! builds on:
 //!
 //! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time,
-//! * [`EventQueue`] — a stable (FIFO-on-tie) priority queue of timed events,
+//! * [`EventQueue`] — a stable (FIFO-on-tie) calendar queue of timed events,
+//!   with [`HeapQueue`] as the reference implementation and [`DriverQueue`]
+//!   to pick one at runtime,
+//! * [`TimerSlab`] — generation-checked timer handles for lazy cancellation,
+//! * [`SmallVec`] — an inline-first vector for hot-path output batches,
 //! * [`SimRng`] — a seeded, reproducible random number generator,
 //! * [`stats`] — small online statistics helpers (EWMA, time series).
 //!
@@ -31,13 +35,17 @@ mod detmap;
 mod event;
 mod perf;
 mod rng;
+mod smallvec;
 pub mod stats;
 mod time;
+mod timer;
 mod trace;
 
 pub use detmap::{DetMap, DetSet};
-pub use event::EventQueue;
+pub use event::{DriverQueue, EventQueue, HeapQueue, SchedulerKind};
 pub use perf::RunPerf;
 pub use rng::SimRng;
+pub use smallvec::SmallVec;
 pub use time::{SimDuration, SimTime};
+pub use timer::{TimerHandle, TimerSlab};
 pub use trace::{twin_run, TraceHash};

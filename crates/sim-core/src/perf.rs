@@ -31,7 +31,16 @@ pub struct RunPerf {
     pub sampling_events: u64,
     /// Scripted fault-injection events.
     pub fault_events: u64,
-    /// High-water mark of the pending-event heap.
+    /// Timers tombstoned before firing (lazy cancellation: the event stays
+    /// queued and is discarded as a stale pop at dispatch).
+    pub timers_cancelled: u64,
+    /// Timer events popped and discarded because their handle was no longer
+    /// live. Stale pops are still classified into their subsystem counter
+    /// first — the [`RunPerf::classified_total`] invariant covers them —
+    /// so this counter is a strict subset, not an extra class.
+    pub timers_stale_popped: u64,
+    /// High-water mark of the pending-event queue (the calendar queue's
+    /// live length, sampled before every pop).
     pub peak_event_queue: usize,
     /// High-water mark of any node's interface queue.
     pub peak_ifq_depth: usize,
@@ -49,12 +58,17 @@ impl RunPerf {
         self.mobility_events += other.mobility_events;
         self.sampling_events += other.sampling_events;
         self.fault_events += other.fault_events;
+        self.timers_cancelled += other.timers_cancelled;
+        self.timers_stale_popped += other.timers_stale_popped;
         self.peak_event_queue = self.peak_event_queue.max(other.peak_event_queue);
         self.peak_ifq_depth = self.peak_ifq_depth.max(other.peak_ifq_depth);
     }
 
     /// Sum of the per-subsystem counters. Equals [`RunPerf::events_processed`]
-    /// when every dispatched event was classified.
+    /// when every dispatched event was classified — including stale timer
+    /// pops, which are classified into their subsystem *before* the driver
+    /// discards them ([`RunPerf::timers_stale_popped`] only annotates that
+    /// subset; it does not participate in this sum).
     pub fn classified_total(&self) -> u64 {
         self.phy_events
             + self.mac_events
@@ -94,5 +108,26 @@ mod tests {
         assert_eq!(a.peak_event_queue, 5);
         assert_eq!(a.peak_ifq_depth, 9);
         assert_eq!(a.classified_total(), 14);
+    }
+
+    #[test]
+    fn stale_pops_stay_classified() {
+        // A stale MAC timer pop is counted as a mac_event (classification
+        // happens before the discard) and annotated in timers_stale_popped;
+        // the classified_total invariant must keep holding.
+        let mut a = RunPerf {
+            events_processed: 5,
+            mac_events: 3,
+            transport_events: 2,
+            timers_cancelled: 2,
+            timers_stale_popped: 2,
+            ..RunPerf::default()
+        };
+        assert_eq!(a.classified_total(), a.events_processed);
+        assert!(a.timers_stale_popped <= a.classified_total());
+        let b = RunPerf { timers_cancelled: 1, timers_stale_popped: 1, ..RunPerf::default() };
+        a.merge(&b);
+        assert_eq!(a.timers_cancelled, 3);
+        assert_eq!(a.timers_stale_popped, 3);
     }
 }

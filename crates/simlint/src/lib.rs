@@ -24,6 +24,12 @@
 //! 4. **`nan-compare`** — NaN-unsafe `f64` ordering (`partial_cmp` call
 //!    sites, `sort_by_key` on floats) in simulation crates; use
 //!    `f64::total_cmp` in comparators.
+//! 5. **`binary-heap`** — `std::collections::BinaryHeap` anywhere outside
+//!    `crates/sim-core/src/` (its licensed home, where the calendar queue
+//!    and the `HeapQueue` reference live). `BinaryHeap` breaks ties
+//!    arbitrarily; every other crate must schedule through
+//!    `sim_core::EventQueue`/`DriverQueue`, whose FIFO tie discipline the
+//!    trace-hash determinism contract depends on.
 //!
 //! The analyzer runs as `cargo run -p simlint` and as a tier-1 test in the
 //! root crate (`tests/simlint_policy.rs`), so `cargo test` fails on any new
@@ -57,6 +63,8 @@ pub enum Rule {
     PanicUnwrap,
     /// NaN-unsafe `f64` ordering in simulation crates.
     NanCompare,
+    /// `std::collections::BinaryHeap` outside `crates/sim-core/src/`.
+    AdHocHeap,
 }
 
 impl Rule {
@@ -67,6 +75,7 @@ impl Rule {
             Rule::HashCollections => "hash-collections",
             Rule::PanicUnwrap => "panic-unwrap",
             Rule::NanCompare => "nan-compare",
+            Rule::AdHocHeap => "binary-heap",
         }
     }
 
@@ -77,13 +86,19 @@ impl Rule {
             "hash-collections" => Some(Rule::HashCollections),
             "panic-unwrap" => Some(Rule::PanicUnwrap),
             "nan-compare" => Some(Rule::NanCompare),
+            "binary-heap" => Some(Rule::AdHocHeap),
             _ => None,
         }
     }
 
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 4] =
-        [Rule::Nondeterminism, Rule::HashCollections, Rule::PanicUnwrap, Rule::NanCompare];
+    pub const ALL: [Rule; 5] = [
+        Rule::Nondeterminism,
+        Rule::HashCollections,
+        Rule::PanicUnwrap,
+        Rule::NanCompare,
+        Rule::AdHocHeap,
+    ];
 }
 
 impl fmt::Display for Rule {
@@ -109,6 +124,16 @@ pub fn wallclock_licensed(rel_path: &str) -> bool {
     let mut parts = rel_path.split('/');
     parts.next() == Some("crates")
         && parts.next().is_some_and(|krate| WALLCLOCK_CRATES.contains(&krate))
+}
+
+/// Whether `rel_path` may use `std::collections::BinaryHeap`. Only the
+/// scheduler's home (`crates/sim-core/src/`) is licensed: `BinaryHeap`
+/// breaks ties arbitrarily, so any ad-hoc priority queue elsewhere risks
+/// reintroducing the event-ordering nondeterminism the calendar queue and
+/// its FIFO tie discipline were built to rule out. Everything else must
+/// schedule through `sim_core::EventQueue`/`DriverQueue`.
+pub fn binaryheap_licensed(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/sim-core/src/")
 }
 
 /// One rule hit at one source line.
@@ -396,6 +421,19 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
                         .to_string(),
                 );
             }
+        }
+
+        // Rule 5: BinaryHeap outside the scheduler's home crate. Applies to
+        // test code too — a heap-ordered test oracle with arbitrary
+        // tie-breaking would validate the wrong ordering contract; use
+        // `sim_core::HeapQueue` (FIFO ties) as the reference instead.
+        if !binaryheap_licensed(rel_path) && contains_token(line, "BinaryHeap") {
+            push(
+                Rule::AdHocHeap,
+                "`BinaryHeap` breaks ties arbitrarily; schedule through \
+                 sim_core::EventQueue/DriverQueue (or HeapQueue as a reference)"
+                    .to_string(),
+            );
         }
     }
     findings
@@ -826,6 +864,25 @@ mod tests {
             "fn partial_cmp(&self, other: &Self) -> Option<Ordering> { Some(self.cmp(other)) }"
         )
         .contains(&Rule::NanCompare));
+    }
+
+    #[test]
+    fn binaryheap_rule_licensed_only_in_sim_core() {
+        let src = "use std::collections::BinaryHeap;";
+        // Licensed home: the scheduler implementations themselves.
+        assert!(rules_at("crates/sim-core/src/event.rs", src).is_empty());
+        // Banned everywhere else, test trees and test modules included.
+        assert!(rules_at(SIM_PATH, src).contains(&Rule::AdHocHeap));
+        assert!(rules_at(TOOL_PATH, src).contains(&Rule::AdHocHeap));
+        assert!(rules_at("tests/end_to_end.rs", src).contains(&Rule::AdHocHeap));
+        let test_src = "#[cfg(test)]\nmod tests { use std::collections::BinaryHeap; }";
+        assert!(rules_at(SIM_PATH, test_src).contains(&Rule::AdHocHeap));
+        // Token boundaries and stripped prose don't fire.
+        assert!(rules_at(SIM_PATH, "struct NotABinaryHeapAtAll;").is_empty());
+        assert!(rules_at(SIM_PATH, "// BinaryHeap is banned here").is_empty());
+        // A named allowance would still parse, so the ratchet could budget
+        // a future exception explicitly rather than by edit-war.
+        assert_eq!(Rule::from_name("binary-heap"), Some(Rule::AdHocHeap));
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub struct SendState {
     send_times: DetMap<u64, SimTime>,
     armed_timer: Option<TcpTimer>,
     next_timer_id: u64,
+    cancelled_timers: u64,
     cwnd_trace: TimeSeries,
     last_traced_cwnd: f64,
 }
@@ -50,6 +51,7 @@ impl SendState {
             send_times: DetMap::new(),
             armed_timer: None,
             next_timer_id: 0,
+            cancelled_timers: 0,
             cwnd_trace: TimeSeries::new(),
             last_traced_cwnd: f64::NAN,
         }
@@ -132,11 +134,14 @@ impl SendState {
     }
 
     /// Arms (or re-arms) the retransmission timer to fire one RTO from now,
-    /// pushing the `SetTimer` output.
+    /// pushing the `SetTimer` output. Re-arming tombstones the previously
+    /// armed id: its queued event will pop stale.
     pub fn arm_timer(&mut self, now: SimTime, out: &mut Vec<TcpOutput>) {
         let id = TcpTimer(self.next_timer_id);
         self.next_timer_id += 1;
-        self.armed_timer = Some(id);
+        if self.armed_timer.replace(id).is_some() {
+            self.cancelled_timers += 1;
+        }
         out.push(TcpOutput::SetTimer { id, at: now + self.rtt.rto() });
     }
 
@@ -149,7 +154,22 @@ impl SendState {
 
     /// Cancels the pending timer (future firings of old ids are stale).
     pub fn cancel_timer(&mut self) {
-        self.armed_timer = None;
+        if self.armed_timer.take().is_some() {
+            self.cancelled_timers += 1;
+        }
+    }
+
+    /// Whether `id` is the currently armed retransmission timer. The driver
+    /// consults this at its dispatch choke point to discard stale timer
+    /// pops without entering the sender.
+    pub fn timer_is_live(&self, id: TcpTimer) -> bool {
+        self.armed_timer == Some(id)
+    }
+
+    /// Number of timers tombstoned before firing (cancellations plus
+    /// re-arms that superseded a pending id).
+    pub fn timers_cancelled(&self) -> u64 {
+        self.cancelled_timers
     }
 
     /// Whether `id` is the currently armed timer; consumes it if so.
@@ -300,8 +320,15 @@ mod tests {
             TcpOutput::SetTimer { id, .. } => id,
             _ => unreachable!(),
         };
+        assert!(s.timer_is_live(id2));
         s.cancel_timer();
         assert!(!s.take_timer_if_current(id2));
+        assert!(!s.timer_is_live(id2));
+        assert_eq!(s.timers_cancelled(), 1);
+        // Re-arming over a pending timer tombstones the old id.
+        s.arm_timer(t(3), &mut out);
+        s.arm_timer(t(4), &mut out);
+        assert_eq!(s.timers_cancelled(), 2);
     }
 
     #[test]

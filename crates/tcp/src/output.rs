@@ -62,6 +62,20 @@ pub trait Transport: std::fmt::Debug {
     /// A timer set via [`TcpOutput::SetTimer`] fired.
     fn on_timer(&mut self, id: TcpTimer, now: SimTime) -> Vec<TcpOutput>;
 
+    /// Whether a timer id is still the currently armed one. The driver may
+    /// consult this to discard stale timer pops before calling
+    /// [`Transport::on_timer`]; the default claims liveness, so variants
+    /// that don't track it fall back to their own stale handling.
+    fn timer_is_live(&self, _id: TcpTimer) -> bool {
+        true
+    }
+
+    /// Number of timers tombstoned before firing (lazy cancellations whose
+    /// queued events pop stale). Zero for variants that don't track it.
+    fn timers_cancelled(&self) -> u64 {
+        0
+    }
+
     /// Current congestion window in segments.
     fn cwnd(&self) -> f64;
 

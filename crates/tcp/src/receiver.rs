@@ -71,6 +71,7 @@ pub struct TcpReceiver {
     pending_ack: Option<TcpSegment>,
     delack_timer: Option<DelAckTimer>,
     next_delack_id: u64,
+    delack_cancelled: u64,
 }
 
 /// Maximum SACK blocks attached to one ACK (TCP option-space limit).
@@ -93,6 +94,7 @@ impl TcpReceiver {
             pending_ack: None,
             delack_timer: None,
             next_delack_id: 0,
+            delack_cancelled: 0,
         }
     }
 
@@ -158,13 +160,13 @@ impl TcpReceiver {
             // Dup or out-of-order: the sender needs this signal now. Any
             // pending delayed ACK is superseded by this fresher one.
             self.pending_ack = None;
-            self.delack_timer = None;
+            self.cancel_delack_timer();
             self.stats.acks_sent += 1;
             return ReceiverOutput { ack: Some(ack), set_timer: None };
         }
         if self.pending_ack.take().is_some() {
             // Second in-order segment: release one coalesced ACK.
-            self.delack_timer = None;
+            self.cancel_delack_timer();
             self.stats.acks_sent += 1;
             return ReceiverOutput { ack: Some(ack), set_timer: None };
         }
@@ -174,6 +176,25 @@ impl TcpReceiver {
         self.next_delack_id += 1;
         self.delack_timer = Some(id);
         ReceiverOutput { ack: None, set_timer: Some((id, now + DELACK_TIMEOUT)) }
+    }
+
+    /// Whether `id` is the currently armed delayed-ACK timer. The driver
+    /// consults this at its dispatch choke point to discard stale timer
+    /// pops without entering the receiver.
+    pub fn delack_is_live(&self, id: DelAckTimer) -> bool {
+        self.delack_timer == Some(id)
+    }
+
+    /// Number of delayed-ACK timers tombstoned before firing (superseded
+    /// by an immediate ACK); their queued events pop stale.
+    pub fn timers_cancelled(&self) -> u64 {
+        self.delack_cancelled
+    }
+
+    fn cancel_delack_timer(&mut self) {
+        if self.delack_timer.take().is_some() {
+            self.delack_cancelled += 1;
+        }
     }
 
     /// A delayed-ACK timer fired; returns the held ACK if `id` is current.
@@ -510,9 +531,12 @@ mod delack_tests {
         let out = r.on_data_segment_delack(&data(0), t(0));
         let (id, _) = out.set_timer.unwrap();
         // ...then a gap arrival forces an immediate (and fresher) ACK.
+        assert!(r.delack_is_live(id));
         let out = r.on_data_segment_delack(&data(5), t(10));
         assert!(out.ack.is_some());
         // The old timer must now be stale: no double-ACK.
+        assert!(!r.delack_is_live(id), "superseded timer must read dead");
+        assert_eq!(r.timers_cancelled(), 1);
         assert!(r.on_delack_timer(id).is_none());
     }
 

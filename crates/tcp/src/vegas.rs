@@ -235,6 +235,14 @@ impl Transport for VegasSender {
         self.s.cwnd_trace()
     }
 
+    fn timer_is_live(&self, id: TcpTimer) -> bool {
+        self.s.timer_is_live(id)
+    }
+
+    fn timers_cancelled(&self) -> u64 {
+        self.s.timers_cancelled()
+    }
+
     fn srtt(&self) -> Option<sim_core::SimDuration> {
         self.s.rtt.srtt()
     }

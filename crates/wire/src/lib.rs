@@ -23,6 +23,7 @@ mod drai;
 mod ids;
 mod ip;
 mod mac;
+mod shared;
 mod tcp_seg;
 
 pub use aodv_msg::{AodvMessage, Hello, RouteError, RouteReply, RouteRequest};
@@ -32,6 +33,7 @@ pub use ip::{Packet, Payload, DEFAULT_TTL};
 pub use mac::{
     FrameBody, FrameKind, MacFrame, CTS_BYTES, DATA_OVERHEAD_BYTES, MAC_ACK_BYTES, RTS_BYTES,
 };
+pub use shared::SharedPacket;
 pub use tcp_seg::{SackBlock, TcpSegment, TcpSegmentKind};
 
 /// Default TCP payload size in bytes (the paper's packet size, §5.3).

@@ -1,6 +1,6 @@
 //! IEEE 802.11 MAC frames as exchanged over the radio channel.
 
-use crate::{NodeId, Packet};
+use crate::{NodeId, Packet, SharedPacket};
 
 /// The four frame kinds used by the DCF exchange.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -16,13 +16,15 @@ pub enum FrameKind {
 }
 
 /// Frame contents: control frames carry no payload, data frames carry a
-/// network-layer [`Packet`].
+/// network-layer [`Packet`] behind a [`SharedPacket`] handle, so the copy
+/// scheduled at every carrier-sense neighbour (and every MAC retry) shares
+/// one allocation instead of deep-cloning the packet.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FrameBody {
     /// RTS/CTS/ACK control frame — no payload.
     Control(FrameKind),
-    /// DATA frame wrapping a packet.
-    Data(Packet),
+    /// DATA frame wrapping a shared packet.
+    Data(SharedPacket),
 }
 
 /// Size in bytes of an RTS frame (802.11: 20 B).
@@ -99,15 +101,17 @@ impl MacFrame {
     /// The packet inside a DATA frame, if any.
     pub fn packet(&self) -> Option<&Packet> {
         match &self.body {
-            FrameBody::Data(pkt) => Some(pkt),
+            FrameBody::Data(pkt) => Some(pkt.get()),
             FrameBody::Control(_) => None,
         }
     }
 
-    /// Consumes the frame and returns the packet inside, if any.
+    /// Consumes the frame and returns an owned copy of the packet inside,
+    /// if any — free when this frame holds the payload's last reference
+    /// (see [`SharedPacket::into_owned`]).
     pub fn into_packet(self) -> Option<Packet> {
         match self.body {
-            FrameBody::Data(pkt) => Some(pkt),
+            FrameBody::Data(pkt) => Some(pkt.into_owned()),
             FrameBody::Control(_) => None,
         }
     }
@@ -122,12 +126,12 @@ mod tests {
         MacFrame {
             src: NodeId::new(0),
             dst: NodeId::new(1),
-            body: FrameBody::Data(Packet::new(
+            body: FrameBody::Data(SharedPacket::new(Packet::new(
                 1,
                 NodeId::new(0),
                 NodeId::new(4),
                 Payload::Tcp(TcpSegment::data(FlowId::new(0), 0, 1460, None)),
-            )),
+            ))),
             nav_until_nanos: 0,
         }
     }

@@ -1,0 +1,118 @@
+//! Shared-ownership packet payloads for the zero-copy frame path.
+//!
+//! A transmission fans out to every carrier-sense neighbour, and a MAC
+//! retries the same data frame several times; cloning the full [`Packet`]
+//! (TCP options, SACK blocks, the Muzha DRAI header) for each copy was the
+//! dominant allocation on the hot path. [`SharedPacket`] is a `Bytes`-style
+//! newtype over `Rc<Packet>`: PHY fan-out, MAC retries and trace capture
+//! all share one allocation, and the single receiver that actually decodes
+//! the frame takes ownership back with [`SharedPacket::into_owned`] (free
+//! when it holds the last reference).
+//!
+//! Plain `Rc`, not `Arc`: simulators are single-threaded by design (the
+//! batch engine runs one simulator per worker), so shared payloads never
+//! cross threads.
+//!
+//! Ownership rule: a packet is shared only while it is *on the air or
+//! queued for the air* and therefore immutable. Every mutating layer —
+//! the router agent's DRAI fold, AODV's TTL decrement — operates on an
+//! owned `Packet` obtained via `into_owned` before the mutation.
+
+use std::ops::Deref;
+use std::rc::Rc;
+
+use crate::Packet;
+
+/// A reference-counted, immutable [`Packet`] shared across frame copies.
+///
+/// Equality is by packet value (like `Packet` itself), with the usual
+/// same-allocation fast path from `Rc`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SharedPacket(Rc<Packet>);
+
+impl SharedPacket {
+    /// Wraps `packet` into a shared, immutable allocation.
+    pub fn new(packet: Packet) -> Self {
+        SharedPacket(Rc::new(packet))
+    }
+
+    /// Borrows the packet.
+    pub fn get(&self) -> &Packet {
+        &self.0
+    }
+
+    /// Takes the packet back out: free when this is the last reference,
+    /// one deep clone otherwise (the single decode point pays at most one
+    /// copy per reception, instead of one per scheduled frame copy).
+    pub fn into_owned(self) -> Packet {
+        match Rc::try_unwrap(self.0) {
+            Ok(packet) => packet,
+            Err(shared) => (*shared).clone(),
+        }
+    }
+
+    /// Number of frame copies currently sharing this allocation.
+    pub fn ref_count(&self) -> usize {
+        Rc::strong_count(&self.0)
+    }
+}
+
+impl Deref for SharedPacket {
+    type Target = Packet;
+
+    fn deref(&self) -> &Packet {
+        &self.0
+    }
+}
+
+impl From<Packet> for SharedPacket {
+    fn from(packet: Packet) -> Self {
+        SharedPacket::new(packet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlowId, NodeId, Payload, TcpSegment};
+
+    fn packet(uid: u64) -> Packet {
+        Packet::new(
+            uid,
+            NodeId::new(0),
+            NodeId::new(3),
+            Payload::Tcp(TcpSegment::data(FlowId::new(0), 7, 1460, None)),
+        )
+    }
+
+    #[test]
+    fn clones_share_one_allocation() {
+        let shared = SharedPacket::new(packet(42));
+        let copies: Vec<SharedPacket> = (0..5).map(|_| shared.clone()).collect();
+        assert_eq!(shared.ref_count(), 6);
+        for c in &copies {
+            assert_eq!(c.uid, 42, "Deref reaches the packet fields");
+            assert_eq!(*c, shared);
+        }
+    }
+
+    #[test]
+    fn into_owned_is_free_for_the_last_reference() {
+        let shared = SharedPacket::new(packet(1));
+        let owned = shared.into_owned(); // sole owner: must not clone
+        assert_eq!(owned.uid, 1);
+
+        let shared = SharedPacket::new(packet(2));
+        let copy = shared.clone();
+        let owned = shared.into_owned(); // still referenced: deep clone
+        assert_eq!(owned.uid, 2);
+        assert_eq!(copy.ref_count(), 1);
+    }
+
+    #[test]
+    fn equality_is_by_value() {
+        let a = SharedPacket::new(packet(9));
+        let b = SharedPacket::new(packet(9));
+        assert_eq!(a, b, "distinct allocations, equal packets");
+    }
+}

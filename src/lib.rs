@@ -38,7 +38,10 @@
 /// Discrete-event simulation engine primitives.
 pub mod sim {
     pub use sim_core::stats;
-    pub use sim_core::{EventQueue, RunPerf, SimDuration, SimRng, SimTime};
+    pub use sim_core::{
+        DriverQueue, EventQueue, HeapQueue, RunPerf, SchedulerKind, SimDuration, SimRng, SimTime,
+        TimerHandle, TimerSlab,
+    };
 }
 
 /// On-the-wire types: packets, segments, frames, and the DRAI option.

@@ -8,7 +8,7 @@
 
 use tcp_muzha::faultline::{CheckEvent, InvariantChecker, LedgerSummary, ScenarioScript};
 use tcp_muzha::net::{topology, FlowSpec, SimConfig, Simulator, TcpVariant};
-use tcp_muzha::sim::{SimDuration, SimTime};
+use tcp_muzha::sim::{SchedulerKind, SimDuration, SimTime};
 use tcp_muzha::wire::{FlowId, NodeId};
 
 /// The corpus, embedded so the test binary is self-contained and the run
@@ -28,9 +28,17 @@ const CORPUS: [(&str, &str); 8] = [
 /// with one NewReno flow end to end, the script's seed, and the script's
 /// duration.
 fn run_scenario(script: &ScenarioScript) -> (u64, u64, LedgerSummary, Vec<String>) {
+    run_scenario_with(script, SimConfig::default().scheduler)
+}
+
+/// Same as [`run_scenario`] but pinning the event-queue implementation.
+fn run_scenario_with(
+    script: &ScenarioScript,
+    scheduler: SchedulerKind,
+) -> (u64, u64, LedgerSummary, Vec<String>) {
     let seed = script.seed.expect("corpus scripts declare a seed");
     let duration = script.duration.expect("corpus scripts declare a duration");
-    let cfg = SimConfig { seed, ..SimConfig::default() };
+    let cfg = SimConfig { seed, scheduler, ..SimConfig::default() };
     let mut sim = Simulator::new(topology::chain(4), cfg);
     let (src, dst) = topology::chain_flow(4);
     let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno));
@@ -82,6 +90,26 @@ fn corpus_runs_clean_and_twin_runs_are_bit_identical() {
             ledger_a.delivered + ledger_a.dropped + ledger_a.fault_dropped + ledger_a.in_flight,
             "{name}: conservation ledger does not balance: {ledger_a:?}"
         );
+    }
+}
+
+/// The scheduler swap is invisible at the trace level: every corpus script
+/// must produce the *same* trace hash and delivery count under the calendar
+/// queue and under the binary-heap reference. Together with the twin-run
+/// check above, this pins the PR's bit-identical acceptance bar — faults,
+/// pauses and all — not just on the happy path.
+#[test]
+fn corpus_is_scheduler_agnostic() {
+    for (name, text) in CORPUS {
+        let script = ScenarioScript::parse(text)
+            .unwrap_or_else(|e| panic!("scenario {name} failed to parse: {e}"));
+        let (cal_hash, cal_delivered, _, _) = run_scenario_with(&script, SchedulerKind::Calendar);
+        let (heap_hash, heap_delivered, _, _) = run_scenario_with(&script, SchedulerKind::Heap);
+        assert_eq!(
+            cal_hash, heap_hash,
+            "{name}: calendar and heap schedulers must replay identical event streams"
+        );
+        assert_eq!(cal_delivered, heap_delivered, "{name}: delivery counts diverged");
     }
 }
 

@@ -1,0 +1,159 @@
+//! Tier-1 differential gate for the calendar-queue scheduler: under
+//! randomised interleavings of push / pop / lazy-cancel, the calendar queue
+//! and the `BinaryHeap`-backed reference must emit *identical* pop streams —
+//! same timestamps, same payloads, same FIFO order among ties, same
+//! tombstone skips. This is the op-level counterpart of the end-to-end
+//! cross-scheduler trace-hash equality checked in `tests/scenario_corpus.rs`
+//! and `netstack`'s own tests: if this property holds, swapping the
+//! scheduler cannot perturb any simulation.
+
+use proptest::prelude::*;
+use tcp_muzha::sim::{EventQueue, HeapQueue, SimDuration, SimRng, SimTime, TimerSlab};
+
+/// One scripted operation against both queues.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Schedule a fresh timer at `now + offset_ns` (quantised so ties are
+    /// frequent — the FIFO tie discipline is the property under test).
+    Push { offset_ns: u64 },
+    /// Pop the earliest event from both queues and compare.
+    Pop,
+    /// Tombstone the `sel`-th still-live handle (lazy cancellation: the
+    /// queued event stays put and must later pop as a stale skip).
+    Cancel { sel: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..7, 0u64..64).prop_map(|(discriminant, x)| match discriminant {
+        // Quantised offsets (weight 3/7): ~1/8 of pushes collide exactly in
+        // time, so the FIFO tie discipline is constantly under load.
+        0..=2 => Op::Push { offset_ns: (x % 8) * 125_000 },
+        // Far-future outliers (1/7) exercise the calendar's lap scan and
+        // direct-search fallback across resizes.
+        3 => Op::Push { offset_ns: (1 + x % 4) * 1_000_000_000 },
+        // Pops (2/7) interleave with pushes so `now` keeps advancing.
+        4 | 5 => Op::Pop,
+        _ => Op::Cancel { sel: x as usize },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// Same ops in, same (time, handle, liveness) stream out.
+    #[test]
+    fn calendar_matches_heap_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+        drain in any::<bool>(),
+    ) {
+        let mut calendar = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut slab = TimerSlab::new();
+        let mut live = Vec::new();
+        let mut stale_skips = 0u64;
+        let mut pops = 0u64;
+
+        for op in &ops {
+            match *op {
+                Op::Push { offset_ns } => {
+                    // Both queues agree on `now` (asserted below), so the
+                    // same absolute time is legal for both.
+                    let at = calendar.now() + SimDuration::from_nanos(offset_ns);
+                    let handle = slab.schedule();
+                    live.push(handle);
+                    calendar.push(at, handle);
+                    heap.push(at, handle);
+                }
+                Op::Cancel { sel } => {
+                    if !live.is_empty() {
+                        let handle = live.swap_remove(sel % live.len());
+                        prop_assert!(slab.cancel(handle));
+                    }
+                }
+                Op::Pop => {
+                    let a = calendar.pop();
+                    let b = heap.pop();
+                    prop_assert_eq!(a, b, "pop streams diverged");
+                    if let Some((_, handle)) = a {
+                        pops += 1;
+                        // The dispatch choke point's stale check: a
+                        // tombstoned handle pops but must not fire.
+                        if slab.fire(handle) {
+                            live.retain(|h| *h != handle);
+                        } else {
+                            stale_skips += 1;
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(calendar.len(), heap.len());
+            prop_assert_eq!(calendar.now(), heap.now());
+        }
+
+        if drain {
+            // Drain both queues to the end: tail order (including events far
+            // in the future of the last resize) must also agree.
+            loop {
+                let a = calendar.pop();
+                let b = heap.pop();
+                prop_assert_eq!(a, b, "drain streams diverged");
+                match a {
+                    None => break,
+                    Some((_, handle)) => {
+                        pops += 1;
+                        if !slab.fire(handle) {
+                            stale_skips += 1;
+                        }
+                    }
+                }
+            }
+            prop_assert!(calendar.is_empty() && heap.is_empty());
+            // Every scheduled handle was pushed exactly once and the drain
+            // popped them all; each pop either fired its timer or skipped a
+            // tombstone, so the books must balance exactly.
+            prop_assert_eq!(pops, slab.scheduled_count());
+            prop_assert_eq!(stale_skips, slab.cancelled_count());
+            prop_assert_eq!(slab.live(), 0);
+        }
+    }
+
+    /// Ties at one timestamp pop in exact insertion order from both queues,
+    /// regardless of how many other timestamps surround them.
+    #[test]
+    fn fifo_ties_survive_mixed_traffic(
+        seed in 0u64..1000,
+        tie_count in 2usize..20,
+        noise in 0usize..40,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let mut calendar = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let tie_time = SimTime::ZERO + SimDuration::from_millis(5);
+        let mut payload = 0u64;
+        for _ in 0..noise {
+            let at = SimTime::ZERO + SimDuration::from_nanos(u64::from(rng.below(10_000_000)));
+            calendar.push(at, payload);
+            heap.push(at, payload);
+            payload += 1;
+        }
+        let first_tie = payload;
+        for _ in 0..tie_count {
+            calendar.push(tie_time, payload);
+            heap.push(tie_time, payload);
+            payload += 1;
+        }
+        let mut seen_ties = Vec::new();
+        while let Some((t, p)) = calendar.pop() {
+            prop_assert_eq!(Some((t, p)), heap.pop());
+            if t == tie_time && p >= first_tie {
+                seen_ties.push(p);
+            }
+        }
+        prop_assert_eq!(heap.pop(), None);
+        let expected: Vec<u64> = (first_tie..first_tie + tie_count as u64).collect();
+        prop_assert_eq!(seen_ties, expected, "FIFO tie order violated");
+    }
+}

@@ -65,6 +65,26 @@ fn trace_subsystem_is_held_to_sim_state_policy() {
 }
 
 #[test]
+fn binaryheap_licence_covers_sim_core_only() {
+    // Pin the binary-heap carve-out: the scheduler's home crate may use
+    // `std::collections::BinaryHeap` (the calendar queue's in-bucket spill
+    // and the `HeapQueue` differential reference live there); everywhere
+    // else an ad-hoc heap would bypass the FIFO tie discipline the
+    // trace-hash determinism contract depends on.
+    assert!(simlint::binaryheap_licensed("crates/sim-core/src/event.rs"));
+    assert!(simlint::binaryheap_licensed("crates/sim-core/src/lib.rs"));
+    for path in [
+        "crates/sim-core/tests/event_props.rs",
+        "crates/netstack/src/sim.rs",
+        "crates/harness/src/runner.rs",
+        "src/lib.rs",
+        "tests/end_to_end.rs",
+    ] {
+        assert!(!simlint::binaryheap_licensed(path), "{path} must not use BinaryHeap directly");
+    }
+}
+
+#[test]
 fn allowlist_is_not_stale() {
     // The ratchet only moves down: when a file drops below its budget the
     // allowlist must be tightened in the same change, so budgets always
