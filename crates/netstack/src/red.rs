@@ -133,8 +133,12 @@ impl RedQueue {
         if priority {
             if self.items.len() >= self.cfg.capacity {
                 // Evict newest data to protect routing control.
-                if let Some(idx) = self.items.iter().rposition(|(p, _)| !p.is_control()) {
-                    let (evicted, _) = self.items.remove(idx).expect("index valid");
+                if let Some((evicted, _)) = self
+                    .items
+                    .iter()
+                    .rposition(|(p, _)| !p.is_control())
+                    .and_then(|idx| self.items.remove(idx))
+                {
                     self.store_front(packet, next_hop);
                     self.stats.dropped += 1;
                     return RedOutcome::Dropped { packet: evicted, early: false };

@@ -1,0 +1,564 @@
+//! A std-only Rust lexer for the analyzer.
+//!
+//! The v1 scanner matched needles against comment-stripped *lines*, which
+//! made every rule hostage to `strip_comments_and_strings` heuristics
+//! (multi-line chains invisible, double-counted needles, token boundaries
+//! re-implemented per rule). v2 lexes each file once into a token stream —
+//! identifiers, numbers, string/char literals, lifetimes, punctuation —
+//! and every rule matches token patterns instead of substrings.
+//!
+//! The lexer understands the full literal grammar the rules need to *not*
+//! trip over: nested `/* */` block comments, `"…"` strings with escapes,
+//! raw strings `r"…"`/`r#"…"#` at any hash depth, byte and byte-raw
+//! strings, and char literals versus lifetimes (`'a'` versus `'a`).
+//! `#[cfg(test)]` items are resolved to their real brace extent (the
+//! attached item's block, or through the `;` for block-less items), so
+//! test-code classification no longer assumes test modules sit at the end
+//! of a file.
+
+/// What kind of token a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`foo`, `fn`, `_`).
+    Ident,
+    /// A numeric literal, suffix included (`42`, `1.5e-3`, `0xFFu32`).
+    Num,
+    /// A string literal of any flavour (plain, raw, byte); text is the
+    /// *content* only, quotes and hashes removed.
+    Str,
+    /// A char or byte-char literal; text is the content between quotes.
+    Char,
+    /// A lifetime (`'a`); text excludes the leading quote.
+    Lifetime,
+    /// A single punctuation character (`.`, `(`, `=`, …).
+    Punct,
+}
+
+/// One lexed token with its source position and test-code classification.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokKind,
+    /// The token text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+    /// Whether the token sits inside a `#[cfg(test)]` item's extent.
+    pub in_test: bool,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes() == [c as u8]
+    }
+}
+
+/// A lexed source file: the token stream plus the raw lines (for snippets).
+#[derive(Clone, Debug)]
+pub struct Lexed {
+    /// All tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// The raw source split into lines (1-based access via `line - 1`).
+    pub lines: Vec<String>,
+}
+
+impl Lexed {
+    /// The trimmed raw source line a token sits on (empty if out of range).
+    pub fn snippet(&self, line: usize) -> String {
+        self.lines.get(line.wrapping_sub(1)).map_or(String::new(), |l| l.trim().to_string())
+    }
+}
+
+/// Lexes `source` into a token stream with test-extent classification.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let n = chars.len();
+
+    let at = |i: usize| chars.get(i).copied();
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if at(i + 1) == Some('/') => {
+                // Line (or doc) comment: skip to end of line.
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if at(i + 1) == Some('*') => {
+                // Block comment, nesting tracked.
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '/' && at(i + 1) == Some('*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && at(i + 1) == Some('/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (text, end, newlines) = scan_string(&chars, i + 1);
+                tokens.push(Token { kind: TokKind::Str, text, line, in_test: false });
+                line += newlines;
+                i = end;
+            }
+            '\'' => {
+                // Char literal vs lifetime. A char literal's closing quote
+                // follows within one (possibly escaped) character; a
+                // lifetime never closes.
+                if at(i + 1) == Some('\\') {
+                    // Escaped char literal: scan to the closing quote.
+                    let mut j = i + 2;
+                    let mut text = String::from("\\");
+                    while j < n && chars[j] != '\'' {
+                        text.push(chars[j]);
+                        j += 1;
+                    }
+                    tokens.push(Token { kind: TokKind::Char, text, line, in_test: false });
+                    i = j + 1;
+                } else if at(i + 2) == Some('\'') && at(i + 1).is_some() {
+                    let text = chars[i + 1].to_string();
+                    tokens.push(Token { kind: TokKind::Char, text, line, in_test: false });
+                    i += 3;
+                } else if at(i + 1).is_some_and(is_ident_start) {
+                    let mut j = i + 1;
+                    let mut text = String::new();
+                    while j < n && is_ident_continue(chars[j]) {
+                        text.push(chars[j]);
+                        j += 1;
+                    }
+                    tokens.push(Token { kind: TokKind::Lifetime, text, line, in_test: false });
+                    i = j;
+                } else {
+                    // Stray quote; emit as punctuation and move on.
+                    tokens.push(Token {
+                        kind: TokKind::Punct,
+                        text: "'".into(),
+                        line,
+                        in_test: false,
+                    });
+                    i += 1;
+                }
+            }
+            c if is_ident_start(c) => {
+                // Raw/byte string prefixes bind tighter than identifiers:
+                // r"…", r#"…"#, b"…", br#"…"#, b'…'.
+                if let Some((kind, text, end, newlines)) = scan_prefixed_literal(&chars, i) {
+                    tokens.push(Token { kind, text, line, in_test: false });
+                    line += newlines;
+                    i = end;
+                    continue;
+                }
+                let mut j = i;
+                let mut text = String::new();
+                while j < n && is_ident_continue(chars[j]) {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                tokens.push(Token { kind: TokKind::Ident, text, line, in_test: false });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let (text, end) = scan_number(&chars, i);
+                tokens.push(Token { kind: TokKind::Num, text, line, in_test: false });
+                i = end;
+            }
+            c => {
+                tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                    in_test: false,
+                });
+                i += 1;
+            }
+        }
+    }
+
+    mark_test_extents(&mut tokens);
+    Lexed { tokens, lines: source.lines().map(str::to_string).collect() }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Scans a plain string body starting just after the opening quote.
+/// Returns `(content, index past closing quote, newlines crossed)`.
+fn scan_string(chars: &[char], mut i: usize) -> (String, usize, usize) {
+    let mut text = String::new();
+    let mut newlines = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                if let Some(&c) = chars.get(i + 1) {
+                    if c == '\n' {
+                        newlines += 1;
+                    }
+                    text.push(c);
+                }
+                i += 2;
+            }
+            '"' => return (text, i + 1, newlines),
+            c => {
+                if c == '\n' {
+                    newlines += 1;
+                }
+                text.push(c);
+                i += 1;
+            }
+        }
+    }
+    (text, i, newlines)
+}
+
+/// Scans `r"…"`, `r#"…"#` (any hash depth), `b"…"`, `br#"…"#`, or `b'…'`
+/// starting at `i`. Returns `None` when the chars at `i` are an ordinary
+/// identifier.
+fn scan_prefixed_literal(chars: &[char], i: usize) -> Option<(TokKind, String, usize, usize)> {
+    let n = chars.len();
+    let c = chars[i];
+    let (raw_from, is_raw) = match c {
+        'r' => (i + 1, true),
+        'b' => match chars.get(i + 1) {
+            Some('\'') => {
+                // Byte char literal b'x' / b'\n'.
+                let mut j = i + 2;
+                let mut text = String::new();
+                if chars.get(j) == Some(&'\\') {
+                    text.push('\\');
+                    j += 1;
+                    if j < n {
+                        text.push(chars[j]);
+                        j += 1;
+                    }
+                } else if j < n {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'\'') {
+                    return Some((TokKind::Char, text, j + 1, 0));
+                }
+                return None;
+            }
+            Some('"') => {
+                let (text, end, nl) = scan_string(chars, i + 2);
+                return Some((TokKind::Str, text, end, nl));
+            }
+            Some('r') => (i + 2, true),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    if !is_raw {
+        return None;
+    }
+    // Count hashes, then require the opening quote.
+    let mut j = raw_from;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    j += 1;
+    let mut text = String::new();
+    let mut newlines = 0;
+    while j < n {
+        if chars[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0;
+            while seen < hashes && chars.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some((TokKind::Str, text, k, newlines));
+            }
+        }
+        if chars[j] == '\n' {
+            newlines += 1;
+        }
+        text.push(chars[j]);
+        j += 1;
+    }
+    Some((TokKind::Str, text, j, newlines))
+}
+
+/// Scans a numeric literal (integers, floats, hex/oct/bin, underscores,
+/// exponents, type suffixes). Returns `(text, index past the literal)`.
+fn scan_number(chars: &[char], mut i: usize) -> (String, usize) {
+    let n = chars.len();
+    let mut text = String::new();
+    while i < n {
+        let c = chars[i];
+        if c.is_ascii_alphanumeric() || c == '_' {
+            text.push(c);
+            i += 1;
+            // Exponent sign: 1e-9 / 1E+9.
+            if (c == 'e' || c == 'E')
+                && text.chars().next().is_some_and(|f| f.is_ascii_digit())
+                && !text.starts_with("0x")
+                && matches!(chars.get(i), Some('+') | Some('-'))
+                && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+            {
+                text.push(chars[i]);
+                i += 1;
+            }
+        } else if c == '.'
+            && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+            && !text.contains('.')
+        {
+            // Fractional part — but not `1..x` ranges or tuple chains.
+            text.push('.');
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    (text, i)
+}
+
+/// Marks every token inside a `#[cfg(test)]` item's extent as test code.
+///
+/// The extent is the attached item's block — from the attribute through the
+/// matching close brace of the first `{` that follows — or through the
+/// terminating `;` for block-less items (`#[cfg(test)] use …;`).
+fn mark_test_extents(tokens: &mut [Token]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_at(tokens, i) {
+            // Find the end of the attribute (`]` closing the `#[`).
+            let mut j = i + 2; // past `#` `[`
+            let mut depth = 1usize;
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct('[') {
+                    depth += 1;
+                } else if tokens[j].is_punct(']') {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            // Walk to the item's `{` (or a `;` for block-less items).
+            let mut k = j;
+            let mut end = tokens.len();
+            while k < tokens.len() {
+                if tokens[k].is_punct(';') {
+                    end = k + 1;
+                    break;
+                }
+                if tokens[k].is_punct('{') {
+                    let mut braces = 1usize;
+                    let mut m = k + 1;
+                    while m < tokens.len() && braces > 0 {
+                        if tokens[m].is_punct('{') {
+                            braces += 1;
+                        } else if tokens[m].is_punct('}') {
+                            braces -= 1;
+                        }
+                        m += 1;
+                    }
+                    end = m;
+                    break;
+                }
+                k += 1;
+            }
+            for t in &mut tokens[i..end] {
+                t.in_test = true;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Whether tokens at `i` spell `#[cfg(test)]` (`cfg(test, …)` variants
+/// included: any attribute whose first path segment is `cfg` and whose
+/// argument list contains the bare ident `test`).
+fn is_cfg_test_at(tokens: &[Token], i: usize) -> bool {
+    if !(tokens.get(i).is_some_and(|t| t.is_punct('#'))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+        && tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+        && tokens.get(i + 3).is_some_and(|t| t.is_punct('(')))
+    {
+        return false;
+    }
+    // Scan the cfg(...) argument list for the bare ident `test` at any
+    // nesting depth (`cfg(test)`, `cfg(all(test, feature = "x"))`), but not
+    // under a `not(...)` (`cfg(not(test))` marks *non*-test code).
+    let mut depth = 1usize;
+    let mut j = i + 4;
+    while j < tokens.len() && depth > 0 {
+        let t = &tokens[j];
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+        } else if t.is_ident("test") {
+            let negated = j >= 2 && tokens[j - 1].is_punct('(') && tokens[j - 2].is_ident("not");
+            if !negated {
+                return true;
+            }
+        }
+        j += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn comments_produce_no_tokens() {
+        assert!(idents("// thread_rng in a comment").is_empty());
+        assert!(idents("/* SystemTime */").is_empty());
+        assert_eq!(idents("/* outer /* nested SystemTime */ still */ let x;"), ["let", "x"]);
+    }
+
+    #[test]
+    fn nested_block_comments_track_lines() {
+        let lexed = lex("/* a\n/* b\n*/\n*/\nfn f() {}");
+        let f = lexed.tokens.iter().find(|t| t.is_ident("fn")).expect("fn token");
+        assert_eq!(f.line, 5);
+    }
+
+    #[test]
+    fn strings_are_literals_not_idents() {
+        let src = r#"let s = "thread_rng banned"; let r = r"SystemTime";"#;
+        assert_eq!(idents(src), ["let", "s", "let", "r"]);
+        let strs: Vec<_> = lex(src).tokens.into_iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(strs[0].text, "thread_rng banned");
+        assert_eq!(strs[1].text, "SystemTime");
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = "let a = r##\"quote \"# inside RandomState\"##; let b = 1;";
+        assert_eq!(idents(src), ["let", "a", "let", "b"]);
+        let lexed = lex(src);
+        let s = lexed.tokens.iter().find(|t| t.kind == TokKind::Str).expect("raw string");
+        assert!(s.text.contains("RandomState"));
+    }
+
+    #[test]
+    fn raw_strings_track_embedded_newlines() {
+        let lexed = lex("let a = r#\"x\ny\nz\"#;\nfn f() {}");
+        let f = lexed.tokens.iter().find(|t| t.is_ident("fn")).expect("fn token");
+        assert_eq!(f.line, 4);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"Instant\"; let c = b'x'; let d = br#\"raw\"#;";
+        assert_eq!(idents(src), ["let", "a", "let", "c", "let", "d"]);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let src = "let c = 'x'; let e = '\\n'; fn f<'a>(s: &'a str) -> &'static str { s }";
+        let lexed = lex(src);
+        let chars: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokKind::Char).map(|t| &t.text).collect();
+        assert_eq!(chars, ["x", "\\n"]);
+        let lifetimes: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| &t.text).collect();
+        assert_eq!(lifetimes, ["a", "a", "static"]);
+        // Neither leaks into the identifier stream.
+        assert!(!idents(src).iter().any(|s| s == "x" || s == "a" || s == "static"));
+    }
+
+    #[test]
+    fn quote_char_literal_does_not_open_a_string() {
+        let src = "let q = '\"'; let x = SystemTime;";
+        assert!(idents(src).iter().any(|s| s == "SystemTime"), "lexer must resync after '\"'");
+    }
+
+    #[test]
+    fn numbers_keep_suffixes_and_exponents() {
+        let kinds: Vec<_> = lex("let x = 1_000u64 + 1.5e-3 + 0xFF; let r = 1..10;")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(kinds, ["1_000u64", "1.5e-3", "0xFF", "1", "10"]);
+    }
+
+    #[test]
+    fn cfg_test_marks_exact_brace_extent() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() {}\n}\nfn also_live() {}";
+        let lexed = lex(src);
+        let live = lexed.tokens.iter().find(|t| t.is_ident("live")).expect("live");
+        let t = lexed.tokens.iter().find(|t| t.is_ident("t")).expect("t");
+        let after = lexed.tokens.iter().find(|t| t.is_ident("also_live")).expect("also_live");
+        assert!(!live.in_test);
+        assert!(t.in_test);
+        assert!(!after.in_test, "code after a test module is live again");
+    }
+
+    #[test]
+    fn cfg_test_on_blockless_item_extends_to_semicolon() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn live() {}";
+        let lexed = lex(src);
+        let thing = lexed.tokens.iter().find(|t| t.is_ident("thing")).expect("thing");
+        let live = lexed.tokens.iter().find(|t| t.is_ident("live")).expect("live");
+        assert!(thing.in_test);
+        assert!(!live.in_test);
+    }
+
+    #[test]
+    fn cfg_attr_style_markers_count() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod tests { fn t() {} }";
+        let lexed = lex(src);
+        let t = lexed.tokens.iter().find(|t| t.is_ident("t")).expect("t");
+        assert!(t.in_test, "cfg(all(test, ..)) is still a test extent");
+    }
+
+    #[test]
+    fn lines_are_one_based_and_accurate() {
+        let lexed = lex("a\nbb\n  ccc");
+        let lines: Vec<_> = lexed.tokens.iter().map(|t| (t.text.clone(), t.line)).collect();
+        assert_eq!(lines, [("a".into(), 1), ("bb".into(), 2), ("ccc".into(), 3)]);
+        assert_eq!(lexed.snippet(3), "ccc");
+    }
+}

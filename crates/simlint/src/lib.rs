@@ -3,42 +3,31 @@
 //! Every figure the TCP Muzha reproduction regenerates (cwnd traces,
 //! chain-sweep goodput, fairness indices) is only trustworthy if the seeded
 //! discrete-event simulator is bit-for-bit deterministic and does not panic
-//! mid-run. This crate is a std-only, line-level static-analysis pass over
-//! the workspace source tree enforcing the written policy in `DESIGN.md`:
+//! mid-run. This crate is a std-only static-analysis pass over the
+//! workspace source tree enforcing the written policy in `DESIGN.md`.
 //!
-//! 1. **`nondet`** — sources of nondeterminism (`std::time::Instant`,
-//!    `SystemTime::now`, `thread_rng`, entropy-seeded RNG construction,
-//!    `RandomState`) are forbidden *everywhere*. All randomness must flow
-//!    through `sim_core::SimRng`; all time through `sim_core::SimTime`.
-//!    One carve-out: the measurement crates (`crates/harness/`,
-//!    `crates/bench/`) are licensed to use `Instant` — wall-clock numbers
-//!    (events/sec, batch speed-ups) are their *product*, behind the
-//!    harness `WallClock` shim, and never flow into simulator state.
-//!    `SystemTime` stays banned even there.
-//! 2. **`hash-collections`** — `HashMap`/`HashSet` are forbidden in
-//!    simulation-state crates (iteration order would silently perturb event
-//!    ordering); use `BTreeMap`/`BTreeSet` or `sim_core::DetMap`/`DetSet`.
-//! 3. **`panic-unwrap`** — `.unwrap()` / `.expect(...)` / literal-index
-//!    slicing in protocol code is counted against a checked-in, path-scoped
-//!    allowlist (`simlint.allow`), so the count can only ratchet down.
-//! 4. **`nan-compare`** — NaN-unsafe `f64` ordering (`partial_cmp` call
-//!    sites, `sort_by_key` on floats) in simulation crates; use
-//!    `f64::total_cmp` in comparators.
-//! 5. **`binary-heap`** — `std::collections::BinaryHeap` anywhere outside
-//!    `crates/sim-core/src/` (its licensed home, where the calendar queue
-//!    and the `HeapQueue` reference live). `BinaryHeap` breaks ties
-//!    arbitrarily; every other crate must schedule through
-//!    `sim_core::EventQueue`/`DriverQueue`, whose FIFO tie discipline the
-//!    trace-hash determinism contract depends on.
+//! v2 architecture (no rustc/syn dependency — the build environment is
+//! offline):
+//!
+//! 1. **Lexer** ([`lexer`]) — each file is tokenized once (raw strings at
+//!    any hash depth, nested block comments, char literals vs. lifetimes),
+//!    with `#[cfg(test)]` items resolved to their exact brace extent.
+//! 2. **Token rules** — `nondet`, `hash-collections`, `panic-unwrap`,
+//!    `nan-compare`, `binary-heap`, plus `cast-truncate` (narrowing `as`
+//!    on time/seq/uid arithmetic), `float-order` (comparators ordering raw
+//!    floats), and `timer-clear` (raw timer-slot clears bypassing the
+//!    TimerSlab id-match contract).
+//! 3. **Cross-file rules** — `event-accounting` (every `netstack::sim::Event`
+//!    variant has a distinct fold tag, a `RunPerf` classification arm, and a
+//!    dispatch arm) and `trace-coverage` (every `TraceRecord` variant is
+//!    producible from a simulator choke point and consumed by every sink).
+//! 4. **Allowlist ratchet** — remaining true positives are budgeted
+//!    per-(rule, path) in `simlint.allow`; budgets only move down, and
+//!    stale budgets fail the tier-1 gate.
 //!
 //! The analyzer runs as `cargo run -p simlint` and as a tier-1 test in the
 //! root crate (`tests/simlint_policy.rs`), so `cargo test` fails on any new
-//! violation.
-//!
-//! The pass is deliberately token-level (no rustc/syn dependency — the
-//! build environment is offline): comments and string literals are stripped
-//! first, code after a `#[cfg(test)]` marker is classified as test code,
-//! and each rule matches plain substrings of the remaining code.
+//! violation. Output formats: human text, JSON, and SARIF 2.1.0.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,6 +36,14 @@ use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+pub mod lexer;
+
+mod crossfile;
+mod rules;
+mod sarif;
+
+pub use sarif::render_sarif;
 
 // ---------------------------------------------------------------------------
 // Rules
@@ -65,6 +62,16 @@ pub enum Rule {
     NanCompare,
     /// `std::collections::BinaryHeap` outside `crates/sim-core/src/`.
     AdHocHeap,
+    /// Narrowing `as` cast on time/seq/uid arithmetic in sim-state code.
+    CastTruncate,
+    /// Comparator methods ordering raw floats outside the stats module.
+    FloatOrder,
+    /// Raw timer-slot clears bypassing the TimerSlab id-match contract.
+    TimerClear,
+    /// An `Event` variant missing its fold tag, `RunPerf` arm, or dispatch arm.
+    EventAccounting,
+    /// A `TraceRecord` variant no choke point produces or a sink drops.
+    TraceCoverage,
 }
 
 impl Rule {
@@ -76,29 +83,180 @@ impl Rule {
             Rule::PanicUnwrap => "panic-unwrap",
             Rule::NanCompare => "nan-compare",
             Rule::AdHocHeap => "binary-heap",
+            Rule::CastTruncate => "cast-truncate",
+            Rule::FloatOrder => "float-order",
+            Rule::TimerClear => "timer-clear",
+            Rule::EventAccounting => "event-accounting",
+            Rule::TraceCoverage => "trace-coverage",
         }
     }
 
     /// Parses a rule name as spelled in the allowlist.
     pub fn from_name(name: &str) -> Option<Rule> {
-        match name {
-            "nondet" => Some(Rule::Nondeterminism),
-            "hash-collections" => Some(Rule::HashCollections),
-            "panic-unwrap" => Some(Rule::PanicUnwrap),
-            "nan-compare" => Some(Rule::NanCompare),
-            "binary-heap" => Some(Rule::AdHocHeap),
-            _ => None,
-        }
+        Rule::ALL.into_iter().find(|r| r.name() == name)
     }
 
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 10] = [
         Rule::Nondeterminism,
         Rule::HashCollections,
         Rule::PanicUnwrap,
         Rule::NanCompare,
         Rule::AdHocHeap,
+        Rule::CastTruncate,
+        Rule::FloatOrder,
+        Rule::TimerClear,
+        Rule::EventAccounting,
+        Rule::TraceCoverage,
     ];
+
+    /// One-line summary (SARIF `shortDescription`, `--explain` header).
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::Nondeterminism => "wall-clock time, OS entropy, or thread-local RNG",
+            Rule::HashCollections => "HashMap/HashSet in a simulation-state crate",
+            Rule::PanicUnwrap => "unwrap/expect/literal indexing in protocol code",
+            Rule::NanCompare => "NaN-unsafe partial_cmp in float comparators",
+            Rule::AdHocHeap => "BinaryHeap outside the scheduler's home crate",
+            Rule::CastTruncate => "narrowing `as` cast on time/seq/uid arithmetic",
+            Rule::FloatOrder => "comparator method ordering raw floats",
+            Rule::TimerClear => "raw timer-slot clear bypassing the id-match contract",
+            Rule::EventAccounting => "Event variant not folded, classified, and dispatched",
+            Rule::TraceCoverage => "TraceRecord variant unproduced or dropped by a sink",
+        }
+    }
+
+    /// Why the rule exists, tied to the reproduction's invariants. This is
+    /// the same prose DESIGN.md §5a cites, and what `--explain` prints.
+    pub fn rationale(self) -> &'static str {
+        match self {
+            Rule::Nondeterminism => {
+                "Twin-run determinism (same seed, same trace hash) is the foundation \
+                 every regenerated figure rests on. Wall-clock reads and unseeded \
+                 entropy are invisible inputs: they cannot be replayed, so a single \
+                 Instant/SystemTime/thread_rng touching simulation state silently \
+                 voids the reproduction. All time must flow from sim_core::SimTime, \
+                 all randomness from sim_core::SimRng. The measurement crates \
+                 (harness, bench) are licensed for Instant only: wall-clock numbers \
+                 are their product and never feed back into simulator state."
+            }
+            Rule::HashCollections => {
+                "HashMap/HashSet iterate in per-process randomized order. If such a \
+                 collection feeds the event loop (neighbor sets, flow tables), two \
+                 same-seed runs can process ties in different orders and diverge. \
+                 Sim-state crates use sim_core::DetMap/DetSet or BTreeMap/BTreeSet."
+            }
+            Rule::PanicUnwrap => {
+                "A panic mid-run discards the whole simulation, and protocol code is \
+                 exactly where malformed-but-possible states (empty queues, missing \
+                 routes, half-open flows) concentrate. Each unwrap/expect/literal \
+                 index in sim-state code must either be rewritten to handle its None/\
+                 Err arm or carry an explicit budget in simlint.allow."
+            }
+            Rule::NanCompare => {
+                "partial_cmp returns None for NaN; comparators built on it (usually \
+                 via .unwrap()) panic or — worse — order inconsistently across \
+                 platforms. f64::total_cmp is total and IEEE-defined, so orderings \
+                 stay identical everywhere."
+            }
+            Rule::AdHocHeap => {
+                "std::collections::BinaryHeap breaks ties arbitrarily. The event \
+                 schedulers in crates/sim-core (calendar queue, HeapQueue reference) \
+                 implement a FIFO tie discipline the trace-hash contract depends on; \
+                 any ad-hoc heap elsewhere would bypass it and reintroduce ordering \
+                 nondeterminism."
+            }
+            Rule::CastTruncate => {
+                "`as` silently truncates. On time (nanos), sequence, ack, and uid \
+                 arithmetic that is not a rounding error but a correctness cliff: a \
+                 wrapped timestamp reorders a trace, a wrapped seq corrupts \
+                 acknowledgment accounting. Narrowing conversions on such values \
+                 must go through try_from with explicit overflow handling."
+            }
+            Rule::FloatOrder => {
+                "Sorting or min/max-ing raw floats with handwritten comparators is \
+                 where NaN and platform rounding sneak into event ordering. Outside \
+                 the statistics module (whose inputs are post-run observations), \
+                 comparators must use f64::total_cmp or order on integer keys."
+            }
+            Rule::TimerClear => {
+                "PR 5's lazy timer tombstones mean a popped timer event may be stale. \
+                 The contract: a slot is cleared only behind an id-match guard \
+                 (`if self.x_timer == Some(id)`) or cancelled via `.take()` + \
+                 TimerSlab::cancel. A raw `self.x_timer = None` leaves the slab \
+                 entry live, so a reused slot can receive a stale fire."
+            }
+            Rule::EventAccounting => {
+                "Every netstack::sim::Event variant must appear in fold_event (with a \
+                 distinct integer tag), account_event (incrementing a subsystem \
+                 counter), and dispatch. These are three separate match statements \
+                 the compiler checks only for exhaustiveness-with-wildcards; this \
+                 rule closes them statically, so classified_total() == \
+                 events_processed and trace-hash coverage can never be broken by an \
+                 unhandled new variant — previously that only failed at runtime."
+            }
+            Rule::TraceCoverage => {
+                "The trace subsystem is the reproduction's evidence. Every \
+                 TraceRecord variant must be producible from at least one simulator \
+                 choke point and consumed by every sink: the ns-2 sink matches by \
+                 name (checked directly), while pcap/csv consume through the \
+                 layer/node/flow/uid/direction accessors — so those matches and \
+                 Layer::ALL must stay wildcard-free and complete."
+            }
+        }
+    }
+
+    /// An example finding, as `--explain` prints it.
+    pub fn example(self) -> &'static str {
+        match self {
+            Rule::Nondeterminism => {
+                "crates/aodv/src/engine.rs:41: [nondet] `Instant` is wall-clock time: \
+                 virtual time must come from sim_core::SimTime\n    let t0 = \
+                 Instant::now();"
+            }
+            Rule::HashCollections => {
+                "crates/netstack/src/sim.rs:12: [hash-collections] `HashMap` iteration \
+                 order can perturb event ordering\n    use std::collections::HashMap;"
+            }
+            Rule::PanicUnwrap => {
+                "crates/tcp/src/sender.rs:88: [panic-unwrap] `.unwrap()` in protocol \
+                 code\n    let seg = self.inflight.front().unwrap();"
+            }
+            Rule::NanCompare => {
+                "crates/netstack/src/red.rs:60: [nan-compare] `partial_cmp` on floats \
+                 is None for NaN\n    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());"
+            }
+            Rule::AdHocHeap => {
+                "crates/aodv/src/table.rs:7: [binary-heap] `BinaryHeap` breaks ties \
+                 arbitrarily\n    use std::collections::BinaryHeap;"
+            }
+            Rule::CastTruncate => {
+                "crates/tracelog/src/pcap.rs:38: [cast-truncate] `as u32` on `nanos` \
+                 can silently truncate time/seq/uid arithmetic\n    \
+                 out.extend_from_slice(&((nanos / 1_000_000_000) as u32).to_le_bytes());"
+            }
+            Rule::FloatOrder => {
+                "crates/netstack/src/sim.rs:710: [float-order] `.sort_by` comparator \
+                 orders raw floats\n    \
+                 powers.sort_by(|a, b| a.partial_cmp(b).unwrap());"
+            }
+            Rule::TimerClear => {
+                "crates/mac80211/src/dcf.rs:412: [timer-clear] raw timer-slot clear: \
+                 `attempt_timer` is set to None without an id-match guard\n    \
+                 self.attempt_timer = None;"
+            }
+            Rule::EventAccounting => {
+                "crates/netstack/src/sim.rs:54: [event-accounting] `Event::Fault` has \
+                 no arm in `account_event` — `RunPerf::classified_total()` would fall \
+                 behind `events_processed`\n    Fault { index: usize },"
+            }
+            Rule::TraceCoverage => {
+                "crates/tracelog/src/record.rs:313: [trace-coverage] \
+                 `TraceRecord::IfqMark` is not rendered by `ns2::line`\n    \
+                 IfqMark {"
+            }
+        }
+    }
 }
 
 impl fmt::Display for Rule {
@@ -136,6 +294,14 @@ pub fn binaryheap_licensed(rel_path: &str) -> bool {
     rel_path.starts_with("crates/sim-core/src/")
 }
 
+/// Whether `rel_path` may order raw floats with handwritten comparators.
+/// Only the statistics module is licensed: its floats are post-run
+/// observations (percentiles, fairness indices) that never feed back into
+/// event ordering, and it guards NaN at its own boundary.
+pub fn floatorder_licensed(rel_path: &str) -> bool {
+    rel_path == "crates/sim-core/src/stats.rs"
+}
+
 /// One rule hit at one source line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
@@ -149,146 +315,14 @@ pub struct Finding {
     pub snippet: String,
     /// Human-readable explanation with the policy-compliant alternative.
     pub message: String,
+    /// Concrete fix-it hint (what to write instead).
+    pub fixit: String,
 }
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.message)
     }
-}
-
-// ---------------------------------------------------------------------------
-// Source preprocessing
-// ---------------------------------------------------------------------------
-
-/// Strips comments and string literals from `source`, preserving line
-/// structure, so rules never fire on prose or fixture text.
-///
-/// Handles `//` line comments, nested `/* */` block comments, `"…"` strings
-/// with escapes, raw strings `r"…"` / `r#"…"#` (any hash depth), and char
-/// literals — while leaving lifetimes (`'a`) alone.
-pub fn strip_comments_and_strings(source: &str) -> String {
-    let bytes = source.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-    let mut block_depth = 0usize;
-    while i < bytes.len() {
-        let b = bytes[i];
-        if block_depth > 0 {
-            if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                block_depth += 1;
-                i += 2;
-            } else if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                block_depth -= 1;
-                i += 2;
-            } else {
-                if b == b'\n' {
-                    out.push(b'\n');
-                }
-                i += 1;
-            }
-            continue;
-        }
-        match b {
-            b'/' if bytes.get(i + 1) == Some(&b'/') => {
-                // Line comment: skip to newline.
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    i += 1;
-                }
-            }
-            b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                block_depth = 1;
-                i += 2;
-            }
-            b'"' => {
-                out.push(b'"');
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'\\' => i += 2,
-                        b'"' => {
-                            i += 1;
-                            break;
-                        }
-                        b'\n' => {
-                            out.push(b'\n');
-                            i += 1;
-                        }
-                        _ => i += 1,
-                    }
-                }
-                out.push(b'"');
-            }
-            b'r' if matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#'))
-                && !prev_is_ident(&out) =>
-            {
-                // Raw string r"…", r#"…"#, r##"…"##, …
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while bytes.get(j) == Some(&b'#') {
-                    hashes += 1;
-                    j += 1;
-                }
-                if bytes.get(j) == Some(&b'"') {
-                    j += 1;
-                    'raw: while j < bytes.len() {
-                        if bytes[j] == b'"' {
-                            let mut k = j + 1;
-                            let mut seen = 0;
-                            while seen < hashes && bytes.get(k) == Some(&b'#') {
-                                seen += 1;
-                                k += 1;
-                            }
-                            if seen == hashes {
-                                j = k;
-                                break 'raw;
-                            }
-                        }
-                        if bytes[j] == b'\n' {
-                            out.push(b'\n');
-                        }
-                        j += 1;
-                    }
-                    out.extend_from_slice(b"\"\"");
-                    i = j;
-                } else {
-                    out.push(b);
-                    i += 1;
-                }
-            }
-            b'\'' => {
-                // Char literal vs lifetime: a char literal closes within a
-                // few bytes (`'x'`, `'\n'`, `'\u{1F600}'`); a lifetime never
-                // closes. Look ahead for the closing quote.
-                let close = if bytes.get(i + 1) == Some(&b'\\') {
-                    bytes[i + 2..].iter().take(10).position(|&c| c == b'\'').map(|p| i + 2 + p)
-                } else if bytes.get(i + 2) == Some(&b'\'') {
-                    Some(i + 2)
-                } else {
-                    None
-                };
-                match close {
-                    Some(end) => {
-                        out.extend_from_slice(b"' '");
-                        i = end + 1;
-                    }
-                    None => {
-                        out.push(b);
-                        i += 1;
-                    }
-                }
-            }
-            _ => {
-                out.push(b);
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-fn prev_is_ident(out: &[u8]) -> bool {
-    out.last().is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
 }
 
 // ---------------------------------------------------------------------------
@@ -324,187 +358,37 @@ pub fn classify(rel_path: &str) -> FileScope {
     }
 }
 
-/// Scans one file's text; `rel_path` decides rule applicability.
+/// Scans one file's text with the per-file token rules; `rel_path` decides
+/// rule applicability. (Cross-file rules need the whole tree — see
+/// [`scan_workspace`].)
 pub fn scan_source(rel_path: &str, source: &str) -> Vec<Finding> {
     let scope = classify(rel_path);
-    let stripped = strip_comments_and_strings(source);
-    let raw_lines: Vec<&str> = source.lines().collect();
-    let mut findings = Vec::new();
-    let mut in_test_code = false;
-    for (idx, line) in stripped.lines().enumerate() {
-        // Workspace convention keeps `#[cfg(test)]` modules at the end of a
-        // file; everything after the first marker is test-only code.
-        if line.contains("#[cfg(test)]") {
-            in_test_code = true;
-        }
-        let lineno = idx + 1;
-        let snippet = raw_lines.get(idx).map_or("", |l| l.trim()).to_string();
-        let mut push = |rule: Rule, message: String| {
-            findings.push(Finding {
-                rule,
-                path: rel_path.to_string(),
-                line: lineno,
-                snippet: snippet.clone(),
-                message,
-            });
-        };
-
-        // Rule 1: nondeterminism sources — everywhere, test code included
-        // (a flaky test is as corrosive to replication as a flaky run).
-        // `instant` marks the needles the measurement crates are licensed
-        // to use (wall-clock timing is their product, via `WallClock`).
-        for (needle, instant, advice) in [
-            ("Instant::now", true, "virtual time must come from sim_core::SimTime"),
-            ("std::time::Instant", true, "virtual time must come from sim_core::SimTime"),
-            ("SystemTime", false, "wall-clock time is nondeterministic; use sim_core::SimTime"),
-            ("thread_rng", false, "thread-local RNG is unseeded; draw from sim_core::SimRng"),
-            ("from_entropy", false, "entropy seeding breaks replay; seed SimRng explicitly"),
-            ("rand::random", false, "ambient randomness is unseeded; draw from sim_core::SimRng"),
-            ("RandomState", false, "per-process hash seeding; use DetMap/BTreeMap instead"),
-        ] {
-            if instant && wallclock_licensed(rel_path) {
-                continue;
-            }
-            if line.contains(needle) {
-                push(Rule::Nondeterminism, format!("`{needle}` is nondeterministic: {advice}"));
-            }
-        }
-
-        // Rule 2: hash collections in simulation-state crates.
-        if scope.sim_state && !in_test_code {
-            for needle in ["HashMap", "HashSet"] {
-                if contains_token(line, needle) {
-                    push(
-                        Rule::HashCollections,
-                        format!(
-                            "`{needle}` iteration order can perturb event ordering; \
-                             use sim_core::DetMap/DetSet or BTreeMap/BTreeSet"
-                        ),
-                    );
-                }
-            }
-        }
-
-        if scope.sim_state && !in_test_code {
-            // Rule 3: panic sites in protocol code.
-            if line.contains(".unwrap()") {
-                push(
-                    Rule::PanicUnwrap,
-                    "`.unwrap()` in protocol code; handle the None/Err arm or \
-                     justify it in simlint.allow"
-                        .to_string(),
-                );
-            }
-            if line.contains(".expect(") {
-                push(
-                    Rule::PanicUnwrap,
-                    "`.expect(...)` in protocol code; handle the None/Err arm or \
-                     justify it in simlint.allow"
-                        .to_string(),
-                );
-            }
-            for _ in 0..count_literal_indexing(line) {
-                push(
-                    Rule::PanicUnwrap,
-                    "literal-index slicing can panic on short slices; \
-                     prefer .first()/.get(n) or destructuring"
-                        .to_string(),
-                );
-            }
-
-            // Rule 4: NaN-unsafe f64 ordering.
-            if line.contains(".partial_cmp(") {
-                push(
-                    Rule::NanCompare,
-                    "`partial_cmp` on floats is None for NaN; comparators must \
-                     use f64::total_cmp"
-                        .to_string(),
-                );
-            }
-        }
-
-        // Rule 5: BinaryHeap outside the scheduler's home crate. Applies to
-        // test code too — a heap-ordered test oracle with arbitrary
-        // tie-breaking would validate the wrong ordering contract; use
-        // `sim_core::HeapQueue` (FIFO ties) as the reference instead.
-        if !binaryheap_licensed(rel_path) && contains_token(line, "BinaryHeap") {
-            push(
-                Rule::AdHocHeap,
-                "`BinaryHeap` breaks ties arbitrarily; schedule through \
-                 sim_core::EventQueue/DriverQueue (or HeapQueue as a reference)"
-                    .to_string(),
-            );
-        }
-    }
-    findings
-}
-
-/// Whether `needle` occurs in `line` as a standalone token (not as part of a
-/// longer identifier such as `DetHashMapLike`).
-fn contains_token(line: &str, needle: &str) -> bool {
-    let bytes = line.as_bytes();
-    let mut start = 0;
-    while let Some(pos) = line[start..].find(needle) {
-        let at = start + pos;
-        let before_ok =
-            at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
-        let after = at + needle.len();
-        let after_ok =
-            after >= bytes.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
-        if before_ok && after_ok {
-            return true;
-        }
-        start = at + needle.len();
-    }
-    false
-}
-
-/// Counts `ident[<integer literal>]` indexing expressions on a line.
-fn count_literal_indexing(line: &str) -> usize {
-    let bytes = line.as_bytes();
-    let mut count = 0;
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'['
-            && i > 0
-            && (bytes[i - 1].is_ascii_alphanumeric()
-                || bytes[i - 1] == b'_'
-                || bytes[i - 1] == b')')
-        {
-            let mut j = i + 1;
-            let mut digits = 0;
-            while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'_') {
-                if bytes[j].is_ascii_digit() {
-                    digits += 1;
-                }
-                j += 1;
-            }
-            if digits > 0 && bytes.get(j) == Some(&b']') {
-                count += 1;
-                i = j;
-            }
-        }
-        i += 1;
-    }
-    count
+    let lexed = lexer::lex(source);
+    rules::scan_file(rel_path, scope, &lexed)
 }
 
 // ---------------------------------------------------------------------------
 // Workspace walking
 // ---------------------------------------------------------------------------
 
-/// Scans every `.rs` file under `root` (skipping `target/` and dot-dirs)
-/// and returns all findings, pre-allowlist, sorted by (path, line, rule).
+/// Scans every `.rs` file under `root` (skipping `target/`, dot-dirs, and
+/// `fixtures/` data trees) with the per-file token rules, then runs the
+/// cross-file rules over the whole lexed tree. Findings are pre-allowlist,
+/// sorted by (path, line, rule).
 pub fn scan_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
+    let mut lexed_files = std::collections::BTreeMap::new();
     let mut findings = Vec::new();
     for rel in files {
         let text = fs::read_to_string(root.join(&rel))?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        findings.extend(scan_source(&rel_str, &text));
+        let lexed = lexer::lex(&text);
+        findings.extend(rules::scan_file(&rel_str, classify(&rel_str), &lexed));
+        lexed_files.insert(rel_str, lexed);
     }
+    findings.extend(crossfile::scan(&lexed_files));
     findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(findings)
 }
@@ -517,7 +401,9 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Resu
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
+            // `fixtures/` holds data trees (including the intentionally-bad
+            // simlint fixture workspace) — never part of the real scan.
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
                 continue;
             }
             collect_rs_files(root, &path, out)?;
@@ -624,7 +510,7 @@ pub struct Report {
     /// Ratchet opportunities: allowances larger than the current count, or
     /// matching nothing at all. Informational — tighten `simlint.allow`.
     pub stale: Vec<String>,
-    /// Every finding, allowlisted or not (for `--format json` consumers).
+    /// Every finding, allowlisted or not (for `--format json`/`sarif`).
     pub findings: Vec<Finding>,
 }
 
@@ -700,6 +586,9 @@ pub fn render_text(report: &Report) -> String {
     let mut out = String::new();
     for v in &report.violations {
         out.push_str(&format!("{v}\n    {}\n", v.snippet));
+        if !v.fixit.is_empty() {
+            out.push_str(&format!("    fix: {}\n", v.fixit));
+        }
     }
     for (rule, path, found, allowed) in &report.over_budget {
         out.push_str(&format!(
@@ -737,12 +626,14 @@ pub fn render_json(report: &Report) -> String {
     }
     fn finding_json(f: &Finding) -> String {
         format!(
-            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"snippet\":\"{}\",\"message\":\"{}\"}}",
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"snippet\":\"{}\",\
+             \"message\":\"{}\",\"fixit\":\"{}\"}}",
             f.rule,
             esc(&f.path),
             f.line,
             esc(&f.snippet),
-            esc(&f.message)
+            esc(&f.message),
+            esc(&f.fixit)
         )
     }
     let findings: Vec<String> = report.findings.iter().map(finding_json).collect();
@@ -783,8 +674,11 @@ mod tests {
                 "test trees are also covered: {src}"
             );
         }
-        // Instant is banned outside the licensed measurement crates.
+        // Instant is banned outside the licensed measurement crates — as a
+        // bare identifier too (field types, fn signatures), which the v1
+        // line needles (`Instant::now`) missed.
         assert!(rules_at(SIM_PATH, "let t = Instant::now();").contains(&Rule::Nondeterminism));
+        assert!(rules_at(SIM_PATH, "struct S { started: Instant }").contains(&Rule::Nondeterminism));
         assert!(rules_at("tests/end_to_end.rs", "let t = Instant::now();")
             .contains(&Rule::Nondeterminism));
     }
@@ -835,6 +729,15 @@ mod tests {
     }
 
     #[test]
+    fn cfg_test_extent_is_brace_scoped_not_to_eof() {
+        // v1 classified everything after the first #[cfg(test)] marker as
+        // test code; the lexer tracks the real brace extent, so live code
+        // *after* a test module is scanned again.
+        let src = "#[cfg(test)]\nmod tests { fn t() {} }\nfn live() { x.unwrap(); }";
+        assert!(rules_at(SIM_PATH, src).contains(&Rule::PanicUnwrap));
+    }
+
+    #[test]
     fn panic_rule_counts_unwrap_expect_and_literal_indexing() {
         let rules = rules_at(
             SIM_PATH,
@@ -845,6 +748,12 @@ mod tests {
         assert!(!rules_at(TOOL_PATH, "x.unwrap();").contains(&Rule::PanicUnwrap));
         let test_src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }";
         assert!(!rules_at(SIM_PATH, test_src).contains(&Rule::PanicUnwrap));
+        // `unwrap_or` is a different identifier, not a panic site.
+        assert!(!rules_at(SIM_PATH, "x.unwrap_or(0);").contains(&Rule::PanicUnwrap));
+        // Multi-line chains fire too (the v1 line scanner saw them; the
+        // token stream must as well).
+        assert!(rules_at(SIM_PATH, "let v = map\n    .get(&k)\n    .unwrap();")
+            .contains(&Rule::PanicUnwrap));
     }
 
     #[test]
@@ -883,6 +792,60 @@ mod tests {
         // A named allowance would still parse, so the ratchet could budget
         // a future exception explicitly rather than by edit-war.
         assert_eq!(Rule::from_name("binary-heap"), Some(Rule::AdHocHeap));
+    }
+
+    #[test]
+    fn cast_truncate_flags_sensitive_narrowing_only() {
+        // Time/seq/uid arithmetic narrowing fires…
+        assert!(rules_at(SIM_PATH, "let s = (nanos / 1_000_000_000) as u32;")
+            .contains(&Rule::CastTruncate));
+        assert!(rules_at(SIM_PATH, "let s = t.as_nanos() as u32;").contains(&Rule::CastTruncate));
+        assert!(rules_at(SIM_PATH, "hdr.seq = seq as u16;").contains(&Rule::CastTruncate));
+        // …but widening, insensitive identifiers, and literals don't.
+        assert!(!rules_at(SIM_PATH, "let n = nanos as u64;").contains(&Rule::CastTruncate));
+        assert!(!rules_at(SIM_PATH, "let b = (header + len) as u32;").contains(&Rule::CastTruncate));
+        assert!(!rules_at(SIM_PATH, "let x = 1_000 as u32;").contains(&Rule::CastTruncate));
+        // `timer`/`airtime`-style substrings are not the `time` segment.
+        assert!(!rules_at(SIM_PATH, "let t = timer_count as u32;").contains(&Rule::CastTruncate));
+        // Out of scope for tool crates and test modules.
+        assert!(!rules_at(TOOL_PATH, "let s = nanos as u32;").contains(&Rule::CastTruncate));
+        let test_src = "#[cfg(test)]\nmod tests { fn t() { let s = nanos as u32; } }";
+        assert!(!rules_at(SIM_PATH, test_src).contains(&Rule::CastTruncate));
+    }
+
+    #[test]
+    fn float_order_requires_float_evidence_and_no_total_cmp() {
+        assert!(
+            rules_at(SIM_PATH, "xs.sort_by(|a: &f64, b| cmp(a, b));").contains(&Rule::FloatOrder)
+        );
+        assert!(rules_at(SIM_PATH, "xs.min_by(|a, b| a.partial_cmp(b).unwrap());")
+            .contains(&Rule::FloatOrder));
+        // total_cmp is the sanctioned comparator.
+        assert!(
+            !rules_at(SIM_PATH, "xs.sort_by(|a, b| a.total_cmp(b));").contains(&Rule::FloatOrder)
+        );
+        // Integer comparators are not float ordering.
+        assert!(!rules_at(SIM_PATH, "xs.sort_by(|a, b| a.seq.cmp(&b.seq));")
+            .contains(&Rule::FloatOrder));
+        // The statistics module is licensed (post-run observations only).
+        assert!(!rules_at("crates/sim-core/src/stats.rs", "xs.sort_by(|a: &f64, b| cmp(a, b));")
+            .contains(&Rule::FloatOrder));
+    }
+
+    #[test]
+    fn timer_clear_requires_id_match_guard() {
+        // A raw clear fires.
+        let raw = "impl D { fn reset(&mut self) { self.attempt_timer = None; } }";
+        assert!(rules_at(SIM_PATH, raw).contains(&Rule::TimerClear));
+        // The id-match guard pattern is the contract — no finding.
+        let guarded = "impl D { fn on_timer(&mut self, id: TimerHandle) {\n\
+                       if self.attempt_timer == Some(id) { self.attempt_timer = None; } } }";
+        assert!(!rules_at(SIM_PATH, guarded).contains(&Rule::TimerClear));
+        // Re-arming a timer is not a clear.
+        assert!(!rules_at(SIM_PATH, "fn f(&mut self) { self.attempt_timer = Some(h); }")
+            .contains(&Rule::TimerClear));
+        // Out of scope outside sim-state code.
+        assert!(!rules_at(TOOL_PATH, raw).contains(&Rule::TimerClear));
     }
 
     #[test]
@@ -927,6 +890,18 @@ mod tests {
     }
 
     #[test]
+    fn new_rules_parse_in_the_allowlist() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule), "{rule} must round-trip");
+            assert!(!rule.summary().is_empty());
+            assert!(!rule.rationale().is_empty());
+            assert!(!rule.example().is_empty());
+        }
+        assert!(Allowlist::parse("cast-truncate crates/x.rs 1 pcap header seconds").is_ok());
+        assert!(Allowlist::parse("event-accounting crates/netstack/src/sim.rs 1 migration").is_ok());
+    }
+
+    #[test]
     fn unlisted_findings_are_violations() {
         let findings = scan_source(SIM_PATH, "let mut rng = rand::thread_rng();");
         let report = apply_allowlist(findings, &Allowlist::default());
@@ -941,7 +916,26 @@ mod tests {
         let json = render_json(&report);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"rule\":\"panic-unwrap\""));
+        assert!(json.contains("\"fixit\":\""));
         assert!(json.contains("\"clean\":false"));
+    }
+
+    #[test]
+    fn sarif_output_is_wellformed_enough() {
+        let findings = scan_source(SIM_PATH, "let x = map.get(&k).unwrap();");
+        let report = apply_allowlist(findings, &Allowlist::default());
+        let sarif = render_sarif(&report);
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"name\":\"simlint\""));
+        assert!(sarif.contains("\"ruleId\":\"panic-unwrap\""));
+        assert!(sarif.contains("\"level\":\"error\""));
+        assert!(sarif.contains("\"startLine\":1"));
+        // Budgeted findings downgrade to notes.
+        let allow = Allowlist::parse("panic-unwrap crates/netstack/src/sim.rs 1 budgeted").unwrap();
+        let findings = scan_source(SIM_PATH, "let x = map.get(&k).unwrap();");
+        let sarif = render_sarif(&apply_allowlist(findings, &allow));
+        assert!(sarif.contains("\"level\":\"note\""));
+        assert!(!sarif.contains("\"level\":\"error\""));
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! analyzer. See the library docs (`simlint`) for the policy itself.
 //!
 //! ```text
-//! cargo run -p simlint -- [--root DIR] [--allowlist FILE] [--format text|json]
+//! cargo run -p simlint -- [--root DIR] [--allowlist FILE]
+//!                         [--format text|json|sarif] [--github]
+//! cargo run -p simlint -- --explain <rule>
 //! ```
 //!
 //! Exit codes: `0` clean, `1` policy violations, `2` usage/IO error.
@@ -10,12 +12,21 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use simlint::{check_workspace, render_json, render_text};
+use simlint::{check_workspace, render_json, render_sarif, render_text, Report, Rule};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Args {
     root: PathBuf,
     allowlist: Option<PathBuf>,
-    json: bool,
+    format: Format,
+    github: bool,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -25,7 +36,13 @@ fn parse_args() -> Result<Args, String> {
         .map(PathBuf::from)
         .and_then(|p| p.parent().and_then(|p| p.parent()).map(PathBuf::from))
         .unwrap_or_else(|| PathBuf::from("."));
-    let mut args = Args { root: default_root, allowlist: None, json: false };
+    let mut args = Args {
+        root: default_root,
+        allowlist: None,
+        format: Format::Text,
+        github: false,
+        explain: None,
+    };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -38,16 +55,30 @@ fn parse_args() -> Result<Args, String> {
                     Some(PathBuf::from(argv.next().ok_or("--allowlist requires a file argument")?));
             }
             "--format" => match argv.next().as_deref() {
-                Some("json") => args.json = true,
-                Some("text") => args.json = false,
-                _ => return Err("--format requires `text` or `json`".into()),
+                Some("json") => args.format = Format::Json,
+                Some("sarif") => args.format = Format::Sarif,
+                Some("text") => args.format = Format::Text,
+                _ => return Err("--format requires `text`, `json`, or `sarif`".into()),
             },
+            "--github" => args.github = true,
+            "--explain" => {
+                args.explain =
+                    Some(argv.next().ok_or("--explain requires a rule name (see --help)")?);
+            }
             "--help" | "-h" => {
+                let rules: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
                 println!(
                     "simlint — workspace determinism & panic-safety analyzer\n\n\
-                     USAGE: simlint [--root DIR] [--allowlist FILE] [--format text|json]\n\n\
+                     USAGE: simlint [--root DIR] [--allowlist FILE]\n\
+                     \x20              [--format text|json|sarif] [--github]\n\
+                     \x20      simlint --explain <rule>\n\n\
+                     --github prints GitHub Actions `::error` annotations for each\n\
+                     violation (in addition to the chosen format's output).\n\
+                     --explain prints a rule's rationale and an example finding.\n\n\
+                     Rules: {}\n\n\
                      The allowlist defaults to <root>/simlint.allow. Exit codes:\n\
-                     0 = clean, 1 = policy violations, 2 = usage/IO error."
+                     0 = clean, 1 = policy violations, 2 = usage/IO error.",
+                    rules.join(", ")
                 );
                 std::process::exit(0);
             }
@@ -55,6 +86,41 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+fn explain(rule_name: &str) -> ExitCode {
+    let Some(rule) = Rule::from_name(rule_name) else {
+        let rules: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
+        eprintln!("simlint: unknown rule `{rule_name}` — rules are: {}", rules.join(", "));
+        return ExitCode::from(2);
+    };
+    println!(
+        "{} — {}\n\n{}\n\nexample:\n{}",
+        rule.name(),
+        rule.summary(),
+        rule.rationale(),
+        rule.example()
+    );
+    ExitCode::SUCCESS
+}
+
+/// GitHub Actions workflow-command annotations: one `::error` per
+/// violation, so findings surface inline on the PR diff. Newlines in the
+/// message must be URL-encoded per the workflow-command escaping rules.
+fn github_annotations(report: &Report) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        let msg =
+            format!("{} fix: {}", v.message, v.fixit).replace('%', "%25").replace('\n', "%0A");
+        out.push_str(&format!(
+            "::error file={},line={},title=simlint {}::{}\n",
+            v.path,
+            v.line,
+            v.rule.name(),
+            msg
+        ));
+    }
+    out
 }
 
 fn main() -> ExitCode {
@@ -65,6 +131,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(rule_name) = &args.explain {
+        return explain(rule_name);
+    }
     let allowlist = args.allowlist.unwrap_or_else(|| args.root.join("simlint.allow"));
     match check_workspace(&args.root, &allowlist) {
         Ok(report) => {
@@ -72,8 +141,14 @@ fn main() -> ExitCode {
             // verdict is the exit code, truncated output is the reader's
             // choice, not an error.
             use std::io::Write;
-            let rendered =
-                if args.json { render_json(&report) + "\n" } else { render_text(&report) };
+            let mut rendered = match args.format {
+                Format::Json => render_json(&report) + "\n",
+                Format::Sarif => render_sarif(&report) + "\n",
+                Format::Text => render_text(&report),
+            };
+            if args.github {
+                rendered.push_str(&github_annotations(&report));
+            }
             let _ = std::io::stdout().write_all(rendered.as_bytes());
             if report.is_clean() {
                 ExitCode::SUCCESS

@@ -1,0 +1,74 @@
+//! SARIF 2.1.0 output (hand-rolled JSON; std-only).
+//!
+//! One run, one driver (`simlint`), one result per finding. Findings the
+//! allowlist budgets absorb are emitted at level `note` so the full picture
+//! stays visible in code-scanning UIs; unbudgeted violations are `error`.
+//! Each result carries the fix-it hint as the second message line.
+
+use crate::{Finding, Report, Rule};
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn rule_json(rule: Rule) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\
+         \"help\":{{\"text\":\"{}\"}}}}",
+        rule.name(),
+        esc(rule.summary()),
+        esc(rule.rationale())
+    )
+}
+
+fn result_json(f: &Finding, level: &str) -> String {
+    let message = if f.fixit.is_empty() {
+        f.message.clone()
+    } else {
+        format!("{}\nfix: {}", f.message, f.fixit)
+    };
+    format!(
+        "{{\"ruleId\":\"{}\",\"level\":\"{level}\",\"message\":{{\"text\":\"{}\"}},\
+         \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+         {{\"uri\":\"{}\"}},\"region\":{{\"startLine\":{},\"snippet\":\
+         {{\"text\":\"{}\"}}}}}}}}]}}",
+        f.rule.name(),
+        esc(&message),
+        esc(&f.path),
+        f.line,
+        esc(&f.snippet)
+    )
+}
+
+/// Renders the report as a SARIF 2.1.0 log.
+pub fn render_sarif(report: &Report) -> String {
+    let rules: Vec<String> = Rule::ALL.iter().map(|r| rule_json(*r)).collect();
+    let results: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            let level = if report.violations.contains(f) { "error" } else { "note" };
+            result_json(f, level)
+        })
+        .collect();
+    format!(
+        "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\
+         \"name\":\"simlint\",\"informationUri\":\
+         \"https://example.invalid/simlint\",\"rules\":[{}]}}}},\
+         \"results\":[{}]}}]}}",
+        rules.join(","),
+        results.join(",")
+    )
+}

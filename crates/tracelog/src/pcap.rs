@@ -35,8 +35,14 @@ pub fn write<'a>(entries: impl IntoIterator<Item = &'a TraceEntry>) -> Vec<u8> {
         let nanos = entry.at.as_nanos();
         let line = ns2::line(entry);
         let len = (PSEUDO_HEADER_BYTES + line.len()) as u32;
-        out.extend_from_slice(&((nanos / 1_000_000_000) as u32).to_le_bytes());
-        out.extend_from_slice(&((nanos % 1_000_000_000) as u32).to_le_bytes());
+        // pcap's per-record timestamp is 32-bit seconds: a sim time past
+        // 2^32 s (~136 years) saturates rather than silently wrapping and
+        // reordering the capture. The nanos remainder is < 1e9 by
+        // construction, so its conversion is infallible.
+        let secs = u32::try_from(nanos / 1_000_000_000).unwrap_or(u32::MAX);
+        let nsec = u32::try_from(nanos % 1_000_000_000).unwrap_or(0);
+        out.extend_from_slice(&secs.to_le_bytes());
+        out.extend_from_slice(&nsec.to_le_bytes());
         out.extend_from_slice(&len.to_le_bytes());
         out.extend_from_slice(&len.to_le_bytes());
         out.extend_from_slice(&(entry.record.node().index() as u16).to_le_bytes());
@@ -183,6 +189,21 @@ mod tests {
         assert_eq!(parsed.packets[1].node, 1);
         let line = String::from_utf8(parsed.packets[1].data.clone()).expect("ascii payload");
         assert!(line.contains("tcp 1500"), "payload is the ns2 line: {line}");
+    }
+
+    #[test]
+    fn timestamp_past_u32_seconds_saturates_not_wraps() {
+        // (u32::MAX + 2) seconds: a raw `as u32` would wrap the seconds
+        // field to 1 and reorder the capture; saturation pins it at the
+        // format's ceiling and keeps nanos exact.
+        let far = TraceEntry {
+            at: SimTime::from_nanos((u64::from(u32::MAX) + 2) * 1_000_000_000 + 123),
+            record: TraceRecord::MacBackoff { node: NodeId::new(0), slots: 1, cw: 15 },
+        };
+        let bytes = write(std::iter::once(&far));
+        let parsed = parse(&bytes).expect("saturated capture still parses");
+        let expect = u64::from(u32::MAX) * 1_000_000_000 + 123;
+        assert_eq!(parsed.packets[0].ts_nanos, expect);
     }
 
     #[test]

@@ -1,0 +1,13 @@
+//! Fixture: one contract-following timer clear, one raw clear.
+
+impl Dcf {
+    fn on_timer(&mut self, id: TimerHandle) {
+        if self.attempt_timer == Some(id) {
+            self.attempt_timer = None;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.attempt_timer = None;
+    }
+}

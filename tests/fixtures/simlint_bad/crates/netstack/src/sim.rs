@@ -1,0 +1,48 @@
+//! Fixture: an event taxonomy whose accounting matches have drifted.
+//!
+//! `Delta` is the "freshly added variant nobody wired up": it has no fold
+//! arm (the wildcard hides it) and no dispatch arm. `Gamma` reuses fold
+//! tag 2 and is left unclassified in `account_event`.
+
+pub enum Event {
+    Alpha { at: u64 },
+    Beta { at: u64 },
+    Gamma,
+    Delta,
+}
+
+fn fold_event(hash: &mut SimHasher, ev: &Event) {
+    match ev {
+        Event::Alpha { .. } => {
+            hash.write_u64(1);
+        }
+        Event::Beta { .. } => {
+            hash.write_u64(2);
+        }
+        Event::Gamma => {
+            hash.write_u64(2);
+        }
+        _ => {}
+    }
+}
+
+fn account_event(perf: &mut RunPerf, ev: &Event) {
+    perf.events_processed += 1;
+    match ev {
+        Event::Alpha { .. } | Event::Beta { .. } => {
+            perf.phy_events += 1;
+        }
+        Event::Gamma => {}
+        Event::Delta => {
+            perf.timer_events += 1;
+        }
+    }
+}
+
+fn dispatch(sim: &mut Sim, ev: Event) {
+    match ev {
+        Event::Alpha { at } => sim.trace(at, TraceRecord::PhyPing { node: 0 }),
+        Event::Beta { at } => sim.trace(at, TraceRecord::AgtPong { node: 0 }),
+        Event::Gamma => {}
+    }
+}

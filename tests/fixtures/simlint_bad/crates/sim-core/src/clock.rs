@@ -1,0 +1,9 @@
+//! Fixture: a narrowing time cast and a NaN-unsafe float comparator.
+
+pub fn pcap_seconds(now_nanos: u64) -> u32 {
+    (now_nanos / 1_000_000_000) as u32
+}
+
+pub fn sort_samples(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

@@ -1,0 +1,8 @@
+//! Fixture: a by-name sink that forgot `TraceRecord::Orphan`.
+
+pub fn line(entry: &TraceEntry) -> String {
+    match &entry.record {
+        TraceRecord::PhyPing { node } => format!("ping {node}"),
+        TraceRecord::AgtPong { node } => format!("pong {node}"),
+    }
+}

@@ -84,6 +84,113 @@ fn binaryheap_licence_covers_sim_core_only() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fixture workspace: tests/fixtures/simlint_bad is an intentionally-broken
+// tree (never compiled, skipped by the real scan) that pins the analyzer's
+// detection power — if a rule regresses to not-firing, these turn red.
+// ---------------------------------------------------------------------------
+
+fn fixture_findings() -> Vec<simlint::Finding> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/simlint_bad");
+    simlint::scan_workspace(&root).expect("fixture tree must scan")
+}
+
+fn fixture_messages(rule: simlint::Rule) -> Vec<String> {
+    fixture_findings().into_iter().filter(|f| f.rule == rule).map(|f| f.message).collect()
+}
+
+#[test]
+fn fixture_event_accounting_failures_are_caught() {
+    // The acceptance scenario: `Event::Delta` is the freshly-added variant
+    // nobody wired up. simlint must fail it statically — no simulator run.
+    let messages = fixture_messages(simlint::Rule::EventAccounting);
+    let expect = [
+        ("Delta", "no arm in `fold_event`"),
+        ("Delta", "no `dispatch` arm"),
+        ("Gamma", "fold tag 2 is reused"),
+        ("Gamma", "increments nothing"),
+        ("_", "wildcard arm in `fold_event`"),
+    ];
+    for (who, needle) in expect {
+        assert!(
+            messages.iter().any(|m| m.contains(needle)),
+            "missing event-accounting finding for {who} ({needle}); got: {messages:#?}"
+        );
+    }
+    assert_eq!(messages.len(), expect.len(), "unexpected extras: {messages:#?}");
+}
+
+#[test]
+fn fixture_trace_coverage_failures_are_caught() {
+    let messages = fixture_messages(simlint::Rule::TraceCoverage);
+    let expect = [
+        "`TraceRecord::Orphan` is never constructed",
+        "`TraceRecord::Orphan` is not rendered by `ns2::line`",
+        "wildcard arm in accessor `TraceRecord::layer`",
+        "`Layer::Agt` is missing from `Layer::ALL`",
+    ];
+    for needle in expect {
+        assert!(
+            messages.iter().any(|m| m.contains(needle)),
+            "missing trace-coverage finding ({needle}); got: {messages:#?}"
+        );
+    }
+    assert_eq!(messages.len(), expect.len(), "unexpected extras: {messages:#?}");
+}
+
+#[test]
+fn fixture_token_rules_fire() {
+    let findings = fixture_findings();
+    let hits: Vec<(simlint::Rule, &str, usize)> = findings
+        .iter()
+        .filter(|f| {
+            matches!(
+                f.rule,
+                simlint::Rule::TimerClear
+                    | simlint::Rule::CastTruncate
+                    | simlint::Rule::FloatOrder
+                    | simlint::Rule::NanCompare
+            )
+        })
+        .map(|f| (f.rule, f.path.as_str(), f.line))
+        .collect();
+    // dcf.rs: the guarded clear in `on_timer` passes; the raw clear in
+    // `reset` fires, once.
+    assert_eq!(
+        hits.iter()
+            .filter(
+                |(r, p, _)| *r == simlint::Rule::TimerClear && *p == "crates/mac80211/src/dcf.rs"
+            )
+            .count(),
+        1,
+        "exactly the raw clear must fire: {hits:?}"
+    );
+    for rule in [simlint::Rule::CastTruncate, simlint::Rule::FloatOrder, simlint::Rule::NanCompare]
+    {
+        assert!(
+            hits.iter().any(|(r, p, _)| *r == rule && *p == "crates/sim-core/src/clock.rs"),
+            "{rule} must fire in the clock fixture: {hits:?}"
+        );
+    }
+}
+
+#[test]
+fn fixture_workspace_is_rejected_and_real_scan_never_sees_it() {
+    // End to end: an empty allowlist turns every fixture finding into a
+    // violation…
+    let report = simlint::apply_allowlist(fixture_findings(), &simlint::Allowlist::default());
+    assert!(!report.is_clean());
+    assert!(report.violations.len() >= 12, "got {}", report.violations.len());
+    // …and none of those findings can leak into the real workspace scan
+    // (scan_workspace skips `fixtures/` trees).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let real = simlint::scan_workspace(root).expect("workspace scan");
+    assert!(
+        !real.iter().any(|f| f.path.contains("fixtures")),
+        "the real scan must skip fixture trees"
+    );
+}
+
 #[test]
 fn allowlist_is_not_stale() {
     // The ratchet only moves down: when a file drops below its budget the
