@@ -24,12 +24,20 @@
 //! it): the checker consumes an owned event vocabulary, so it can also be
 //! driven directly by unit tests — including intentionally-buggy streams
 //! proving the checker fails when it should.
+//!
+//! On top of the two, [`mc`] turns sampled scenario regression into proof:
+//! a bounded exhaustive explorer that enumerates same-instant tie
+//! permutations and fault placements of a script, replaying the full
+//! invariant checker on every branch (see the module docs for the
+//! replay-based branching design and its DPOR pruning relation).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod checker;
+pub mod mc;
 mod scenario;
 
 pub use checker::{CheckEvent, CheckerLimits, InvariantChecker, LedgerSummary, Violation};
+pub use mc::{BranchOutcome, BranchRecord, CounterExample, McConfig, McVerdict};
 pub use scenario::{FaultEvent, ScenarioScript, TimedFault};

@@ -1,0 +1,114 @@
+//! Model-checker CLI: exhaustively explores the bounded interleavings of a
+//! `.scn` scenario script under the runtime invariant checker and emits a
+//! machine-readable verdict.
+//!
+//! ```sh
+//! cargo run --release -p harness --bin mc -- --script PATH.scn \
+//!     [--tie-window START:END] [--max-branches N] [--max-depth N] \
+//!     [--shift-window SECS] [--shift-steps N] [--report PATH] [--quiet]
+//! ```
+//!
+//! The run follows the scenario-corpus convention: a 4-hop chain, one
+//! NewReno flow end to end, the script's seed and duration. `--tie-window`
+//! bounds which same-instant ties become choice points (virtual seconds,
+//! e.g. `3.9:4.5`); without it every tie in the run branches, which is
+//! rarely tractable. `--shift-window`/`--shift-steps` additionally explore
+//! fault placements shifted on a grid of that half-width. `--report PATH`
+//! writes the canonical branch log (byte-identical across runs of the same
+//! exploration — CI diffs it to pin determinism).
+//!
+//! The verdict block goes to stdout. On a violation the counter-example's
+//! decision vector and a flight-recorder dump of the lead-up window are
+//! printed, and the exit code is 2; a truncated (non-exhaustive) clean
+//! search exits 3; a proof exits 0.
+
+use faultline::mc::McConfig;
+use faultline::ScenarioScript;
+use harness::mc::{explore_scenario, flight_recorder_dump};
+use sim_core::SimTime;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let script_path = parse_flag(&args, "--script").expect("--script PATH.scn is required");
+    let text =
+        std::fs::read_to_string(&script_path).unwrap_or_else(|e| panic!("read {script_path}: {e}"));
+    let script =
+        ScenarioScript::parse(&text).unwrap_or_else(|e| panic!("parse {script_path}: {e}"));
+
+    let mut cfg = McConfig::default();
+    if let Some(window) = parse_flag(&args, "--tie-window") {
+        let (start, end) = window
+            .split_once(':')
+            .unwrap_or_else(|| panic!("--tie-window wants START:END seconds, got {window:?}"));
+        let start: f64 = start.parse().expect("--tie-window start seconds");
+        let end: f64 = end.parse().expect("--tie-window end seconds");
+        assert!(start <= end, "--tie-window start must not exceed end");
+        cfg.tie_window = Some((SimTime::from_secs_f64(start), SimTime::from_secs_f64(end)));
+    }
+    if let Some(v) = parse_flag(&args, "--max-branches") {
+        cfg.max_branches = v.parse().expect("--max-branches number");
+    }
+    if let Some(v) = parse_flag(&args, "--max-depth") {
+        cfg.max_depth = v.parse().expect("--max-depth number");
+    }
+    if let Some(v) = parse_flag(&args, "--shift-window") {
+        let secs: f64 = v.parse().expect("--shift-window seconds");
+        cfg.shift_window_ns = sim_core::SimDuration::from_secs_f64(secs).as_nanos();
+    }
+    if let Some(v) = parse_flag(&args, "--shift-steps") {
+        cfg.shift_steps = v.parse().expect("--shift-steps number");
+    }
+    let report = parse_flag(&args, "--report");
+    let quiet = args.iter().any(|a| a == "--quiet");
+
+    if !quiet {
+        eprintln!(
+            "exploring {} (window {:?}, max {} branches, depth {}, {} placement step(s))...",
+            script.name, cfg.tie_window, cfg.max_branches, cfg.max_depth, cfg.shift_steps
+        );
+    }
+    let verdict = explore_scenario(&script, &cfg);
+    if !quiet {
+        eprintln!(
+            "{}: {} branches explored, {} pruned, {} choice points deep",
+            verdict.status(),
+            verdict.branches_explored,
+            verdict.branches_pruned,
+            verdict.max_choice_points
+        );
+    }
+
+    print!("{}", verdict.render());
+    if verdict.counter_example.is_some() {
+        if let Some(dump) = flight_recorder_dump(&script, &cfg, &verdict) {
+            print!("{dump}");
+        }
+    }
+    if let Some(path) = report {
+        std::fs::write(&path, verdict.render_log()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        if !quiet {
+            eprintln!("branch log ({} branches) written to {path}", verdict.log.len());
+        }
+    }
+
+    std::process::exit(match (verdict.counter_example.is_some(), verdict.truncated) {
+        (true, _) => 2,
+        (false, true) => 3,
+        (false, false) => 0,
+    });
+}
+
+/// Returns the value of `--flag V` or `--flag=V`, if present.
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+        if a == flag {
+            return Some(
+                args.get(i + 1).unwrap_or_else(|| panic!("{flag} expects a value")).clone(),
+            );
+        }
+    }
+    None
+}

@@ -21,6 +21,7 @@
 
 pub mod experiments;
 pub mod export;
+pub mod mc;
 mod parallel;
 mod runner;
 mod table;

@@ -1,0 +1,137 @@
+//! Glue between the generic explorer (`faultline::mc`) and the simulator:
+//! builds one full simulation per branch under the scenario-corpus
+//! convention (4-hop chain, one NewReno flow end to end, the script's seed
+//! and duration) and feeds the invariant checker's findings back to the
+//! search. `faultline` cannot depend on `netstack`, so this is where the
+//! two meet; the `mc` binary and the test suite both drive exploration
+//! through here so CLI verdicts and test assertions can never disagree.
+
+use faultline::mc::{self, BranchOutcome, McConfig, McVerdict};
+use faultline::{InvariantChecker, ScenarioScript};
+use netstack::{topology, FlowSpec, SimConfig, Simulator, TcpVariant};
+use sim_core::{SimDuration, SimTime, TieOrder};
+use tracelog::TraceLog;
+
+/// Corpus-convention chain length (nodes 0..=4).
+const HOPS: usize = 4;
+/// Fallback duration for scripts that do not pin one.
+const DEFAULT_DURATION: SimDuration = SimDuration::from_secs(10);
+
+/// Builds the corpus-convention simulator for `script` and runs it to the
+/// script's duration under `order`, returning the sealed simulator, the
+/// consumed tie order, and the sealed checker.
+fn run_with_order(
+    script: &ScenarioScript,
+    order: TieOrder,
+    log: Option<TraceLog>,
+) -> (Simulator, TieOrder, InvariantChecker) {
+    let seed = script.seed.unwrap_or(1);
+    let duration = script.duration.unwrap_or(DEFAULT_DURATION);
+    let cfg = SimConfig { seed, ..SimConfig::default() };
+    let mut sim = Simulator::new(topology::chain(HOPS), cfg);
+    let (src, dst) = topology::chain_flow(HOPS);
+    sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno));
+    sim.load_scenario(script);
+    sim.install_checker(InvariantChecker::new());
+    sim.install_tie_order(order);
+    if let Some(log) = log {
+        sim.install_trace_log(log);
+    }
+    sim.run_until(SimTime::ZERO + duration);
+    let order = sim.take_tie_order().expect("tie order was installed");
+    let checker = sim.take_checker().expect("checker was installed");
+    (sim, order, checker)
+}
+
+/// Runs one branch of the exploration: `script` (already shifted to its
+/// placement) replayed under `decisions` with the tie window from `cfg`.
+pub fn run_branch(script: &ScenarioScript, cfg: &McConfig, decisions: &[usize]) -> BranchOutcome {
+    let mut order = TieOrder::new(decisions.to_vec());
+    if let Some((start, end)) = cfg.tie_window {
+        order = order.with_window(start, end);
+    }
+    let (sim, order, checker) = run_with_order(script, order, None);
+    let mut violations: Vec<String> = checker.violations().iter().map(|v| v.to_string()).collect();
+    if order.diverged() {
+        violations.push("replay-divergence: a decision exceeded its tie group".to_string());
+    }
+    BranchOutcome { trace_hash: sim.trace_hash(), choices: order.into_choices(), violations }
+}
+
+/// Explores every bounded interleaving of `script` under `cfg`: fault
+/// placements on the shift grid × tie permutations inside the window, the
+/// full invariant checker on every branch. See [`faultline::mc::explore`].
+pub fn explore_scenario(script: &ScenarioScript, cfg: &McConfig) -> McVerdict {
+    let placed = mc::placements(script, cfg);
+    mc::explore(&script.name, placed.len(), cfg, |placement, decisions| {
+        run_branch(&placed[placement], cfg, decisions)
+    })
+}
+
+/// Replays the counter-example branch of `verdict` with a flight recorder
+/// installed and renders every dump it triggered (the lead-up window to
+/// each invariant violation) as ns-2 trace lines. Returns `None` when the
+/// verdict has no counter-example.
+pub fn flight_recorder_dump(
+    script: &ScenarioScript,
+    cfg: &McConfig,
+    verdict: &McVerdict,
+) -> Option<String> {
+    use std::fmt::Write as _;
+    let ce = verdict.counter_example.as_ref()?;
+    let placed = mc::placements(script, cfg);
+    let placement = placed.get(ce.placement)?;
+    let mut order = TieOrder::new(ce.decisions.clone());
+    if let Some((start, end)) = cfg.tie_window {
+        order = order.with_window(start, end);
+    }
+    let (mut sim, _, _) = run_with_order(placement, order, Some(TraceLog::flight_recorder(64)));
+    let log = sim.take_trace_log().expect("flight recorder was installed");
+    let mut out = String::new();
+    for dump in log.dumps() {
+        let _ = writeln!(out, "# flight-recorder dump at {} — {}", dump.at, dump.reason);
+        out.push_str(&tracelog::ns2::render(dump.entries.iter()));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_break() -> ScenarioScript {
+        ScenarioScript::parse(
+            "name mini-break\nseed 3\nduration 4\nat 1.5 link-down 2 3\nat 2.5 link-up 2 3\n",
+        )
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn branch_zero_matches_the_plain_corpus_run() {
+        let script = chain_break();
+        let cfg = McConfig::default();
+        let a = run_branch(&script, &cfg, &[]);
+        let b = run_branch(&script, &cfg, &[]);
+        assert_eq!(a.trace_hash, b.trace_hash, "replays of the same branch must agree");
+        assert_eq!(a.choices, b.choices);
+        assert!(a.violations.is_empty(), "violations: {:?}", a.violations);
+    }
+
+    #[test]
+    fn windowed_exploration_of_a_short_break_proves_clean() {
+        let script = chain_break();
+        let cfg = McConfig {
+            tie_window: Some((SimTime::from_secs_f64(1.5), SimTime::from_secs_f64(1.502))),
+            max_branches: 200,
+            ..McConfig::default()
+        };
+        let verdict = explore_scenario(&script, &cfg);
+        assert!(
+            verdict.proved(),
+            "expected a proof, got {} ({} branches)",
+            verdict.status(),
+            verdict.branches_explored
+        );
+        assert!(verdict.branches_explored > 1, "the window must actually branch");
+    }
+}

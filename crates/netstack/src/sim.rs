@@ -8,7 +8,7 @@ use faultline::{CheckEvent, FaultEvent, InvariantChecker, ScenarioScript, TimedF
 use mac80211::{Mac, MacOutput, MediumView};
 use muzha::{MuzhaSender, RouterAgent};
 use phy::{Channel, GeState, GilbertElliott, PhyState, Position, RxOutcome, TxId};
-use sim_core::{DriverQueue, SimRng, SimTime};
+use sim_core::{DriverQueue, SimRng, SimTime, TieClass, TieKind, TieOrder};
 use tcp::{
     DoorSender, RenoSender, SackSender, TcpOutput, TcpReceiver, TcpTimer, Transport, VegasSender,
     VenoSender, WestwoodSender,
@@ -126,6 +126,29 @@ fn account_event(perf: &mut RunPerf, event: &Event) {
         Event::MobilityTick { .. } => perf.mobility_events += 1,
         Event::Sample => perf.sampling_events += 1,
         Event::Fault { .. } => perf.fault_events += 1,
+    }
+}
+
+/// Classifies one pending event into the scheduling fingerprint the
+/// tie-order hook shows the model-checking explorer. The mapping must stay
+/// *sound* for the explorer's independence relation: any variant that can
+/// transmit, draw the shared RNG stream (`transmit`'s loss draw, broadcast
+/// jitter, waypoint picks) or touch cross-node state must NOT claim the
+/// commuting [`TieKind::RxListen`] class. Only `RxStart` qualifies today:
+/// its dispatch merely notes the arriving signal in the owning node's
+/// PHY/MAC state.
+fn tie_class(event: &Event) -> TieClass {
+    match event {
+        Event::RxStart { node, .. } => TieClass::node(node.index() as u32, TieKind::RxListen),
+        Event::RxEnd { node, .. }
+        | Event::TxDone { node }
+        | Event::MacTimer { node, .. }
+        | Event::AodvTimer { node, .. }
+        | Event::TcpTimer { node, .. }
+        | Event::JitteredEnqueue { node, .. }
+        | Event::DelAckTimer { node, .. } => TieClass::node(node.index() as u32, TieKind::NodeWork),
+        Event::MobilityTick { node } => TieClass::node(node.index() as u32, TieKind::ChannelWrite),
+        Event::FlowStart { .. } | Event::Sample | Event::Fault { .. } => TieClass::global(),
     }
 }
 
@@ -265,6 +288,10 @@ pub struct Simulator {
     log: Option<TraceLog>,
     /// Runtime invariant checker fed from the cross-layer event stream.
     checker: Option<InvariantChecker>,
+    /// Tie-order hook for the model-checking explorer: when installed,
+    /// same-instant ties inside its window are broken by its decision
+    /// vector instead of FIFO. `None` costs one branch per pop.
+    tie_order: Option<TieOrder>,
     /// Every scripted fault loaded so far, addressed by [`Event::Fault`].
     scripted_faults: Vec<TimedFault>,
     /// Per-node scenario liveness.
@@ -417,6 +444,7 @@ impl Simulator {
             tracer: if std::env::var("SIM_TRACE").is_ok() { Some(stderr_tracer()) } else { None },
             log: None,
             checker: None,
+            tie_order: None,
             scripted_faults: Vec::new(),
             node_status: vec![NodeStatus::Up; node_count],
             deferred: (0..node_count).map(|_| Vec::new()).collect(),
@@ -533,6 +561,21 @@ impl Simulator {
     /// cross-layer event stream. Replaces any previous checker.
     pub fn install_checker(&mut self, checker: InvariantChecker) {
         self.checker = Some(checker);
+    }
+
+    /// Installs a tie-order hook: same-instant scheduler ties inside the
+    /// hook's window are broken by its decision vector instead of FIFO
+    /// (see [`TieOrder`]). With an empty vector the hook is behaviourally
+    /// inert — it records the tie groups it saw but every choice stays at
+    /// the FIFO head, reproducing the plain run bit for bit. Replaces any
+    /// previous hook.
+    pub fn install_tie_order(&mut self, order: TieOrder) {
+        self.tie_order = Some(order);
+    }
+
+    /// Removes and returns the tie-order hook with its recorded choice log.
+    pub fn take_tie_order(&mut self) -> Option<TieOrder> {
+        self.tie_order.take()
     }
 
     // ------------------------------------------------------------------
@@ -771,6 +814,28 @@ impl Simulator {
         }
     }
 
+    /// Pops the next event through the tie-order hook: when one is
+    /// installed, the tie at the queue head falls inside its window and
+    /// more than one event is pending at that instant, the hook picks which
+    /// tied event dispatches first. Everywhere else this is a plain FIFO
+    /// pop, so an absent hook costs one branch per event.
+    fn pop_event(&mut self) -> Option<(SimTime, Event)> {
+        if let Some(order) = &mut self.tie_order {
+            if let Some(t) = self.events.peek_time() {
+                if order.covers(t) {
+                    let ties = self.events.tie_count();
+                    if ties > 1 {
+                        let mut group = Vec::with_capacity(ties);
+                        self.events.for_each_tie(|e| group.push(tie_class(e)));
+                        let chosen = order.choose(t, group);
+                        return self.events.pop_nth(chosen);
+                    }
+                }
+            }
+        }
+        self.events.pop()
+    }
+
     /// Runs the event loop until virtual time `end`.
     pub fn run_until(&mut self, end: SimTime) {
         while let Some(t) = self.events.peek_time() {
@@ -778,7 +843,7 @@ impl Simulator {
                 break;
             }
             self.perf.peak_event_queue = self.perf.peak_event_queue.max(self.events.len());
-            let (now, event) = self.events.pop().expect("peeked event vanished");
+            let (now, event) = self.pop_event().expect("peeked event vanished");
             self.now = now;
             fold_event(&mut self.trace_hash, now, &event);
             account_event(&mut self.perf, &event);
@@ -1680,6 +1745,62 @@ mod tests {
         let flow = sim.add_flow(FlowSpec::new(src, dst, variant));
         sim.run_until(secs(duration));
         (sim.flow_report(flow), sim)
+    }
+
+    /// An installed tie-order hook with an empty decision vector must be a
+    /// pure observer: same trace hash and delivery count as the plain run,
+    /// while its choice log proves ties were actually seen and left at FIFO.
+    #[test]
+    fn empty_tie_order_is_behaviourally_inert() {
+        let run = |hook: bool| {
+            let mut sim = Simulator::new(topology::chain(4), SimConfig::default());
+            let (src, dst) = topology::chain_flow(4);
+            let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno));
+            if hook {
+                sim.install_tie_order(TieOrder::default());
+            }
+            sim.run_until(secs(3.0));
+            let choices = sim.take_tie_order().map(TieOrder::into_choices);
+            (sim.trace_hash(), sim.flow_report(flow).delivered_segments, choices)
+        };
+        let (plain_hash, plain_delivered, _) = run(false);
+        let (hook_hash, hook_delivered, choices) = run(true);
+        assert_eq!(plain_hash, hook_hash, "recording tie choices must not perturb the run");
+        assert_eq!(plain_delivered, hook_delivered);
+        let choices = choices.expect("hook was installed");
+        assert!(!choices.is_empty(), "a 4-hop chain run surely has same-instant ties");
+        assert!(choices.iter().all(|c| c.chosen == 0), "empty vector must stay FIFO");
+        assert!(choices.iter().all(|c| c.group.len() >= 2), "groups of one are not choices");
+    }
+
+    /// Prescribing a non-FIFO tie break on a conflicting tie changes the
+    /// dispatched event stream — the hash moves, proving the decision
+    /// vector actually steers the scheduler.
+    #[test]
+    fn tie_order_decisions_steer_the_run() {
+        let run = |decisions: Vec<usize>| {
+            let mut sim = Simulator::new(topology::chain(4), SimConfig::default());
+            let (src, dst) = topology::chain_flow(4);
+            sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno));
+            sim.install_tie_order(TieOrder::new(decisions));
+            sim.run_until(secs(3.0));
+            let order = sim.take_tie_order().expect("hook was installed");
+            (sim.trace_hash(), order.into_choices())
+        };
+        let (fifo_hash, choices) = run(Vec::new());
+        // Find the first tie group with a conflicting alternative and flip it.
+        let target = choices
+            .iter()
+            .position(|c| c.group.len() >= 2)
+            .expect("no tie groups in a 3 s chain run");
+        let mut decisions = vec![0; target];
+        decisions.push(1);
+        let (flipped_hash, flipped_choices) = run(decisions.clone());
+        assert_eq!(flipped_choices[target].chosen, 1, "prescription must be honoured");
+        assert_ne!(fifo_hash, flipped_hash, "a permuted tie must change the event stream");
+        // Replay determinism: the same vector reproduces the same run.
+        let (replay_hash, _) = run(decisions);
+        assert_eq!(flipped_hash, replay_hash, "same decision vector, same trace");
     }
 
     #[test]

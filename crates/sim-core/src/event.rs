@@ -234,16 +234,30 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, or `None` if the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_nth(0)
+    }
+
+    /// Removes and returns the `n`-th event (FIFO order) among those tied at
+    /// the earliest pending time; `pop_nth(0)` is exactly [`Self::pop`].
+    /// Returns `None` when the queue is empty or `n` is outside the tie run
+    /// (the queue is untouched in that case). The remaining tied events keep
+    /// their original insertion sequence, so FIFO order among them survives.
+    pub fn pop_nth(&mut self, n: usize) -> Option<(SimTime, E)> {
         if self.len == 0 {
             return None;
         }
         let Hint { time, bucket } = self.locate_min();
+        // Equal times share a bucket and sort contiguously at its front, so
+        // the tie run occupies positions `0..k` of the min bucket's deque.
+        if self.buckets[bucket].get(n).is_none_or(|e| e.time != time) {
+            return None;
+        }
         // Commit the cursor: the window start is ≤ the popped time, which
         // becomes `last_popped`, so every later push lands at or ahead of it.
         self.cursor = bucket;
         self.year_end = self.window_end(time);
-        let Some(entry) = self.buckets[bucket].pop_front() else {
-            unreachable!("hint pointed at an empty bucket")
+        let Some(entry) = self.buckets[bucket].remove(n) else {
+            unreachable!("tie entry vanished from its bucket")
         };
         debug_assert!(entry.time == time, "hint disagreed with bucket head");
         self.len -= 1;
@@ -264,6 +278,26 @@ impl<E> EventQueue<E> {
             }
         }
         Some((entry.time, entry.event))
+    }
+
+    /// Number of pending events tied at the earliest time (0 when empty).
+    pub fn tie_count(&self) -> usize {
+        if self.len == 0 {
+            return 0;
+        }
+        let Hint { time, bucket } = self.locate_min();
+        self.buckets[bucket].iter().take_while(|e| e.time == time).count()
+    }
+
+    /// Visits each event tied at the earliest time, in FIFO order.
+    pub fn for_each_tie(&self, mut f: impl FnMut(&E)) {
+        if self.len == 0 {
+            return;
+        }
+        let Hint { time, bucket } = self.locate_min();
+        for entry in self.buckets[bucket].iter().take_while(|e| e.time == time) {
+            f(&entry.event);
+        }
     }
 
     /// Rebuilds the bucket array at `nbuckets` (a power of two), re-deriving
@@ -372,6 +406,49 @@ impl<E> HeapQueue<E> {
         Some((entry.time, entry.event))
     }
 
+    /// Removes and returns the `n`-th event (FIFO order) among those tied at
+    /// the earliest pending time (see [`EventQueue::pop_nth`]). The other
+    /// tied entries are re-inserted with their original sequence numbers, so
+    /// FIFO order among the survivors is preserved.
+    pub fn pop_nth(&mut self, n: usize) -> Option<(SimTime, E)> {
+        let time = self.heap.peek()?.time;
+        // The heap pops `(time, seq)` ascending, so draining the tie run
+        // yields it already in FIFO order.
+        let mut tied: Vec<Entry<E>> = Vec::new();
+        while self.heap.peek().is_some_and(|e| e.time == time) {
+            if let Some(entry) = self.heap.pop() {
+                tied.push(entry);
+            }
+        }
+        if n >= tied.len() {
+            self.heap.extend(tied);
+            return None;
+        }
+        // swap_remove scrambles the survivors' order, but re-inserting into
+        // the heap restores `(time, seq)` order from the preserved seqs.
+        let entry = tied.swap_remove(n);
+        self.heap.extend(tied);
+        debug_assert!(entry.time >= self.last_popped, "event queue went backwards");
+        self.last_popped = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Number of pending events tied at the earliest time (0 when empty).
+    pub fn tie_count(&self) -> usize {
+        let Some(head) = self.heap.peek() else { return 0 };
+        self.heap.iter().filter(|e| e.time == head.time).count()
+    }
+
+    /// Visits each event tied at the earliest time, in FIFO order.
+    pub fn for_each_tie(&self, mut f: impl FnMut(&E)) {
+        let Some(head) = self.heap.peek() else { return };
+        let mut tied: Vec<&Entry<E>> = self.heap.iter().filter(|e| e.time == head.time).collect();
+        tied.sort_unstable_by_key(|e| e.seq);
+        for entry in tied {
+            f(&entry.event);
+        }
+    }
+
     /// The firing time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
@@ -446,6 +523,32 @@ impl<E: Debug> DriverQueue<E> {
         match self {
             DriverQueue::Calendar(q) => q.pop(),
             DriverQueue::Heap(q) => q.pop(),
+        }
+    }
+
+    /// Removes and returns the `n`-th event (FIFO order) among those tied at
+    /// the earliest time; `pop_nth(0)` is exactly [`Self::pop`]. See
+    /// [`EventQueue::pop_nth`].
+    pub fn pop_nth(&mut self, n: usize) -> Option<(SimTime, E)> {
+        match self {
+            DriverQueue::Calendar(q) => q.pop_nth(n),
+            DriverQueue::Heap(q) => q.pop_nth(n),
+        }
+    }
+
+    /// Number of pending events tied at the earliest time (0 when empty).
+    pub fn tie_count(&self) -> usize {
+        match self {
+            DriverQueue::Calendar(q) => q.tie_count(),
+            DriverQueue::Heap(q) => q.tie_count(),
+        }
+    }
+
+    /// Visits each event tied at the earliest time, in FIFO order.
+    pub fn for_each_tie(&self, f: impl FnMut(&E)) {
+        match self {
+            DriverQueue::Calendar(q) => q.for_each_tie(f),
+            DriverQueue::Heap(q) => q.for_each_tie(f),
         }
     }
 
@@ -648,6 +751,85 @@ mod tests {
     }
 
     #[test]
+    fn tie_count_and_for_each_tie_see_the_fifo_run() {
+        for kind in [SchedulerKind::Calendar, SchedulerKind::Heap] {
+            let mut q = DriverQueue::new(kind);
+            assert_eq!(q.tie_count(), 0);
+            q.push(t(10), 'a');
+            q.push(t(10), 'b');
+            q.push(t(10), 'c');
+            q.push(t(20), 'z');
+            assert_eq!(q.tie_count(), 3);
+            let mut seen = Vec::new();
+            q.for_each_tie(|&e| seen.push(e));
+            assert_eq!(seen, vec!['a', 'b', 'c'], "{kind:?}: ties must visit in FIFO order");
+            q.pop();
+            assert_eq!(q.tie_count(), 2);
+            q.pop();
+            q.pop();
+            assert_eq!(q.tie_count(), 1, "{kind:?}: a lone head is a tie run of one");
+        }
+    }
+
+    #[test]
+    fn pop_nth_picks_one_tie_and_keeps_fifo_for_the_rest() {
+        for kind in [SchedulerKind::Calendar, SchedulerKind::Heap] {
+            let mut q = DriverQueue::new(kind);
+            for e in ['a', 'b', 'c', 'd'] {
+                q.push(t(10), e);
+            }
+            q.push(t(20), 'z');
+            assert_eq!(q.pop_nth(2), Some((t(10), 'c')), "{kind:?}");
+            assert_eq!(q.pop_nth(4), None, "{kind:?}: out-of-run index must not pop");
+            assert_eq!(q.len(), 4, "{kind:?}: failed pop_nth must not lose events");
+            assert_eq!(q.pop(), Some((t(10), 'a')), "{kind:?}");
+            assert_eq!(q.pop(), Some((t(10), 'b')), "{kind:?}");
+            assert_eq!(q.pop(), Some((t(10), 'd')), "{kind:?}");
+            assert_eq!(q.pop(), Some((t(20), 'z')), "{kind:?}");
+            // Pushing at `now` after a pop_nth keeps working (cursor committed).
+            q.push(t(20), 'y');
+            assert_eq!(q.pop_nth(0), Some((t(20), 'y')), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn pop_nth_zero_is_exactly_pop() {
+        // Same deterministic mixed workload on four queues: two popped with
+        // `pop()`, two with `pop_nth(0)` — every observation must agree.
+        for kind in [SchedulerKind::Calendar, SchedulerKind::Heap] {
+            let mut plain = DriverQueue::new(kind);
+            let mut nth = DriverQueue::new(kind);
+            let mut state = 0xdeadbeefu64;
+            let step = |s: &mut u64| {
+                *s ^= *s << 13;
+                *s ^= *s >> 7;
+                *s ^= *s << 17;
+                *s
+            };
+            for i in 0..5_000u64 {
+                let r = step(&mut state);
+                if r % 10 < 6 {
+                    let base = plain.now().as_nanos();
+                    let delta = if r % 2 == 0 { r % 20 } else { r % 500_000 };
+                    plain.push(t(base + delta), i);
+                    nth.push(t(base + delta), i);
+                } else {
+                    assert_eq!(plain.pop(), nth.pop_nth(0), "{kind:?}");
+                    assert_eq!(plain.now(), nth.now(), "{kind:?}");
+                    assert_eq!(plain.peek_time(), nth.peek_time(), "{kind:?}");
+                }
+            }
+            loop {
+                let (a, b) = (plain.pop(), nth.pop_nth(0));
+                assert_eq!(a, b, "{kind:?}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
     fn driver_queue_dispatches_both_kinds() {
         for kind in [SchedulerKind::Calendar, SchedulerKind::Heap] {
             let mut q = DriverQueue::new(kind);
@@ -704,6 +886,34 @@ mod proptests {
             expected.sort_unstable();
             popped.sort_unstable();
             prop_assert_eq!(popped, expected);
+        }
+
+        /// The calendar queue and the reference heap agree on tie-group
+        /// shape and on `pop_nth` for arbitrary decision sequences — the
+        /// contract the model-checking explorer's replays lean on.
+        #[test]
+        fn calendar_matches_heap_under_pop_nth(
+            times in proptest::collection::vec(0u64..2_000, 1..120),
+            picks in proptest::collection::vec(0usize..8, 1..120),
+        ) {
+            let mut cal = EventQueue::new();
+            let mut heap = HeapQueue::new();
+            for (i, &nanos) in times.iter().enumerate() {
+                cal.push(SimTime::from_nanos(nanos), i);
+                heap.push(SimTime::from_nanos(nanos), i);
+            }
+            for &pick in picks.iter().cycle().take(times.len()) {
+                prop_assert_eq!(cal.tie_count(), heap.tie_count());
+                let mut cal_ties = Vec::new();
+                cal.for_each_tie(|&e| cal_ties.push(e));
+                let mut heap_ties = Vec::new();
+                heap.for_each_tie(|&e| heap_ties.push(e));
+                prop_assert_eq!(&cal_ties, &heap_ties, "tie runs diverged");
+                // Clamp into the run so every iteration pops something.
+                let n = pick.min(cal.tie_count().saturating_sub(1));
+                prop_assert_eq!(cal.pop_nth(n), heap.pop_nth(n));
+            }
+            prop_assert!(cal.is_empty() && heap.is_empty());
         }
 
         /// The calendar queue and the reference heap agree pop-for-pop on

@@ -37,6 +37,7 @@ mod perf;
 mod rng;
 mod smallvec;
 pub mod stats;
+mod tie;
 mod time;
 mod timer;
 mod trace;
@@ -46,6 +47,7 @@ pub use event::{DriverQueue, EventQueue, HeapQueue, SchedulerKind};
 pub use perf::RunPerf;
 pub use rng::SimRng;
 pub use smallvec::SmallVec;
+pub use tie::{TieChoice, TieClass, TieKind, TieOrder};
 pub use time::{SimDuration, SimTime};
 pub use timer::{TimerHandle, TimerSlab};
 pub use trace::{twin_run, TraceHash};

@@ -39,8 +39,8 @@
 pub mod sim {
     pub use sim_core::stats;
     pub use sim_core::{
-        DriverQueue, EventQueue, HeapQueue, RunPerf, SchedulerKind, SimDuration, SimRng, SimTime,
-        TimerHandle, TimerSlab,
+        twin_run, DriverQueue, EventQueue, HeapQueue, RunPerf, SchedulerKind, SimDuration, SimRng,
+        SimTime, TieChoice, TieClass, TieKind, TieOrder, TimerHandle, TimerSlab, TraceHash,
     };
 }
 
@@ -88,6 +88,10 @@ pub mod experiments {
 
 /// CSV export of experiment results for external plotting.
 pub use harness::export;
+
+/// Model-checking glue: corpus-convention branch runner and scenario
+/// explorer over `faultline::mc` (the `harness --bin mc` engine).
+pub use harness::mc;
 
 /// Trace capture and rendering plumbing shared by the harness binaries
 /// (`trace`, `reproduce --trace`, `calibrate --pcap`).

@@ -6,9 +6,12 @@
 //! A final test feeds the checker an intentionally-buggy event stream to
 //! prove the harness *can* fail — a checker that never fires is worthless.
 
+use tcp_muzha::faultline::mc::{self, BranchOutcome, McConfig};
 use tcp_muzha::faultline::{CheckEvent, InvariantChecker, LedgerSummary, ScenarioScript};
 use tcp_muzha::net::{topology, FlowSpec, SimConfig, Simulator, TcpVariant};
-use tcp_muzha::sim::{SchedulerKind, SimDuration, SimTime};
+use tcp_muzha::sim::{
+    DriverQueue, SchedulerKind, SimDuration, SimTime, TieClass, TieKind, TieOrder, TraceHash,
+};
 use tcp_muzha::wire::{FlowId, NodeId};
 
 /// The corpus, embedded so the test binary is self-contained and the run
@@ -193,4 +196,116 @@ fn checker_flags_an_intentionally_buggy_stream() {
 fn scenario_duration_roundtrips_through_facade_types() {
     let script = ScenarioScript::parse("duration 2.5\nat 1 heal\n").unwrap();
     assert_eq!(script.duration, Some(SimDuration::from_secs_f64(2.5)));
+}
+
+// ---------------------------------------------------------------------------
+// The planted ordering bug (tests/fixtures/mc-ordering-bug.scn).
+// ---------------------------------------------------------------------------
+
+/// The timer toy behind the fixture: one retransmit-timer slot held the way
+/// the stack held it before the generation-token guard (PR 5) — `armed`
+/// stores the token of the live timer, a `Fire` pop consumes it, an
+/// `AckRearm` cancels the live timer and arms a fresh token one second out.
+#[derive(Clone, Copy, Debug)]
+enum TimerToyEvent {
+    /// A queued timer pop carrying the token it was armed with.
+    Fire { token: u32 },
+    /// The ACK that cancels the live timer and re-arms token `next`.
+    AckRearm { next: u32 },
+}
+
+/// Replays the fixture's tie under `decisions`. With `guarded` false, the
+/// `Fire` handler checks only that *a* timer is armed — the pre-PR 5 bug.
+/// With it true, the handler demands an exact token match (the id-match
+/// guard the real stack carries in `netstack`'s timer wheel).
+///
+/// The invariant: the re-armed retransmit obligation (token 2) must
+/// eventually fire. In FIFO order the stale `Fire{1}` runs before the ACK,
+/// legitimately consumes token 1, and the bug is invisible; only the
+/// flipped permutation — ACK first, then the now-stale `Fire{1}` — makes
+/// the unguarded handler swallow token 2's arming and drop the obligation.
+fn run_timer_toy(
+    script: &ScenarioScript,
+    guarded: bool,
+    seed: u64,
+    decisions: &[usize],
+) -> BranchOutcome {
+    let at = script.events.first().expect("fixture pins the tie instant").at;
+    let mut q = DriverQueue::new(SchedulerKind::Calendar);
+    q.push(at, TimerToyEvent::Fire { token: 1 }); // queued before the ACK ⇒ FIFO runs it first
+    q.push(at, TimerToyEvent::AckRearm { next: 2 });
+    let mut order = TieOrder::new(decisions.to_vec());
+    let mut armed = Some(1u32);
+    let mut fired: Vec<u32> = Vec::new();
+    let mut trace = TraceHash::new();
+    trace.write_u64(seed);
+    loop {
+        // The same choke point as `Simulator::pop_event`: both events are
+        // same-node work, so nothing here is prunable.
+        let popped = if q.tie_count() > 1 {
+            let group = vec![TieClass::node(0, TieKind::NodeWork); q.tie_count()];
+            let chosen = order.choose(q.peek_time().expect("tie implies a head"), group);
+            q.pop_nth(chosen)
+        } else {
+            q.pop()
+        };
+        let Some((now, ev)) = popped else { break };
+        match ev {
+            TimerToyEvent::Fire { token } => {
+                let hit = if guarded { armed == Some(token) } else { armed.is_some() };
+                trace.write_u64(u64::from(token));
+                if hit {
+                    armed = None;
+                    fired.push(token);
+                }
+            }
+            TimerToyEvent::AckRearm { next } => {
+                trace.write_u64(u64::from(next) << 32);
+                armed = Some(next);
+                q.push(now + SimDuration::from_secs(1), TimerToyEvent::Fire { token: next });
+            }
+        }
+    }
+    let mut violations = Vec::new();
+    if !fired.contains(&2) {
+        violations.push("timer-guard: re-armed retransmit obligation never fired".to_string());
+    }
+    BranchOutcome { trace_hash: trace.digest(), choices: order.into_choices(), violations }
+}
+
+/// The ISSUE's acceptance scenario for the explorer: 8-seed FIFO sampling
+/// (the corpus runner's whole arsenal before this PR) passes the buggy
+/// handler every time, the explorer catches it in two branches, and the
+/// guarded handler — the shape the real stack uses — is *proved* clean over
+/// the same space.
+#[test]
+fn explorer_catches_the_planted_timer_guard_bug() {
+    let script = ScenarioScript::parse(include_str!("fixtures/mc-ordering-bug.scn"))
+        .expect("fixture parses");
+    assert_eq!(script.name, "mc-ordering-bug");
+
+    // Seed sampling never flips same-instant FIFO order, so every seed
+    // takes the clean path and the bug stays invisible.
+    for seed in 1..=8 {
+        let fifo = run_timer_toy(&script, false, seed, &[]);
+        assert!(fifo.violations.is_empty(), "seed {seed} sampling must miss the bug");
+    }
+
+    // The explorer flips the tie and finds the counter-example immediately.
+    let cfg = McConfig::default();
+    let buggy = mc::explore(&script.name, 1, &cfg, |_, d| {
+        run_timer_toy(&script, false, script.seed.unwrap_or(1), d)
+    });
+    assert_eq!(buggy.status(), "VIOLATION");
+    let ce = buggy.counter_example.expect("the flipped tie must violate");
+    assert_eq!(ce.decisions, vec![1], "ACK-before-stale-fire is the losing order");
+    assert!(ce.violations.iter().any(|v| v.contains("timer-guard")), "{:?}", ce.violations);
+
+    // With the id-match guard the same exploration is a proof: both orders
+    // of the tie keep the obligation alive.
+    let guarded = mc::explore(&script.name, 1, &cfg, |_, d| {
+        run_timer_toy(&script, true, script.seed.unwrap_or(1), d)
+    });
+    assert!(guarded.proved(), "got {}", guarded.status());
+    assert_eq!(guarded.branches_explored, 2, "one tie of two conflicting events ⇒ two branches");
 }
