@@ -21,6 +21,23 @@ pub enum AdjustmentCadence {
     PerAck,
 }
 
+impl sim_core::Snapshotable for AdjustmentCadence {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put_u8(match self {
+            AdjustmentCadence::PerRtt => 0,
+            AdjustmentCadence::PerAck => 1,
+        });
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        match r.take_u8()? {
+            0 => Ok(AdjustmentCadence::PerRtt),
+            1 => Ok(AdjustmentCadence::PerAck),
+            _ => Err(sim_core::SnapError::Invalid("muzha cadence tag")),
+        }
+    }
+}
+
 /// The TCP Muzha sender.
 ///
 /// Differences from Reno-style senders (paper §4.8):
@@ -335,6 +352,37 @@ impl Transport for MuzhaSender {
             // router DRAI feedback from the first ACK onward (Table 4.1).
             "rate-guided"
         }
+    }
+
+    fn encode_state(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put_u8(match self.cadence {
+            AdjustmentCadence::PerRtt => 0,
+            AdjustmentCadence::PerAck => 1,
+        });
+        w.put(&self.s);
+        w.put_f64(self.cwnd);
+        w.put(&self.recovery_point);
+        w.put_u64(self.round_end);
+        w.put(&self.round_mrai);
+        w.put_u32(self.marked_dupacks);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sim_core::SnapshotReader<'_>,
+    ) -> Result<(), sim_core::SnapError> {
+        self.cadence = match r.take_u8()? {
+            0 => AdjustmentCadence::PerRtt,
+            1 => AdjustmentCadence::PerAck,
+            _ => return Err(sim_core::SnapError::Invalid("muzha cadence tag")),
+        };
+        self.s = r.get()?;
+        self.cwnd = r.take_f64()?;
+        self.recovery_point = r.get()?;
+        self.round_end = r.take_u64()?;
+        self.round_mrai = r.get()?;
+        self.marked_dupacks = r.take_u32()?;
+        Ok(())
     }
 }
 

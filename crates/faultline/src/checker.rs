@@ -234,7 +234,7 @@ struct RerrObligation {
 /// Feed events with [`on_event`](Self::on_event), call
 /// [`finish`](Self::finish) once at the end of the run, then inspect
 /// [`violations`](Self::violations).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct InvariantChecker {
     limits: CheckerLimits,
     events_seen: u64,

@@ -135,6 +135,32 @@ fn chain_sched_run(kind: SchedulerKind, duration: SimDuration) -> (u64, RunPerf,
     (sim.trace_hash(), sim.perf(), secs)
 }
 
+/// Runs the 8-hop chain, optionally taking a full simulator snapshot every
+/// `every` of virtual time; returns the deterministic event digest, the
+/// event count, and the number/total bytes of snapshots taken.
+fn chain_snapshot_run(
+    cfg: SimConfig,
+    duration: SimDuration,
+    every: Option<SimDuration>,
+) -> (u64, u64, usize, usize) {
+    let mut sim = Simulator::new(topology::chain(8), cfg);
+    let (src, dst) = topology::chain_flow(8);
+    sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+    let mut snapshots = 0usize;
+    let mut bytes_total = 0usize;
+    if let Some(step) = every {
+        let mut at = SimTime::ZERO + step;
+        while at < SimTime::ZERO + duration {
+            sim.run_until(at);
+            bytes_total += sim.snapshot().len();
+            snapshots += 1;
+            at = at + step;
+        }
+    }
+    sim.run_until(SimTime::ZERO + duration);
+    (sim.trace_hash(), sim.perf().events_processed, snapshots, bytes_total)
+}
+
 /// Extracts `"key": <number>` from hand-rolled JSON text (enough for the
 /// baseline file this binary writes itself).
 fn json_number(text: &str, key: &str) -> Option<f64> {
@@ -143,6 +169,14 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
     let rest = text[at..].trim_start();
     let end = rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))?;
     rest[..end].parse().ok()
+}
+
+/// Like [`json_number`], but scoped to the first occurrence of the named
+/// top-level block, so duplicated keys (`overhead_ratio` appears in both
+/// overhead blocks) resolve to the right one.
+fn json_number_in(text: &str, block: &str, key: &str) -> Option<f64> {
+    let at = text.find(&format!("\"{block}\""))?;
+    json_number(&text[at..], key)
 }
 
 fn main() {
@@ -255,6 +289,45 @@ fn main() {
         traced_secs / untraced_secs.max(1e-9),
     );
 
+    // Snapshot-subsystem overhead guard: the same chain run with a full
+    // simulator snapshot taken every virtual second must reproduce the
+    // plain run's event digest and count (snapshotting is a pure
+    // observation), and the amortised checkpoint cost per dispatched event
+    // is reported so the trajectory can be watched across PRs.
+    eprintln!("measuring snapshot overhead (chain8, 1 seed, 1 checkpoint/virtual sec)...");
+    let snap_every = SimDuration::from_secs(1);
+    let plain_clock = WallClock::start();
+    let (plain_hash, plain_events, _, _) = chain_snapshot_run(trace_cfg, trace_duration, None);
+    let plain_secs = plain_clock.elapsed_secs();
+    let ck_clock = WallClock::start();
+    let (ck_hash, ck_events, snapshots_taken, snapshot_bytes) =
+        chain_snapshot_run(trace_cfg, trace_duration, Some(snap_every));
+    let ck_secs = ck_clock.elapsed_secs();
+    assert_eq!(plain_hash, ck_hash, "taking snapshots changed the event stream");
+    assert_eq!(plain_events, ck_events, "taking snapshots changed the event count");
+
+    let snapshot_overhead = format!(
+        concat!(
+            "  \"snapshot_overhead\": {{\n",
+            "    \"scenario\": \"chain8_muzha\",\n",
+            "    \"virtual_secs\": {},\n",
+            "    \"snapshots_taken\": {},\n",
+            "    \"snapshot_bytes_total\": {},\n",
+            "    \"plain_wall_secs\": {:.6},\n",
+            "    \"checkpointed_wall_secs\": {:.6},\n",
+            "    \"overhead_ratio\": {:.3},\n",
+            "    \"checkpoint_cost_ns_per_event\": {:.1}\n",
+            "  }}"
+        ),
+        secs,
+        snapshots_taken,
+        snapshot_bytes,
+        plain_secs,
+        ck_secs,
+        ck_secs / plain_secs.max(1e-9),
+        (ck_secs - plain_secs).max(0.0) * 1e9 / ck_events.max(1) as f64,
+    );
+
     // Scheduler comparison: hold-model microbenchmarks over both queue
     // implementations, then an end-to-end chain run per scheduler with the
     // trace digests asserted identical — the perf claim is only meaningful
@@ -318,34 +391,48 @@ fn main() {
         );
     }
 
-    // Soft regression gate against the committed baseline: a >20% drop in
-    // calendar events/sec prints a CI annotation but does not fail the
-    // build — wall-clock numbers on shared runners are advisory.
-    let baseline_path =
-        parse_flag(&args, "--baseline").unwrap_or_else(|| "BENCH_baseline.json".to_string());
-    if let Ok(baseline) = std::fs::read_to_string(&baseline_path) {
-        if let Some(base_eps) = json_number(&baseline, "events_per_sec_calendar") {
-            if eps_calendar < 0.8 * base_eps {
-                println!(
-                    "::warning title=scheduler perf regression::calendar events/sec \
-                     {eps_calendar:.0} is more than 20% below the committed baseline \
-                     {base_eps:.0} ({baseline_path})"
-                );
-            } else {
-                eprintln!(
-                    "baseline check ok: {eps_calendar:.0} events/sec vs baseline {base_eps:.0}"
-                );
-            }
-        }
-    }
-
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"quick\": {},\n  \"scenarios\": [\n{}\n  ],\n{},\n{}\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"quick\": {},\n  \"scenarios\": [\n{}\n  ],\n{},\n{},\n{}\n}}\n",
         quick,
         entries.join(",\n"),
         trace_overhead,
+        snapshot_overhead,
         scheduler_block,
     );
+
+    // Soft regression gate against the committed baseline: every watched
+    // metric that moves past its threshold prints a CI annotation naming
+    // the block that regressed, but does not fail the build — wall-clock
+    // numbers on shared runners are advisory. Throughputs may drop at most
+    // 20%; overhead ratios may grow at most 25%.
+    let baseline_path =
+        parse_flag(&args, "--baseline").unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    if let Ok(baseline) = std::fs::read_to_string(&baseline_path) {
+        let watched = [
+            ("scheduler", "events_per_sec_calendar", true),
+            ("scheduler", "events_per_sec_heap", true),
+            ("trace_overhead", "overhead_ratio", false),
+            ("snapshot_overhead", "overhead_ratio", false),
+        ];
+        for (block, key, higher_is_better) in watched {
+            let (Some(base), Some(now)) =
+                (json_number_in(&baseline, block, key), json_number_in(&json, block, key))
+            else {
+                eprintln!("baseline check skipped: {block}.{key} missing from {baseline_path}");
+                continue;
+            };
+            let regressed =
+                if higher_is_better { now < 0.8 * base } else { now > 1.25 * base };
+            if regressed {
+                println!(
+                    "::warning title=bench regression::{block}.{key} is {now:.3} vs the \
+                     committed baseline {base:.3} ({baseline_path})"
+                );
+            } else {
+                eprintln!("baseline check ok: {block}.{key} {now:.3} vs baseline {base:.3}");
+            }
+        }
+    }
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!("{json}");
     println!("wrote {out}");

@@ -17,6 +17,12 @@
 //! writes the canonical branch log (byte-identical across runs of the same
 //! exploration — CI diffs it to pin determinism).
 //!
+//! `--resume` (requires `--tie-window`) switches to checkpointed branch
+//! resume: the shared prefix before the window runs once per placement, is
+//! snapshotted, and every branch restores the snapshot and replays only
+//! its suffix. Verdicts are bit-identical to full replay; the saved event
+//! count is reported on stderr.
+//!
 //! The verdict block goes to stdout. On a violation the counter-example's
 //! decision vector and a flight-recorder dump of the lead-up window are
 //! printed, and the exit code is 2; a truncated (non-exhaustive) clean
@@ -24,7 +30,7 @@
 
 use faultline::mc::McConfig;
 use faultline::ScenarioScript;
-use harness::mc::{explore_scenario, flight_recorder_dump};
+use harness::mc::{explore_scenario, explore_scenario_resumed, flight_recorder_dump};
 use sim_core::SimTime;
 
 fn main() {
@@ -60,14 +66,38 @@ fn main() {
     }
     let report = parse_flag(&args, "--report");
     let quiet = args.iter().any(|a| a == "--quiet");
+    let resume = args.iter().any(|a| a == "--resume");
+    assert!(
+        !resume || cfg.tie_window.is_some(),
+        "--resume needs --tie-window: the checkpoint sits at the window start"
+    );
 
     if !quiet {
         eprintln!(
-            "exploring {} (window {:?}, max {} branches, depth {}, {} placement step(s))...",
-            script.name, cfg.tie_window, cfg.max_branches, cfg.max_depth, cfg.shift_steps
+            "exploring {} (window {:?}, max {} branches, depth {}, {} placement step(s){})...",
+            script.name,
+            cfg.tie_window,
+            cfg.max_branches,
+            cfg.max_depth,
+            cfg.shift_steps,
+            if resume { ", checkpointed" } else { "" }
         );
     }
-    let verdict = explore_scenario(&script, &cfg);
+    let verdict = if resume {
+        let (verdict, stats) = explore_scenario_resumed(&script, &cfg);
+        if !quiet {
+            eprintln!(
+                "checkpoint resume: {} events dispatched ({} prefix + {} replayed) vs {} for full replay",
+                stats.resumed_events(),
+                stats.prefix_events,
+                stats.replayed_events,
+                stats.full_replay_events
+            );
+        }
+        verdict
+    } else {
+        explore_scenario(&script, &cfg)
+    };
     if !quiet {
         eprintln!(
             "{}: {} branches explored, {} pruned, {} choice points deep",

@@ -17,6 +17,35 @@ const HOPS: usize = 4;
 /// Fallback duration for scripts that do not pin one.
 const DEFAULT_DURATION: SimDuration = SimDuration::from_secs(10);
 
+/// Builds the bare corpus-convention simulator for `script`: 4-hop chain,
+/// one NewReno flow end to end, the script's seed. The scenario itself is
+/// *not* loaded — callers either load it (fresh run) or overwrite the whole
+/// state via [`Simulator::restore`] (branch resume).
+fn build_sim(script: &ScenarioScript) -> Simulator {
+    let seed = script.seed.unwrap_or(1);
+    let cfg = SimConfig { seed, ..SimConfig::default() };
+    let mut sim = Simulator::new(topology::chain(HOPS), cfg);
+    let (src, dst) = topology::chain_flow(HOPS);
+    sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno));
+    sim
+}
+
+/// The corpus-convention simulator for `script` with the scenario loaded —
+/// the shape every harness entry point (the test corpus, `--bin mc`,
+/// `--bin checkpoint`) runs. A [`Simulator::restore`] target for snapshots
+/// taken under the same convention: restoring overwrites the loaded
+/// scenario state wholesale, so the same builder serves both legs.
+pub fn corpus_sim(script: &ScenarioScript) -> Simulator {
+    let mut sim = build_sim(script);
+    sim.load_scenario(script);
+    sim
+}
+
+/// The script's run duration under the corpus convention (10 s fallback).
+pub fn corpus_duration(script: &ScenarioScript) -> SimDuration {
+    script.duration.unwrap_or(DEFAULT_DURATION)
+}
+
 /// Builds the corpus-convention simulator for `script` and runs it to the
 /// script's duration under `order`, returning the sealed simulator, the
 /// consumed tie order, and the sealed checker.
@@ -25,12 +54,8 @@ fn run_with_order(
     order: TieOrder,
     log: Option<TraceLog>,
 ) -> (Simulator, TieOrder, InvariantChecker) {
-    let seed = script.seed.unwrap_or(1);
     let duration = script.duration.unwrap_or(DEFAULT_DURATION);
-    let cfg = SimConfig { seed, ..SimConfig::default() };
-    let mut sim = Simulator::new(topology::chain(HOPS), cfg);
-    let (src, dst) = topology::chain_flow(HOPS);
-    sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno));
+    let mut sim = build_sim(script);
     sim.load_scenario(script);
     sim.install_checker(InvariantChecker::new());
     sim.install_tie_order(order);
@@ -46,6 +71,16 @@ fn run_with_order(
 /// Runs one branch of the exploration: `script` (already shifted to its
 /// placement) replayed under `decisions` with the tie window from `cfg`.
 pub fn run_branch(script: &ScenarioScript, cfg: &McConfig, decisions: &[usize]) -> BranchOutcome {
+    run_branch_counted(script, cfg, decisions).0
+}
+
+/// [`run_branch`] plus the branch's total dispatched-event count — the
+/// denominator for measuring what checkpoint resume saves.
+pub fn run_branch_counted(
+    script: &ScenarioScript,
+    cfg: &McConfig,
+    decisions: &[usize],
+) -> (BranchOutcome, u64) {
     let mut order = TieOrder::new(decisions.to_vec());
     if let Some((start, end)) = cfg.tie_window {
         order = order.with_window(start, end);
@@ -55,7 +90,9 @@ pub fn run_branch(script: &ScenarioScript, cfg: &McConfig, decisions: &[usize]) 
     if order.diverged() {
         violations.push("replay-divergence: a decision exceeded its tie group".to_string());
     }
-    BranchOutcome { trace_hash: sim.trace_hash(), choices: order.into_choices(), violations }
+    let outcome =
+        BranchOutcome { trace_hash: sim.trace_hash(), choices: order.into_choices(), violations };
+    (outcome, sim.perf().events_processed)
 }
 
 /// Explores every bounded interleaving of `script` under `cfg`: fault
@@ -66,6 +103,122 @@ pub fn explore_scenario(script: &ScenarioScript, cfg: &McConfig) -> McVerdict {
     mc::explore(&script.name, placed.len(), cfg, |placement, decisions| {
         run_branch(&placed[placement], cfg, decisions)
     })
+}
+
+// ----------------------------------------------------------------------
+// Checkpointed branch resume (ROADMAP item 5)
+// ----------------------------------------------------------------------
+
+/// A mid-run checkpoint of one placement's corpus-convention simulation:
+/// the serialized simulator plus the live (unsealed) checker state, taken
+/// just before the tie window opens. Branch resumes restore the bytes and
+/// re-install a clone of the checker, because observers are not part of
+/// the snapshot.
+#[derive(Debug)]
+pub struct Checkpoint {
+    bytes: Vec<u8>,
+    checker: InvariantChecker,
+    /// Events the shared prefix dispatched to reach the checkpoint.
+    pub prefix_events: u64,
+}
+
+/// Work accounting for a checkpointed exploration, for asserting (and
+/// reporting) the win over replaying every branch from t = 0.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResumeStats {
+    /// Events executed once per placement to build its checkpoint.
+    pub prefix_events: u64,
+    /// Events replayed across all branches after restoring a checkpoint.
+    pub replayed_events: u64,
+    /// Events the same branches cost replayed from t = 0 (each branch's
+    /// prefix plus its suffix — the prefix is shared, so a full replay
+    /// pays it once per branch instead of once per placement).
+    pub full_replay_events: u64,
+}
+
+impl ResumeStats {
+    /// Total events a checkpointed exploration actually dispatched.
+    pub fn resumed_events(&self) -> u64 {
+        self.prefix_events + self.replayed_events
+    }
+}
+
+/// Runs the shared prefix of `script` once — up to, but *not* including,
+/// the instant `at` — and captures a [`Checkpoint`]. Events at exactly
+/// `at` are tie candidates of the exploration window, so they must be
+/// dispatched under each branch's tie order, not consumed FIFO here.
+pub fn checkpoint_before(script: &ScenarioScript, at: SimTime) -> Checkpoint {
+    let mut sim = build_sim(script);
+    sim.load_scenario(script);
+    sim.install_checker(InvariantChecker::new());
+    let stop = SimTime::from_nanos(at.as_nanos().saturating_sub(1));
+    sim.run_until(stop);
+    let checker = sim.checker().cloned().expect("checker was installed");
+    Checkpoint { bytes: sim.snapshot(), checker, prefix_events: sim.perf().events_processed }
+}
+
+/// Runs one branch by restoring `checkpoint` and replaying only the suffix
+/// under `decisions`. Returns the branch outcome — bit-identical to
+/// [`run_branch`] on the same inputs — and the number of suffix events
+/// replayed.
+pub fn run_branch_resumed(
+    script: &ScenarioScript,
+    cfg: &McConfig,
+    checkpoint: &Checkpoint,
+    decisions: &[usize],
+) -> (BranchOutcome, u64) {
+    let duration = script.duration.unwrap_or(DEFAULT_DURATION);
+    let mut sim = build_sim(script);
+    sim.restore(&checkpoint.bytes).expect("checkpoint restores into its config twin");
+    sim.install_checker(checkpoint.checker.clone());
+    let mut order = TieOrder::new(decisions.to_vec());
+    if let Some((start, end)) = cfg.tie_window {
+        order = order.with_window(start, end);
+    }
+    sim.install_tie_order(order);
+    sim.run_until(SimTime::ZERO + duration);
+    let order = sim.take_tie_order().expect("tie order was installed");
+    let checker = sim.take_checker().expect("checker was installed");
+    let mut violations: Vec<String> = checker.violations().iter().map(|v| v.to_string()).collect();
+    if order.diverged() {
+        violations.push("replay-divergence: a decision exceeded its tie group".to_string());
+    }
+    let replayed = sim.perf().events_processed - checkpoint.prefix_events;
+    let outcome = BranchOutcome {
+        trace_hash: sim.trace_hash(),
+        choices: order.into_choices(),
+        violations,
+    };
+    (outcome, replayed)
+}
+
+/// [`explore_scenario`] with restore-from-checkpoint branch resume: the
+/// prefix before the tie window runs once per fault placement, is
+/// snapshotted, and every branch restores that snapshot and replays only
+/// its suffix. Verdicts are bit-identical to the full-replay explorer —
+/// same hashes, same choices, same violations — at O(suffix) per branch.
+///
+/// # Panics
+///
+/// Panics if `cfg.tie_window` is `None`: without a window there is no
+/// shared prefix to checkpoint.
+pub fn explore_scenario_resumed(script: &ScenarioScript, cfg: &McConfig) -> (McVerdict, ResumeStats) {
+    let (start, _) = cfg.tie_window.expect("checkpoint resume needs a tie window");
+    let placed = mc::placements(script, cfg);
+    let checkpoints: Vec<Checkpoint> =
+        placed.iter().map(|p| checkpoint_before(p, start)).collect();
+    let mut stats = ResumeStats {
+        prefix_events: checkpoints.iter().map(|c| c.prefix_events).sum(),
+        ..ResumeStats::default()
+    };
+    let verdict = mc::explore(&script.name, placed.len(), cfg, |placement, decisions| {
+        let (outcome, replayed) =
+            run_branch_resumed(&placed[placement], cfg, &checkpoints[placement], decisions);
+        stats.replayed_events += replayed;
+        stats.full_replay_events += checkpoints[placement].prefix_events + replayed;
+        outcome
+    });
+    (verdict, stats)
 }
 
 /// Replays the counter-example branch of `verdict` with a flight recorder
@@ -133,5 +286,96 @@ mod tests {
             verdict.branches_explored
         );
         assert!(verdict.branches_explored > 1, "the window must actually branch");
+    }
+
+    fn windowed_cfg() -> McConfig {
+        McConfig {
+            tie_window: Some((SimTime::from_secs_f64(1.5), SimTime::from_secs_f64(1.502))),
+            max_branches: 200,
+            ..McConfig::default()
+        }
+    }
+
+    #[test]
+    fn resumed_branch_is_bit_identical_to_full_replay() {
+        let script = chain_break();
+        let cfg = windowed_cfg();
+        let checkpoint = checkpoint_before(&script, SimTime::from_secs_f64(1.5));
+        for decisions in [vec![], vec![1]] {
+            let (full, total) = run_branch_counted(&script, &cfg, &decisions);
+            let (resumed, replayed) = run_branch_resumed(&script, &cfg, &checkpoint, &decisions);
+            assert_eq!(full.trace_hash, resumed.trace_hash, "hash for decisions {decisions:?}");
+            assert_eq!(full.choices, resumed.choices, "choices for decisions {decisions:?}");
+            assert_eq!(full.violations, resumed.violations);
+            assert!(replayed > 0, "the suffix must contain events");
+            assert_eq!(
+                checkpoint.prefix_events + replayed,
+                total,
+                "prefix + suffix must account for every event of the full replay"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpointed_exploration_matches_full_replay_with_fewer_events() {
+        let script = chain_break();
+        let cfg = windowed_cfg();
+        let full = explore_scenario(&script, &cfg);
+        let (resumed, stats) = explore_scenario_resumed(&script, &cfg);
+        assert_eq!(
+            full.render_log(),
+            resumed.render_log(),
+            "checkpointed and full-replay explorations must agree branch for branch"
+        );
+        assert!(resumed.branches_explored > 1, "the window must actually branch");
+        assert!(
+            stats.resumed_events() < stats.full_replay_events,
+            "resume must dispatch fewer events than full replay: {stats:?}"
+        );
+    }
+
+    /// The PR 7 planted ordering bug, re-planted at the harness level: a
+    /// branch whose in-window tie resolution deviates from FIFO trips the
+    /// invariant (decision vector `[1]`, exactly the toy's counter-example).
+    /// Checkpoint resume must reproduce the same counter-example as full
+    /// replay while dispatching strictly fewer events.
+    #[test]
+    fn checkpoint_resume_reproduces_the_planted_counter_example_cheaper() {
+        let script = chain_break();
+        let cfg = windowed_cfg();
+        let plant = |mut outcome: BranchOutcome| {
+            if outcome.choices.iter().any(|c| c.chosen != 0) {
+                outcome.violations.push("planted: a deferred event won its tie".to_string());
+            }
+            outcome
+        };
+
+        let placed = mc::placements(&script, &cfg);
+        let mut full_events = 0u64;
+        let full = mc::explore(&script.name, placed.len(), &cfg, |p, decisions| {
+            let (outcome, events) = run_branch_counted(&placed[p], &cfg, decisions);
+            full_events += events;
+            plant(outcome)
+        });
+        let ce_full = full.counter_example.as_ref().expect("full replay finds the planted bug");
+        assert_eq!(ce_full.decisions, vec![1], "the PR 7 planted counter-example");
+
+        let start = cfg.tie_window.unwrap().0;
+        let checkpoints: Vec<Checkpoint> =
+            placed.iter().map(|p| checkpoint_before(p, start)).collect();
+        let mut resumed_events: u64 = checkpoints.iter().map(|c| c.prefix_events).sum();
+        let resumed = mc::explore(&script.name, placed.len(), &cfg, |p, decisions| {
+            let (outcome, replayed) =
+                run_branch_resumed(&placed[p], &cfg, &checkpoints[p], decisions);
+            resumed_events += replayed;
+            plant(outcome)
+        });
+        let ce = resumed.counter_example.as_ref().expect("resume finds the planted bug");
+        assert_eq!(ce.decisions, ce_full.decisions, "same counter-example either way");
+        assert_eq!(ce.placement, ce_full.placement);
+        assert!(
+            resumed_events < full_events,
+            "checkpoint resume must replay fewer events: {resumed_events} resumed vs {full_events} full"
+        );
     }
 }

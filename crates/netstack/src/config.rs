@@ -74,6 +74,21 @@ impl std::fmt::Display for TcpVariant {
     }
 }
 
+impl sim_core::Snapshotable for TcpVariant {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        let tag = TcpVariant::ALL.iter().position(|v| v == self).unwrap_or(0) as u8;
+        w.put_u8(tag);
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        let tag = r.take_u8()? as usize;
+        TcpVariant::ALL
+            .get(tag)
+            .copied()
+            .ok_or(sim_core::SnapError::Invalid("tcp variant tag"))
+    }
+}
+
 /// Which queueing discipline every node's interface queue uses.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum QueueDiscipline {
@@ -242,6 +257,38 @@ impl FlowSpec {
     pub fn with_delayed_ack(mut self) -> Self {
         self.delayed_ack = true;
         self
+    }
+}
+
+impl sim_core::Snapshotable for FlowSpec {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put(&self.src);
+        w.put(&self.dst);
+        w.put(&self.variant);
+        w.put(&self.start);
+        w.put(&self.tcp);
+        w.put(&self.vegas);
+        w.put(&self.muzha_cadence);
+        w.put_bool(self.delayed_ack);
+        w.put_bool(self.elfn);
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        let spec = FlowSpec {
+            src: r.get()?,
+            dst: r.get()?,
+            variant: r.get()?,
+            start: r.get()?,
+            tcp: r.get()?,
+            vegas: r.get()?,
+            muzha_cadence: r.get()?,
+            delayed_ack: r.take_bool()?,
+            elfn: r.take_bool()?,
+        };
+        if spec.src == spec.dst {
+            return Err(sim_core::SnapError::Invalid("flow endpoints equal"));
+        }
+        Ok(spec)
     }
 }
 

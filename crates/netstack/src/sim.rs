@@ -388,6 +388,23 @@ pub struct RandomWaypoint {
 /// How often moving nodes' positions are refreshed.
 const MOBILITY_TICK: sim_core::SimDuration = sim_core::SimDuration::from_millis(100);
 
+/// Builds the sender implementation a flow spec asks for. Shared by
+/// [`Simulator::add_flow`] and snapshot restore, which must reconstruct the
+/// exact same variant before handing it the serialized state.
+fn make_transport(flow: FlowId, spec: &FlowSpec) -> Box<dyn Transport> {
+    match spec.variant {
+        TcpVariant::Tahoe => Box::new(RenoSender::tahoe(flow, spec.tcp)),
+        TcpVariant::Reno => Box::new(RenoSender::reno(flow, spec.tcp)),
+        TcpVariant::NewReno => Box::new(RenoSender::new_reno(flow, spec.tcp)),
+        TcpVariant::Sack => Box::new(SackSender::new(flow, spec.tcp)),
+        TcpVariant::Vegas => Box::new(VegasSender::new(flow, spec.tcp, spec.vegas)),
+        TcpVariant::Veno => Box::new(VenoSender::new(flow, spec.tcp)),
+        TcpVariant::Westwood => Box::new(WestwoodSender::new(flow, spec.tcp)),
+        TcpVariant::Door => Box::new(DoorSender::new(flow, spec.tcp)),
+        TcpVariant::Muzha => Box::new(MuzhaSender::with_cadence(flow, spec.tcp, spec.muzha_cadence)),
+    }
+}
+
 impl Simulator {
     /// Creates a simulator with one node per position.
     ///
@@ -497,19 +514,7 @@ impl Simulator {
         assert!(spec.dst.index() < self.nodes.len(), "flow dst out of range");
         assert_ne!(spec.src, spec.dst, "flow endpoints must differ");
         let flow = FlowId::new(self.flows.len() as u32);
-        let transport: Box<dyn Transport> = match spec.variant {
-            TcpVariant::Tahoe => Box::new(RenoSender::tahoe(flow, spec.tcp)),
-            TcpVariant::Reno => Box::new(RenoSender::reno(flow, spec.tcp)),
-            TcpVariant::NewReno => Box::new(RenoSender::new_reno(flow, spec.tcp)),
-            TcpVariant::Sack => Box::new(SackSender::new(flow, spec.tcp)),
-            TcpVariant::Vegas => Box::new(VegasSender::new(flow, spec.tcp, spec.vegas)),
-            TcpVariant::Veno => Box::new(VenoSender::new(flow, spec.tcp)),
-            TcpVariant::Westwood => Box::new(WestwoodSender::new(flow, spec.tcp)),
-            TcpVariant::Door => Box::new(DoorSender::new(flow, spec.tcp)),
-            TcpVariant::Muzha => {
-                Box::new(MuzhaSender::with_cadence(flow, spec.tcp, spec.muzha_cadence))
-            }
-        };
+        let transport = make_transport(flow, &spec);
         self.nodes[spec.src.index()]
             .senders
             .insert(flow, SenderEndpoint { dst: spec.dst, transport, traced_cwnd: 0 });
@@ -614,6 +619,14 @@ impl Simulator {
         let mut checker = self.checker.take()?;
         checker.finish(self.now);
         Some(checker)
+    }
+
+    /// A borrow of the installed checker *without* sealing it. Checkpoint
+    /// harnesses clone this alongside [`Self::snapshot`] — observers are not
+    /// part of the snapshot, so a resumed run re-installs the clone to carry
+    /// the checker's ledger across the restore boundary.
+    pub fn checker(&self) -> Option<&InvariantChecker> {
+        self.checker.as_ref()
     }
 
     /// A node's AODV counters (discoveries, RREQ/RREP/RERR sent, drops).
@@ -1700,6 +1713,400 @@ impl Simulator {
             };
             self.process_tcp_outputs(node, flow, outputs);
         }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Snapshot / restore (DESIGN.md §11)
+// ----------------------------------------------------------------------
+
+impl sim_core::Snapshotable for Event {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        // Tags match the `fold_event` numbering so the format and the trace
+        // digest stay aligned when a variant is added.
+        match self {
+            Event::RxStart { node, tx_id, end, decodable, power } => {
+                w.put_u8(1);
+                w.put(node);
+                w.put(tx_id);
+                w.put(end);
+                w.put_bool(*decodable);
+                w.put_f64(*power);
+            }
+            Event::RxEnd { node, tx_id, frame, in_rx_range } => {
+                w.put_u8(2);
+                w.put(node);
+                w.put(tx_id);
+                w.put(frame);
+                w.put_bool(*in_rx_range);
+            }
+            Event::TxDone { node } => {
+                w.put_u8(3);
+                w.put(node);
+            }
+            Event::MacTimer { node, id } => {
+                w.put_u8(4);
+                w.put(node);
+                w.put(id);
+            }
+            Event::AodvTimer { node, id } => {
+                w.put_u8(5);
+                w.put(node);
+                w.put(id);
+            }
+            Event::TcpTimer { node, flow, id } => {
+                w.put_u8(6);
+                w.put(node);
+                w.put(flow);
+                w.put(id);
+            }
+            Event::FlowStart { flow } => {
+                w.put_u8(7);
+                w.put(flow);
+            }
+            Event::JitteredEnqueue { node, packet, next_hop } => {
+                w.put_u8(8);
+                w.put(node);
+                w.put(packet);
+                w.put(next_hop);
+            }
+            Event::MobilityTick { node } => {
+                w.put_u8(9);
+                w.put(node);
+            }
+            Event::DelAckTimer { node, flow, id } => {
+                w.put_u8(10);
+                w.put(node);
+                w.put(flow);
+                w.put(id);
+            }
+            Event::Sample => w.put_u8(11),
+            Event::Fault { index } => {
+                w.put_u8(12);
+                w.put_usize(*index);
+            }
+        }
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        Ok(match r.take_u8()? {
+            1 => Event::RxStart {
+                node: r.get()?,
+                tx_id: r.get()?,
+                end: r.get()?,
+                decodable: r.take_bool()?,
+                power: r.take_f64()?,
+            },
+            2 => Event::RxEnd {
+                node: r.get()?,
+                tx_id: r.get()?,
+                frame: r.get()?,
+                in_rx_range: r.take_bool()?,
+            },
+            3 => Event::TxDone { node: r.get()? },
+            4 => Event::MacTimer { node: r.get()?, id: r.get()? },
+            5 => Event::AodvTimer { node: r.get()?, id: r.get()? },
+            6 => Event::TcpTimer { node: r.get()?, flow: r.get()?, id: r.get()? },
+            7 => Event::FlowStart { flow: r.get()? },
+            8 => Event::JitteredEnqueue {
+                node: r.get()?,
+                packet: r.get()?,
+                next_hop: r.get()?,
+            },
+            9 => Event::MobilityTick { node: r.get()? },
+            10 => Event::DelAckTimer { node: r.get()?, flow: r.get()?, id: r.get()? },
+            11 => Event::Sample,
+            12 => Event::Fault { index: r.take_usize()? },
+            _ => return Err(sim_core::SnapError::Invalid("event tag")),
+        })
+    }
+}
+
+impl sim_core::Snapshotable for NodeStatus {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put_u8(match self {
+            NodeStatus::Up => 0,
+            NodeStatus::Paused => 1,
+            NodeStatus::Killed => 2,
+        });
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        match r.take_u8()? {
+            0 => Ok(NodeStatus::Up),
+            1 => Ok(NodeStatus::Paused),
+            2 => Ok(NodeStatus::Killed),
+            _ => Err(sim_core::SnapError::Invalid("node status tag")),
+        }
+    }
+}
+
+impl sim_core::Snapshotable for RandomWaypoint {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put_f64(self.width_m);
+        w.put_f64(self.height_m);
+        w.put_f64(self.min_speed_mps);
+        w.put_f64(self.max_speed_mps);
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        let plan = RandomWaypoint {
+            width_m: r.take_f64()?,
+            height_m: r.take_f64()?,
+            min_speed_mps: r.take_f64()?,
+            max_speed_mps: r.take_f64()?,
+        };
+        let ok = plan.width_m > 0.0
+            && plan.height_m > 0.0
+            && plan.min_speed_mps > 0.0
+            && plan.min_speed_mps <= plan.max_speed_mps;
+        if !ok {
+            return Err(sim_core::SnapError::Invalid("random waypoint plan"));
+        }
+        Ok(plan)
+    }
+}
+
+impl sim_core::Snapshotable for Movement {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put(&self.target);
+        w.put_f64(self.speed_mps);
+        w.put(&self.plan);
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        let m = Movement { target: r.get()?, speed_mps: r.take_f64()?, plan: r.get()? };
+        if !(m.speed_mps > 0.0) {
+            return Err(sim_core::SnapError::Invalid("movement speed"));
+        }
+        Ok(m)
+    }
+}
+
+impl Node {
+    fn encode_state(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put(&self.phy);
+        w.put(&self.last_mac_stats);
+        self.mac.encode_state(w);
+        self.aodv.encode_state(w);
+        match &self.ifq {
+            Ifq::DropTail(q) => {
+                w.put_u8(0);
+                w.put(q);
+            }
+            Ifq::Red(q) => {
+                w.put_u8(1);
+                w.put(q);
+            }
+        }
+        self.router.encode_state(w);
+        w.put(&self.uid);
+        w.put(&self.busy);
+        w.put_usize(self.senders.len());
+        for (flow, ep) in self.senders.iter() {
+            w.put(flow);
+            w.put(&ep.dst);
+            w.put_usize(ep.traced_cwnd);
+            ep.transport.encode_state(w);
+        }
+        w.put_usize(self.receivers.len());
+        for (flow, ep) in self.receivers.iter() {
+            w.put(flow);
+            ep.receiver.encode_state(w);
+        }
+        w.put_u64(self.routing_drops);
+    }
+
+    /// Decodes one node's state. `flows` is the already-decoded flow table:
+    /// each serialized sender names its flow, whose spec determines which
+    /// transport variant to rebuild before restoring its state into it.
+    /// `index` is the node's own position, used to reject snapshots whose
+    /// endpoints landed on the wrong node.
+    fn decode_state(
+        r: &mut sim_core::SnapshotReader<'_>,
+        flows: &[FlowSpec],
+        index: usize,
+    ) -> Result<Node, sim_core::SnapError> {
+        let phy = r.get()?;
+        let last_mac_stats = r.get()?;
+        let mac = Mac::decode_state(r)?;
+        let aodv = Aodv::decode_state(r)?;
+        let ifq = match r.take_u8()? {
+            0 => Ifq::DropTail(r.get()?),
+            1 => Ifq::Red(r.get()?),
+            _ => return Err(sim_core::SnapError::Invalid("ifq discipline tag")),
+        };
+        let router = RouterAgent::decode_state(r)?;
+        let uid = r.get()?;
+        let busy = r.get()?;
+        let mut senders = DetMap::new();
+        for _ in 0..r.take_usize()? {
+            let flow: FlowId = r.get()?;
+            let dst: NodeId = r.get()?;
+            let traced_cwnd = r.take_usize()?;
+            let spec =
+                flows.get(flow.index()).ok_or(sim_core::SnapError::Invalid("sender flow id"))?;
+            if spec.src.index() != index || spec.dst != dst {
+                return Err(sim_core::SnapError::Invalid("sender endpoint mismatch"));
+            }
+            let mut transport = make_transport(flow, spec);
+            transport.restore_state(r)?;
+            senders.insert(flow, SenderEndpoint { dst, transport, traced_cwnd });
+        }
+        let mut receivers = DetMap::new();
+        for _ in 0..r.take_usize()? {
+            let flow: FlowId = r.get()?;
+            let spec =
+                flows.get(flow.index()).ok_or(sim_core::SnapError::Invalid("receiver flow id"))?;
+            if spec.dst.index() != index {
+                return Err(sim_core::SnapError::Invalid("receiver endpoint mismatch"));
+            }
+            receivers.insert(flow, ReceiverEndpoint { receiver: TcpReceiver::decode_state(r)? });
+        }
+        let routing_drops = r.take_u64()?;
+        Ok(Node {
+            phy,
+            last_mac_stats,
+            mac,
+            aodv,
+            ifq,
+            router,
+            uid,
+            busy,
+            senders,
+            receivers,
+            routing_drops,
+        })
+    }
+}
+
+impl Simulator {
+    /// Fingerprint of the run's immutable configuration: the `Debug`
+    /// rendering of [`SimConfig`] plus the node count, folded through the
+    /// trace hash. Snapshots embed it because the configuration itself is
+    /// *not* serialized — [`Self::restore`] targets a simulator rebuilt with
+    /// the same config, and refuses bytes taken under a different one.
+    fn cfg_fingerprint(&self) -> u64 {
+        let mut h = TraceHash::new();
+        h.write_str(&format!("{:?}", self.cfg)).write_u64(self.nodes.len() as u64);
+        h.digest()
+    }
+
+    /// Serializes the complete mutable simulation state — event queue, RNG,
+    /// trace-hash accumulator, every layer of every node, flow transports,
+    /// mobility, fault state and work counters — into the versioned snapshot
+    /// format. Observers (tracer, trace log, checker, tie-order hook) are
+    /// not part of the simulation state and are not captured.
+    ///
+    /// A restore of these bytes into a freshly built simulator with the same
+    /// topology, config and flow set continues the run bit-identically: same
+    /// trace hash, same perf counters, same trace records.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = sim_core::SnapshotWriter::with_header();
+        w.put_u64(self.cfg_fingerprint());
+        w.put(&self.now);
+        w.put_u64(self.next_tx_id);
+        w.put(&self.rng);
+        w.put(&self.trace_hash);
+        w.put(&self.flows);
+        w.put(&self.events);
+        w.put(&self.channel);
+        w.put_usize(self.nodes.len());
+        for node in &self.nodes {
+            node.encode_state(&mut w);
+        }
+        w.put(&self.movements);
+        w.put(&self.scripted_faults);
+        w.put(&self.node_status);
+        w.put(&self.deferred);
+        w.put(&self.ge_episode);
+        w.put(&self.ge_states);
+        w.put(&self.blackholes);
+        w.put(&self.saturated);
+        w.put(&self.scripted_down);
+        w.put(&self.perf);
+        w.finish()
+    }
+
+    /// Restores state captured by [`Self::snapshot`] into this simulator.
+    ///
+    /// The simulator must have been built with the same [`SimConfig`] and
+    /// node count as the one that produced the bytes (checked via the
+    /// embedded fingerprint). Everything mutable is overwritten; installed
+    /// observers (tracer, trace log, checker, tie-order hook) are left as
+    /// they are. All decoding completes before any state is touched, so a
+    /// failed restore leaves the simulator unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Any [`sim_core::SnapError`]: truncated or trailing bytes, a foreign
+    /// or version-bumped header, out-of-domain fields, or a configuration
+    /// fingerprint mismatch.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), sim_core::SnapError> {
+        let mut r = sim_core::SnapshotReader::with_header(bytes)?;
+        let fingerprint = r.take_u64()?;
+        let own = self.cfg_fingerprint();
+        if fingerprint != own {
+            return Err(sim_core::SnapError::Mismatch(format!(
+                "snapshot config fingerprint {fingerprint:#018x} != simulator's {own:#018x}"
+            )));
+        }
+        let now: SimTime = r.get()?;
+        let next_tx_id = r.take_u64()?;
+        let rng: SimRng = r.get()?;
+        let trace_hash: TraceHash = r.get()?;
+        let flows: Vec<FlowSpec> = r.get()?;
+        let events: DriverQueue<Event> = r.get()?;
+        let channel: Channel = r.get()?;
+        let node_count = r.take_usize()?;
+        if node_count != self.nodes.len() || channel.node_count() != node_count {
+            return Err(sim_core::SnapError::Invalid("node count mismatch"));
+        }
+        for spec in &flows {
+            if spec.src.index() >= node_count || spec.dst.index() >= node_count {
+                return Err(sim_core::SnapError::Invalid("flow endpoint out of range"));
+            }
+        }
+        let mut nodes = Vec::with_capacity(node_count);
+        for i in 0..node_count {
+            nodes.push(Node::decode_state(&mut r, &flows, i)?);
+        }
+        let movements: DetMap<NodeId, Movement> = r.get()?;
+        let scripted_faults: Vec<TimedFault> = r.get()?;
+        let node_status: Vec<NodeStatus> = r.get()?;
+        let deferred: Vec<Vec<Event>> = r.get()?;
+        let ge_episode: Option<GilbertElliott> = r.get()?;
+        let ge_states: Vec<GeState> = r.get()?;
+        if node_status.len() != node_count
+            || deferred.len() != node_count
+            || ge_states.len() != node_count
+        {
+            return Err(sim_core::SnapError::Invalid("per-node vector length"));
+        }
+        let blackholes: DetSet<NodeId> = r.get()?;
+        let saturated: DetMap<NodeId, usize> = r.get()?;
+        let scripted_down: DetSet<(NodeId, NodeId)> = r.get()?;
+        let perf: RunPerf = r.get()?;
+        r.finish()?;
+        self.now = now;
+        self.next_tx_id = next_tx_id;
+        self.rng = rng;
+        self.trace_hash = trace_hash;
+        self.flows = flows;
+        self.events = events;
+        self.channel = channel;
+        self.nodes = nodes;
+        self.movements = movements;
+        self.scripted_faults = scripted_faults;
+        self.node_status = node_status;
+        self.deferred = deferred;
+        self.ge_episode = ge_episode;
+        self.ge_states = ge_states;
+        self.blackholes = blackholes;
+        self.saturated = saturated;
+        self.scripted_down = scripted_down;
+        self.perf = perf;
+        Ok(())
     }
 }
 

@@ -194,6 +194,40 @@ impl Channel {
     }
 }
 
+impl sim_core::Snapshotable for Channel {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        // The rx/cs adjacency lists are derived caches: recomputed on
+        // decode from positions + params + fault state.
+        w.put(&self.params);
+        w.put(&self.positions);
+        w.put(&self.disabled);
+        w.put(&self.blocked);
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        let params: RadioParams = r.get()?;
+        let positions: Vec<Position> = r.get()?;
+        let disabled: Vec<bool> = r.get()?;
+        let blocked: DetSet<(NodeId, NodeId)> = r.get()?;
+        if disabled.len() != positions.len() {
+            return Err(sim_core::SnapError::Invalid("channel disabled-flag count"));
+        }
+        if positions.len() >= usize::from(u16::MAX) {
+            return Err(sim_core::SnapError::Invalid("channel node count"));
+        }
+        let mut ch = Channel {
+            params,
+            positions,
+            rx_neighbors: Vec::new(),
+            cs_neighbors: Vec::new(),
+            disabled,
+            blocked,
+        };
+        ch.recompute();
+        Ok(ch)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,6 +34,17 @@ impl Position {
     }
 }
 
+impl sim_core::Snapshotable for Position {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put_f64(self.x);
+        w.put_f64(self.y);
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        Ok(Position { x: r.take_f64()?, y: r.take_f64()? })
+    }
+}
+
 impl fmt::Display for Position {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "({:.1}, {:.1})", self.x, self.y)

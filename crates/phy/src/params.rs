@@ -63,6 +63,15 @@ impl RadioParams {
         assert!((0.0..=1.0).contains(&self.per_frame_loss), "loss probability must be in [0, 1]");
     }
 
+    /// Total decode-side mirror of [`Self::validate`] for snapshot restore.
+    fn is_consistent(&self) -> bool {
+        self.data_rate_bps > 0
+            && self.basic_rate_bps > 0
+            && self.tx_range_m > 0.0
+            && self.cs_range_m >= self.tx_range_m
+            && (0.0..=1.0).contains(&self.per_frame_loss)
+    }
+
     /// Airtime of a DATA frame of `bytes` bytes (PLCP + payload at the data
     /// rate).
     pub fn data_tx_time(&self, bytes: u32) -> SimDuration {
@@ -89,6 +98,32 @@ impl RadioParams {
     pub fn rx_power(&self, distance_m: f64) -> f64 {
         let d = distance_m.max(1.0);
         (self.tx_range_m / d).powi(4)
+    }
+}
+
+impl sim_core::Snapshotable for RadioParams {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put_u64(self.data_rate_bps);
+        w.put_u64(self.basic_rate_bps);
+        w.put(&self.plcp_overhead);
+        w.put_f64(self.tx_range_m);
+        w.put_f64(self.cs_range_m);
+        w.put_f64(self.per_frame_loss);
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        let p = RadioParams {
+            data_rate_bps: r.take_u64()?,
+            basic_rate_bps: r.take_u64()?,
+            plcp_overhead: r.get()?,
+            tx_range_m: r.take_f64()?,
+            cs_range_m: r.take_f64()?,
+            per_frame_loss: r.take_f64()?,
+        };
+        if !p.is_consistent() {
+            return Err(sim_core::SnapError::Invalid("radio params"));
+        }
+        Ok(p)
     }
 }
 

@@ -176,6 +176,52 @@ impl PhyState {
     }
 }
 
+impl sim_core::Snapshotable for TxId {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put_u64(self.0);
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        Ok(TxId(r.take_u64()?))
+    }
+}
+
+impl sim_core::Snapshotable for Reception {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put(&self.tx_id);
+        w.put_bool(self.decodable);
+        w.put_bool(self.corrupted);
+        w.put_f64(self.power);
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        Ok(Reception {
+            tx_id: r.get()?,
+            decodable: r.take_bool()?,
+            corrupted: r.take_bool()?,
+            power: r.take_f64()?,
+        })
+    }
+}
+
+impl sim_core::Snapshotable for PhyState {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put(&self.transmitting_until);
+        w.put(&self.receptions);
+        w.put(&self.energy_until);
+        w.put_f64(self.capture_ratio);
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        Ok(PhyState {
+            transmitting_until: r.get()?,
+            receptions: r.get()?,
+            energy_until: r.get()?,
+            capture_ratio: r.take_f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

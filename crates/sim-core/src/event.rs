@@ -361,6 +361,44 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+impl<E> EventQueue<E> {
+    /// Every pending entry as `(time, seq, event)` in `(time, seq)` order —
+    /// the canonical form the snapshot codec stores. Calendar internals
+    /// (bucket layout, width, gap EWMA) are deliberately not part of it:
+    /// they are a performance cache, rebuilt on restore, and the pop order
+    /// depends only on `(time, seq)`.
+    fn snapshot_entries(&self) -> Vec<(SimTime, u64, &E)> {
+        let mut all: Vec<(SimTime, u64, &E)> =
+            self.buckets.iter().flatten().map(|e| (e.time, e.seq, &e.event)).collect();
+        all.sort_unstable_by_key(|&(time, seq, _)| (time, seq));
+        all
+    }
+
+    /// Rebuilds a queue from its canonical snapshot form. Entries must
+    /// arrive in `(time, seq)` order at or after `last_popped`; sequence
+    /// numbers are preserved so FIFO ties replay identically.
+    fn from_restored(last_popped: SimTime, next_seq: u64, entries: Vec<(SimTime, u64, E)>) -> Self
+    where
+        E: Debug,
+    {
+        let mut q = EventQueue::new();
+        q.last_popped = last_popped;
+        q.cursor = q.bucket_of(last_popped);
+        q.year_end = q.window_end(last_popped);
+        for (time, seq, event) in entries {
+            if q.len + 1 > q.buckets.len() * 2 {
+                q.resize(q.buckets.len() * 2);
+            }
+            let bucket = q.bucket_of(time);
+            Self::insert_sorted(&mut q.buckets[bucket], Entry { time, seq, event });
+            q.len += 1;
+        }
+        q.hint.set(None);
+        q.next_seq = next_seq;
+        q
+    }
+}
+
 /// The original `BinaryHeap`-backed queue: same contract as [`EventQueue`]
 /// (time order, FIFO ties, monotonic push), O(log n) push/pop. Kept as the
 /// reference implementation the differential property tests and the
@@ -477,6 +515,25 @@ impl<E> Default for HeapQueue<E> {
     }
 }
 
+impl<E> HeapQueue<E> {
+    /// Pending entries in `(time, seq)` order (see
+    /// [`EventQueue::snapshot_entries`]).
+    fn snapshot_entries(&self) -> Vec<(SimTime, u64, &E)> {
+        let mut all: Vec<(SimTime, u64, &E)> =
+            self.heap.iter().map(|e| (e.time, e.seq, &e.event)).collect();
+        all.sort_unstable_by_key(|&(time, seq, _)| (time, seq));
+        all
+    }
+
+    /// Rebuilds a queue from its canonical snapshot form with sequence
+    /// numbers preserved.
+    fn from_restored(last_popped: SimTime, next_seq: u64, entries: Vec<(SimTime, u64, E)>) -> Self {
+        let heap =
+            entries.into_iter().map(|(time, seq, event)| Entry { time, seq, event }).collect();
+        HeapQueue { heap, next_seq, last_popped }
+    }
+}
+
 /// Which scheduler backs a simulation's event queue.
 ///
 /// The two are contractually identical (the scenario corpus asserts equal
@@ -579,6 +636,54 @@ impl<E: Debug> DriverQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl<E: crate::Snapshotable + Debug> crate::Snapshotable for DriverQueue<E> {
+    fn encode(&self, w: &mut crate::SnapshotWriter) {
+        let (kind, last_popped, next_seq, entries) = match self {
+            DriverQueue::Calendar(q) => (0u8, q.last_popped, q.next_seq, q.snapshot_entries()),
+            DriverQueue::Heap(q) => (1u8, q.last_popped, q.next_seq, q.snapshot_entries()),
+        };
+        w.put_u8(kind);
+        w.put(&last_popped);
+        w.put_u64(next_seq);
+        w.put_usize(entries.len());
+        for (time, seq, event) in entries {
+            w.put(&time);
+            w.put_u64(seq);
+            event.encode(w);
+        }
+    }
+
+    fn decode(r: &mut crate::SnapshotReader<'_>) -> Result<Self, crate::SnapError> {
+        let kind = r.take_u8()?;
+        let last_popped: SimTime = r.get()?;
+        let next_seq = r.take_u64()?;
+        let count = r.take_usize()?;
+        let mut entries: Vec<(SimTime, u64, E)> = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            let time: SimTime = r.get()?;
+            let seq = r.take_u64()?;
+            let event = E::decode(r)?;
+            if time < last_popped {
+                return Err(crate::SnapError::Invalid("queued event before now"));
+            }
+            if seq >= next_seq {
+                return Err(crate::SnapError::Invalid("queued event seq from the future"));
+            }
+            if let Some(&(pt, ps, _)) = entries.last() {
+                if (time, seq) <= (pt, ps) {
+                    return Err(crate::SnapError::Invalid("queue entries out of order"));
+                }
+            }
+            entries.push((time, seq, event));
+        }
+        match kind {
+            0 => Ok(DriverQueue::Calendar(EventQueue::from_restored(last_popped, next_seq, entries))),
+            1 => Ok(DriverQueue::Heap(HeapQueue::from_restored(last_popped, next_seq, entries))),
+            _ => Err(crate::SnapError::Invalid("scheduler kind tag")),
+        }
     }
 }
 

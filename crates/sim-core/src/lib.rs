@@ -36,6 +36,7 @@ mod event;
 mod perf;
 mod rng;
 mod smallvec;
+pub mod snapshot;
 pub mod stats;
 mod tie;
 mod time;
@@ -47,6 +48,9 @@ pub use event::{DriverQueue, EventQueue, HeapQueue, SchedulerKind};
 pub use perf::RunPerf;
 pub use rng::SimRng;
 pub use smallvec::SmallVec;
+pub use snapshot::{
+    SnapError, Snapshotable, SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use tie::{TieChoice, TieClass, TieKind, TieOrder};
 pub use time::{SimDuration, SimTime};
 pub use timer::{TimerHandle, TimerSlab};

@@ -108,6 +108,24 @@ impl SimRng {
     }
 }
 
+impl crate::Snapshotable for SimRng {
+    fn encode(&self, w: &mut crate::SnapshotWriter) {
+        w.put_u64(self.s0);
+        w.put_u64(self.s1);
+        w.put_u64(self.s2);
+        w.put_u64(self.s3);
+    }
+
+    fn decode(r: &mut crate::SnapshotReader<'_>) -> Result<Self, crate::SnapError> {
+        Ok(SimRng {
+            s0: r.take_u64()?,
+            s1: r.take_u64()?,
+            s2: r.take_u64()?,
+            s3: r.take_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

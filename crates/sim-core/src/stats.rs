@@ -69,6 +69,22 @@ impl Ewma {
     }
 }
 
+impl crate::Snapshotable for Ewma {
+    fn encode(&self, w: &mut crate::SnapshotWriter) {
+        w.put_f64(self.alpha);
+        w.put_f64(self.value);
+        w.put_bool(self.initialised);
+    }
+
+    fn decode(r: &mut crate::SnapshotReader<'_>) -> Result<Self, crate::SnapError> {
+        let alpha = r.take_f64()?;
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(crate::SnapError::Invalid("ewma alpha"));
+        }
+        Ok(Ewma { alpha, value: r.take_f64()?, initialised: r.take_bool()? })
+    }
+}
+
 /// A time series of `(time, value)` samples, e.g. a congestion-window trace.
 ///
 /// # Example
@@ -171,6 +187,20 @@ impl TimeSeries {
         } else {
             Some(weighted / covered.as_secs_f64())
         }
+    }
+}
+
+impl crate::Snapshotable for TimeSeries {
+    fn encode(&self, w: &mut crate::SnapshotWriter) {
+        w.put(&self.samples);
+    }
+
+    fn decode(r: &mut crate::SnapshotReader<'_>) -> Result<Self, crate::SnapError> {
+        let samples: Vec<(SimTime, f64)> = r.get()?;
+        if samples.windows(2).any(|p| matches!(p, [a, b] if b.0 < a.0)) {
+            return Err(crate::SnapError::Invalid("time series out of order"));
+        }
+        Ok(TimeSeries { samples })
     }
 }
 

@@ -112,6 +112,40 @@ impl TimerSlab {
     }
 }
 
+impl crate::Snapshotable for TimerHandle {
+    fn encode(&self, w: &mut crate::SnapshotWriter) {
+        w.put_u32(self.slot);
+        w.put_u64(self.generation);
+    }
+
+    fn decode(r: &mut crate::SnapshotReader<'_>) -> Result<Self, crate::SnapError> {
+        Ok(TimerHandle { slot: r.take_u32()?, generation: r.take_u64()? })
+    }
+}
+
+impl crate::Snapshotable for TimerSlab {
+    fn encode(&self, w: &mut crate::SnapshotWriter) {
+        w.put(&self.generations);
+        w.put(&self.free);
+        w.put_u64(self.scheduled);
+        w.put_u64(self.cancelled);
+    }
+
+    fn decode(r: &mut crate::SnapshotReader<'_>) -> Result<Self, crate::SnapError> {
+        let generations: Vec<u64> = r.get()?;
+        let free: Vec<u32> = r.get()?;
+        // Free-list entries must point at even-generation (free) slots, or a
+        // corrupted snapshot could hand out a slot twice.
+        for &slot in &free {
+            match generations.get(slot as usize) {
+                Some(g) if g % 2 == 0 => {}
+                _ => return Err(crate::SnapError::Invalid("timer free-list slot")),
+            }
+        }
+        Ok(TimerSlab { generations, free, scheduled: r.take_u64()?, cancelled: r.take_u64()? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +188,36 @@ mod tests {
         assert!(!slab.is_live(b));
     }
 
+    /// Builds a slab whose only slot already sits at `generation` — the
+    /// state a very long run reaches after ~`generation` schedule/retire
+    /// cycles — without paying for the cycles.
+    fn slab_at_generation(generation: u64) -> TimerSlab {
+        assert!(generation % 2 == 0, "a free slot has an even generation");
+        TimerSlab {
+            generations: vec![generation],
+            free: vec![0],
+            scheduled: generation / 2,
+            cancelled: 0,
+        }
+    }
+
+    #[test]
+    fn generation_past_u32_max_never_aliases() {
+        // Generations are u64 precisely so that a slot recycled more than
+        // u32::MAX times cannot wrap back onto a stale handle's generation.
+        // Start a slot just below the u32 boundary and drive it across it.
+        let mut slab = slab_at_generation(u64::from(u32::MAX) - 1);
+        let old = slab.schedule(); // generation u32::MAX (odd, live)
+        assert!(slab.is_live(old));
+        assert!(slab.cancel(old));
+        let next = slab.schedule(); // generation u32::MAX + 1 wraps in u32, not u64
+        assert!(!slab.is_live(old), "stale handle revalidated across u32::MAX");
+        assert!(slab.is_live(next));
+        assert_ne!(old, next);
+        assert!(!slab.fire(old), "stale fire must stay a no-op");
+        assert!(slab.fire(next));
+    }
+
     #[test]
     fn many_interleaved_timers() {
         let mut slab = TimerSlab::new();
@@ -173,5 +237,53 @@ mod tests {
         }
         assert_eq!(slab.live(), 0);
         assert_eq!(slab.scheduled_count(), 100);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Drive one slot through schedule/retire cycles that straddle
+        /// u32::MAX-adjacent generation counts (seeded high so the boundary
+        /// is actually crossed): no handle retired along the way may ever
+        /// revalidate, no matter how the cycle count lands relative to the
+        /// wrap point. Would fail if generations were compared modulo 2^32.
+        #[test]
+        fn stale_handles_stay_dead_across_u32_boundary(
+            offset in 0u64..8,
+            cycles in 1usize..24,
+            cancel_mask in 0u32..(1 << 24),
+        ) {
+            let start = (u64::from(u32::MAX) - 8 + offset) & !1; // even: free slot
+            let mut slab = TimerSlab {
+                generations: vec![start],
+                free: vec![0],
+                scheduled: start / 2,
+                cancelled: 0,
+            };
+            let mut retired: Vec<TimerHandle> = Vec::new();
+            for round in 0..cycles {
+                let h = slab.schedule();
+                prop_assert!(slab.is_live(h));
+                for old in &retired {
+                    prop_assert!(!slab.is_live(*old),
+                        "handle {old:?} revalidated at round {round}");
+                    prop_assert_ne!(*old, h, "recycled slot aliased a stale handle");
+                }
+                if cancel_mask & (1 << round) != 0 {
+                    prop_assert!(slab.cancel(h));
+                } else {
+                    prop_assert!(slab.fire(h));
+                }
+                retired.push(h);
+                for old in &retired {
+                    prop_assert!(!slab.fire(*old), "stale fire succeeded");
+                }
+            }
+            prop_assert_eq!(slab.live(), 0);
+        }
     }
 }

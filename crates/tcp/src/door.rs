@@ -91,6 +91,13 @@ impl DoorSender {
                 self.cwnd = self.cwnd.max(red.prev_cwnd);
                 self.ssthresh = self.ssthresh.max(red.prev_ssthresh);
                 self.last_reduction = None;
+                // The fast-recovery episode born of that misread reduction
+                // ends with it. Leaving `recovery_point` set would hand the
+                // restored ssthresh to the episode's exit deflation
+                // (`cwnd = ssthresh` on the next full ACK), silently
+                // re-applying — or wildly overshooting — the undone cut.
+                self.recovery_point = None;
+                self.s.dupacks = 0;
             }
         }
         // And don't react to the disorder that is still in flight.
@@ -271,6 +278,46 @@ impl Transport for DoorSender {
             "congestion-avoidance"
         }
     }
+
+    fn encode_state(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put(&self.s);
+        w.put_f64(self.cwnd);
+        w.put_f64(self.ssthresh);
+        w.put(&self.recovery_point);
+        w.put(&self.cc_disabled_until);
+        w.put(&self.last_reduction);
+        w.put_u64(self.ooo_events);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sim_core::SnapshotReader<'_>,
+    ) -> Result<(), sim_core::SnapError> {
+        self.s = r.get()?;
+        self.cwnd = r.take_f64()?;
+        self.ssthresh = r.take_f64()?;
+        self.recovery_point = r.get()?;
+        self.cc_disabled_until = r.get()?;
+        self.last_reduction = r.get()?;
+        self.ooo_events = r.take_u64()?;
+        Ok(())
+    }
+}
+
+impl sim_core::Snapshotable for Reduction {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put(&self.at);
+        w.put_f64(self.prev_cwnd);
+        w.put_f64(self.prev_ssthresh);
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        Ok(Reduction {
+            at: r.get()?,
+            prev_cwnd: r.take_f64()?,
+            prev_ssthresh: r.take_f64()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -352,6 +399,35 @@ mod tests {
         let _ = tx.on_ack_segment(&ooo_ack(3), t(320));
         assert!(tx.cwnd() >= before.0, "cwnd restored: {}", tx.cwnd());
         assert!(tx.ssthresh >= before.1, "ssthresh restored");
+    }
+
+    #[test]
+    fn ooo_during_fast_recovery_ends_the_episode() {
+        let mut tx = mk();
+        grow(&mut tx); // cwnd 4, ssthresh 64, una 3, nxt 7
+        let before = (tx.cwnd(), tx.ssthresh);
+        for _ in 0..3 {
+            let _ = tx.on_ack_segment(&ack(3), t(300));
+        }
+        assert!(tx.in_fast_recovery());
+        assert!(tx.ssthresh < before.1, "episode opened with a reduction");
+        // OOO inside T2 undoes the reduction — and must end the episode
+        // that reduction opened, or the next full ACK would set
+        // cwnd = (restored) ssthresh: a silent re-reduction when ssthresh
+        // was low, a wild inflation when it was restored high.
+        let _ = tx.on_ack_segment(&ooo_ack(3), t(320));
+        assert!(!tx.in_fast_recovery(), "instant recovery must exit fast recovery");
+        assert!(tx.ssthresh >= before.1, "ssthresh restored");
+        assert!(tx.cwnd() >= before.0, "cwnd restored");
+        let cw = tx.cwnd();
+        let out = tx.on_ack_segment(&ack(7), t(340));
+        assert!(!tx.in_fast_recovery());
+        assert!(
+            (tx.cwnd() - (cw + 1.0)).abs() < 1e-9,
+            "full ACK grows normally instead of jumping to ssthresh: cwnd {}",
+            tx.cwnd()
+        );
+        assert!(!out.is_empty(), "flow keeps sending after the episode");
     }
 
     #[test]

@@ -113,4 +113,57 @@ pub trait Transport: std::fmt::Debug {
             None => "steady",
         }
     }
+
+    /// Serialises the sender's complete mutable state (sequence space,
+    /// congestion state, RTT estimator, timer bookkeeping, traces) into
+    /// `w`. Object-safe counterpart of [`sim_core::Snapshotable::encode`]
+    /// for trait-object transports.
+    fn encode_state(&self, w: &mut sim_core::SnapshotWriter);
+
+    /// Overwrites this sender's mutable state from bytes written by
+    /// [`Transport::encode_state`] on a sender of the same variant.
+    /// The caller (the simulator's restore path) reconstructs the right
+    /// variant from the serialized flow table first, so a tag mismatch
+    /// here means a corrupted snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Any [`sim_core::SnapError`] on truncated or out-of-domain input;
+    /// `self` may be partially overwritten on error and must be discarded.
+    fn restore_state(
+        &mut self,
+        r: &mut sim_core::SnapshotReader<'_>,
+    ) -> Result<(), sim_core::SnapError>;
+}
+
+impl sim_core::Snapshotable for TcpTimer {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put_u64(self.0);
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        Ok(TcpTimer(r.take_u64()?))
+    }
+}
+
+impl sim_core::Snapshotable for TcpStats {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put_u64(self.segments_sent);
+        w.put_u64(self.retransmissions);
+        w.put_u64(self.timeouts);
+        w.put_u64(self.fast_retransmits);
+        w.put_u64(self.acked_segments);
+        w.put_u64(self.dupacks);
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        Ok(TcpStats {
+            segments_sent: r.take_u64()?,
+            retransmissions: r.take_u64()?,
+            timeouts: r.take_u64()?,
+            fast_retransmits: r.take_u64()?,
+            acked_segments: r.take_u64()?,
+            dupacks: r.take_u64()?,
+        })
+    }
 }

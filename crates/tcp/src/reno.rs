@@ -296,6 +296,38 @@ impl Transport for RenoSender {
             "congestion-avoidance"
         }
     }
+
+    fn encode_state(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put_u8(match self.flavor {
+            RenoFlavor::Tahoe => 0,
+            RenoFlavor::Reno => 1,
+            RenoFlavor::NewReno => 2,
+        });
+        w.put(&self.s);
+        w.put_f64(self.cwnd);
+        w.put_f64(self.ssthresh);
+        w.put(&self.recovery_point);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sim_core::SnapshotReader<'_>,
+    ) -> Result<(), sim_core::SnapError> {
+        let flavor = match r.take_u8()? {
+            0 => RenoFlavor::Tahoe,
+            1 => RenoFlavor::Reno,
+            2 => RenoFlavor::NewReno,
+            _ => return Err(sim_core::SnapError::Invalid("reno flavor tag")),
+        };
+        if flavor != self.flavor {
+            return Err(sim_core::SnapError::Invalid("reno flavor mismatch"));
+        }
+        self.s = r.get()?;
+        self.cwnd = r.take_f64()?;
+        self.ssthresh = r.take_f64()?;
+        self.recovery_point = r.get()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -93,6 +93,32 @@ impl RttEstimator {
     }
 }
 
+impl sim_core::Snapshotable for RttEstimator {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put(&self.srtt);
+        w.put(&self.rttvar);
+        w.put(&self.initial_rto);
+        w.put(&self.min_rto);
+        w.put(&self.max_rto);
+        w.put_u32(self.backoff);
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        let est = RttEstimator {
+            srtt: r.get()?,
+            rttvar: r.get()?,
+            initial_rto: r.get()?,
+            min_rto: r.get()?,
+            max_rto: r.get()?,
+            backoff: r.take_u32()?,
+        };
+        if est.backoff > 16 {
+            return Err(sim_core::SnapError::Invalid("rtt backoff exponent"));
+        }
+        Ok(est)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +179,67 @@ mod tests {
         }
         assert_eq!(e.rto(), SimDuration::from_secs(60)); // max clamp
         assert_eq!(e.backoff_level(), 16);
+    }
+
+    /// Audit pin for the backoff arithmetic: `rto()` computes
+    /// `base.saturating_mul(1u64 << backoff.min(16)).min(max_rto)`. The
+    /// shift operand is clamped to 16 *before* shifting (so the multiplier
+    /// is at most 65536 and the shift itself can never be UB), the multiply
+    /// saturates instead of wrapping, and the max-RTO clamp is applied
+    /// *after* the shifted multiply — boundary levels 15, 16 and 17 all
+    /// land exactly on `max_rto` once the doubled base crosses it.
+    #[test]
+    fn backoff_boundary_levels_15_16_17_clamp_after_shift() {
+        // An uncapped estimator (huge max_rto) shows the raw doubling...
+        let mut raw = RttEstimator::new(
+            SimDuration::from_secs(3),
+            SimDuration::from_millis(200),
+            SimDuration::MAX,
+        );
+        raw.sample(SimDuration::from_millis(100)); // base RTO 300 ms
+        for _ in 0..15 {
+            raw.back_off();
+        }
+        assert_eq!(raw.backoff_level(), 15);
+        assert_eq!(raw.rto(), SimDuration::from_millis(300 << 15));
+        raw.back_off();
+        assert_eq!(raw.backoff_level(), 16);
+        assert_eq!(raw.rto(), SimDuration::from_millis(300 << 16));
+        // A 17th timeout must not shift further: the exponent pins at 16.
+        raw.back_off();
+        assert_eq!(raw.backoff_level(), 16, "backoff exponent saturates at 16");
+        assert_eq!(raw.rto(), SimDuration::from_millis(300 << 16));
+
+        // ...and a bounded estimator clamps those same levels to max_rto.
+        let mut capped = est(); // max_rto 60 s < 300 ms << 15
+        capped.sample(SimDuration::from_millis(100));
+        for level in [15u32, 16, 17] {
+            while capped.backoff_level() < level.min(16) {
+                capped.back_off();
+            }
+            assert_eq!(
+                capped.rto(),
+                SimDuration::from_secs(60),
+                "level {level} must clamp to max_rto after the shift"
+            );
+        }
+    }
+
+    /// A base RTO large enough that even a small shift overflows u64 must
+    /// saturate (and then clamp), never wrap to a tiny RTO.
+    #[test]
+    fn backoff_overflow_saturates_instead_of_wrapping() {
+        let mut e = RttEstimator::new(
+            SimDuration::from_secs(3),
+            SimDuration::from_millis(200),
+            SimDuration::MAX,
+        );
+        // srtt ≈ 2^60 ns: at backoff 16 the multiply exceeds u64::MAX.
+        e.sample(SimDuration::from_nanos(1u64 << 60));
+        for _ in 0..16 {
+            e.back_off();
+        }
+        assert_eq!(e.rto(), SimDuration::MAX, "saturation, not wraparound");
     }
 
     #[test]

@@ -255,6 +255,28 @@ impl Transport for SackSender {
             "congestion-avoidance"
         }
     }
+
+    fn encode_state(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put(&self.s);
+        w.put_f64(self.cwnd);
+        w.put_f64(self.ssthresh);
+        w.put(&self.scoreboard);
+        w.put(&self.recovery_point);
+        w.put(&self.retransmitted);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sim_core::SnapshotReader<'_>,
+    ) -> Result<(), sim_core::SnapError> {
+        self.s = r.get()?;
+        self.cwnd = r.take_f64()?;
+        self.ssthresh = r.take_f64()?;
+        self.scoreboard = r.get()?;
+        self.recovery_point = r.get()?;
+        self.retransmitted = r.get()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -258,6 +258,39 @@ impl Transport for VegasSender {
             "congestion-avoidance"
         }
     }
+
+    fn encode_state(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put(&self.s);
+        w.put(&self.vcfg);
+        w.put_f64(self.cwnd);
+        w.put_u8(match self.mode {
+            Mode::SlowStart => 0,
+            Mode::CongestionAvoidance => 1,
+        });
+        w.put(&self.base_rtt);
+        w.put(&self.last_rtt);
+        w.put_u64(self.round_end);
+        w.put_u64(self.rounds);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sim_core::SnapshotReader<'_>,
+    ) -> Result<(), sim_core::SnapError> {
+        self.s = r.get()?;
+        self.vcfg = r.get()?;
+        self.cwnd = r.take_f64()?;
+        self.mode = match r.take_u8()? {
+            0 => Mode::SlowStart,
+            1 => Mode::CongestionAvoidance,
+            _ => return Err(sim_core::SnapError::Invalid("vegas mode tag")),
+        };
+        self.base_rtt = r.get()?;
+        self.last_rtt = r.get()?;
+        self.round_end = r.take_u64()?;
+        self.rounds = r.take_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

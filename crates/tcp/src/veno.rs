@@ -251,6 +251,32 @@ impl Transport for VenoSender {
             "congestion-avoidance"
         }
     }
+
+    fn encode_state(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put(&self.s);
+        w.put_f64(self.cwnd);
+        w.put_f64(self.ssthresh);
+        w.put_f64(self.beta);
+        w.put(&self.base_rtt);
+        w.put(&self.last_rtt);
+        w.put(&self.recovery_point);
+        w.put_u64(self.ca_acks);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sim_core::SnapshotReader<'_>,
+    ) -> Result<(), sim_core::SnapError> {
+        self.s = r.get()?;
+        self.cwnd = r.take_f64()?;
+        self.ssthresh = r.take_f64()?;
+        self.beta = r.take_f64()?;
+        self.base_rtt = r.get()?;
+        self.last_rtt = r.get()?;
+        self.recovery_point = r.get()?;
+        self.ca_acks = r.take_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -272,6 +272,34 @@ impl Transport for WestwoodSender {
             "congestion-avoidance"
         }
     }
+
+    fn encode_state(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put(&self.s);
+        w.put_f64(self.cwnd);
+        w.put_f64(self.ssthresh);
+        w.put_f64(self.bwe);
+        w.put(&self.rtt_min);
+        w.put_u64(self.round_acked);
+        w.put(&self.round_start);
+        w.put_u64(self.round_end);
+        w.put(&self.recovery_point);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut sim_core::SnapshotReader<'_>,
+    ) -> Result<(), sim_core::SnapError> {
+        self.s = r.get()?;
+        self.cwnd = r.take_f64()?;
+        self.ssthresh = r.take_f64()?;
+        self.bwe = r.take_f64()?;
+        self.rtt_min = r.get()?;
+        self.round_acked = r.take_u64()?;
+        self.round_start = r.get()?;
+        self.round_end = r.take_u64()?;
+        self.recovery_point = r.get()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@ mod ids;
 mod ip;
 mod mac;
 mod shared;
+mod snap;
 mod tcp_seg;
 
 pub use aodv_msg::{AodvMessage, Hello, RouteError, RouteReply, RouteRequest};

@@ -40,7 +40,8 @@ pub mod sim {
     pub use sim_core::stats;
     pub use sim_core::{
         twin_run, DriverQueue, EventQueue, HeapQueue, RunPerf, SchedulerKind, SimDuration, SimRng,
-        SimTime, TieChoice, TieClass, TieKind, TieOrder, TimerHandle, TimerSlab, TraceHash,
+        SimTime, SnapError, Snapshotable, SnapshotReader, SnapshotWriter, TieChoice, TieClass,
+        TieKind, TieOrder, TimerHandle, TimerSlab, TraceHash, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
     };
 }
 
@@ -72,8 +73,8 @@ pub use tracelog;
 /// Assembled network stack: nodes, simulator, topologies, flow reports.
 pub mod net {
     pub use netstack::{
-        topology, BusyTracker, DropTailQueue, FlowReport, FlowSpec, NodeSummary, RunReport,
-        SimConfig, Simulator, TcpVariant,
+        topology, BusyTracker, DropTailQueue, FlowReport, FlowSpec, NodeSummary, QueueDiscipline,
+        RedConfig, RunReport, SimConfig, Simulator, TcpVariant,
     };
 }
 

@@ -103,3 +103,110 @@ proptest! {
         prop_assert_eq!(sim.now(), SimTime::from_secs_f64(2.0));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10, // each case simulates ~2 virtual seconds across two legs
+        ..ProptestConfig::default()
+    })]
+
+    /// Whole-simulator snapshot fuzz: random topologies, *all nine* TCP
+    /// variants (the twin-run fuzz above stops at 8), both queue
+    /// disciplines and delayed ACKs. Mid-run, `restore(snapshot())` into a
+    /// fresh simulator must re-encode to byte-identical bytes (pinning
+    /// decode(encode(x)) == x for every layer struct a real run reaches),
+    /// the resumed run must match the straight run hash for hash, and
+    /// truncations of the real snapshot must fail cleanly, never panic.
+    #[test]
+    fn snapshot_round_trips_random_simulations(
+        node_count in 3usize..8,
+        topo_seed in 50u64..90,
+        sim_seed in 0u64..50,
+        use_red in any::<bool>(),
+        flow_picks in proptest::collection::vec((0u8..9, any::<bool>()), 1..4),
+        cut_seed in any::<u64>(),
+    ) {
+        use tcp_muzha::net::QueueDiscipline;
+        use tcp_muzha::sim::{SnapshotReader, SnapError};
+
+        let build = || {
+            let positions = topology::random_connected(
+                node_count,
+                700.0,
+                700.0,
+                250.0,
+                topo_seed,
+            );
+            let queue = if use_red {
+                QueueDiscipline::Red(tcp_muzha::net::RedConfig::default())
+            } else {
+                QueueDiscipline::DropTail
+            };
+            let cfg = SimConfig { seed: sim_seed, queue, ..SimConfig::default() };
+            let mut sim = Simulator::new(positions, cfg);
+            for (i, (vidx, dack)) in flow_picks.iter().enumerate() {
+                let src = NodeId::new((i % node_count) as u16);
+                let dst = NodeId::new(((i + 1 + node_count / 2) % node_count) as u16);
+                if src == dst {
+                    continue;
+                }
+                let mut spec = FlowSpec::new(src, dst, variant_from(*vidx));
+                if *dack {
+                    spec = spec.with_delayed_ack();
+                }
+                sim.add_flow(spec);
+            }
+            sim
+        };
+
+        let mut straight = build();
+        straight.run_until(SimTime::from_secs_f64(1.0));
+        let bytes = straight.snapshot();
+
+        // Restore into a fresh twin and re-encode: byte identity pins the
+        // round trip of every layer struct this run instantiated.
+        let mut resumed = build();
+        resumed.restore(&bytes).expect("own snapshot restores");
+        prop_assert_eq!(
+            resumed.snapshot(),
+            bytes.clone(),
+            "snapshot → restore → snapshot changed the bytes"
+        );
+
+        // The resumed simulator continues bit-identically.
+        straight.run_until(SimTime::from_secs_f64(2.0));
+        resumed.run_until(SimTime::from_secs_f64(2.0));
+        prop_assert_eq!(straight.trace_hash(), resumed.trace_hash());
+        prop_assert_eq!(straight.perf(), resumed.perf());
+
+        // Any proper prefix of a real snapshot errors cleanly.
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        let mut target = build();
+        let err = target.restore(&bytes[..cut]).expect_err("truncated snapshot must not restore");
+        prop_assert!(
+            matches!(
+                err,
+                SnapError::Truncated | SnapError::BadMagic | SnapError::Invalid(_)
+            ),
+            "unexpected truncation error: {err}"
+        );
+
+        // A version-bumped header is rejected before any field is read.
+        let mut bumped = bytes.clone();
+        let version_at = tcp_muzha::sim::SNAPSHOT_MAGIC.len();
+        bumped[version_at] = bumped[version_at].wrapping_add(1);
+        prop_assert!(matches!(
+            target.restore(&bumped),
+            Err(SnapError::UnsupportedVersion(_))
+        ));
+        // Sanity: the reader agrees byte-for-byte with the restore path.
+        prop_assert!(SnapshotReader::with_header(&bumped).is_err());
+
+        // And the failed restores left `target` untouched: it still runs
+        // from t = 0 to the same straight-run hash.
+        target.run_until(SimTime::from_secs_f64(1.0));
+        let mut fresh = build();
+        fresh.run_until(SimTime::from_secs_f64(1.0));
+        prop_assert_eq!(target.trace_hash(), fresh.trace_hash());
+    }
+}
