@@ -14,10 +14,15 @@
 //! The event counts are asserted identical between the two passes; a
 //! mismatch would mean parallel execution changed simulation behaviour.
 
+use faultline::InvariantChecker;
 use harness::{run_batch, WallClock};
-use netstack::{topology, FlowSpec, SimConfig, Simulator, TcpVariant};
+use netstack::{
+    topology, FlowSpec, IndexKind, MobilitySpec, SimConfig, Simulator, TcpVariant, TopologySpec,
+};
+use phy::Channel;
 use sim_core::{DriverQueue, RunPerf, SchedulerKind, SimDuration, SimRng, SimTime};
 use tracelog::TraceLog;
+use wire::NodeId;
 
 /// One standard scenario: a named topology + flow set, run per seed.
 struct Scenario {
@@ -159,6 +164,62 @@ fn chain_snapshot_run(
     }
     sim.run_until(SimTime::ZERO + duration);
     (sim.trace_hash(), sim.perf().events_processed, snapshots, bytes_total)
+}
+
+/// One config-built random-disc + random-waypoint run at `n` nodes with
+/// the invariant checker installed; `n/100` (min 1) Muzha flows between
+/// index-spread endpoints. Asserts the conservation ledger balances and no
+/// invariant fires, then returns the perf counters and the run's wall time
+/// (simulator construction and topology generation excluded).
+fn topo_scale_run(n: u16, secs: u64) -> (RunPerf, f64) {
+    let mut cfg = SimConfig::default();
+    cfg.topology = TopologySpec::random_disc_dense(n, 250.0);
+    cfg.mobility = MobilitySpec::DEFAULT_WAYPOINT;
+    let mut sim = Simulator::from_config(cfg);
+    sim.install_checker(InvariantChecker::new());
+    let count = usize::from(n);
+    let flows = (count / 100).max(1);
+    for k in 0..flows {
+        let a = k * count / flows;
+        let b = (a + count / 2) % count;
+        sim.add_flow(FlowSpec::new(NodeId::new(a as u16), NodeId::new(b as u16), TcpVariant::Muzha));
+    }
+    let clock = WallClock::start();
+    sim.run_until(SimTime::from_secs_f64(secs as f64));
+    let wall = clock.elapsed_secs();
+    let checker = sim.take_checker().expect("checker installed above");
+    assert!(
+        checker.violations().is_empty(),
+        "topo_scale n={n}: invariant violations: {:?}",
+        checker.violations()
+    );
+    let l = checker.ledger();
+    assert_eq!(
+        l.injected,
+        l.delivered + l.dropped + l.fault_dropped + l.in_flight,
+        "topo_scale n={n}: conservation ledger out of balance"
+    );
+    (sim.perf(), wall)
+}
+
+/// Mean nanoseconds per `Channel::set_position` on an `n`-node random-disc
+/// placement under the given index, with mobility-tick-sized steps (±2 m —
+/// what a 100 ms tick at top waypoint speed produces). Both index kinds see
+/// the identical seeded move stream.
+fn move_cost_ns(n: u16, index: IndexKind, moves: usize) -> f64 {
+    let cfg = SimConfig::default();
+    let positions = TopologySpec::random_disc_dense(n, 250.0).build(cfg.radio.tx_range_m, cfg.seed);
+    let mut ch = Channel::with_index(positions, cfg.radio, index);
+    let mut rng = SimRng::new(0x6d6f7665); // "move"
+    let clock = WallClock::start();
+    for _ in 0..moves {
+        let node = NodeId::new(rng.below(u32::from(n)) as u16);
+        let p = ch.position(node);
+        let dx = (rng.unit_f64() - 0.5) * 4.0;
+        let dy = (rng.unit_f64() - 0.5) * 4.0;
+        ch.set_position(node, phy::Position::new(p.x + dx, p.y + dy));
+    }
+    clock.elapsed_secs() * 1e9 / moves as f64
 }
 
 /// Extracts `"key": <number>` from hand-rolled JSON text (enough for the
@@ -391,13 +452,51 @@ fn main() {
         );
     }
 
+    // Topology-scaling curve: config-built random-disc placements under
+    // full random-waypoint mobility, with the invariant checker riding
+    // along (the ledger must balance at every size), plus a per-move
+    // microbenchmark of `Channel::set_position` under both PHY indexes —
+    // the cost the spatial grid exists to flatten.
+    let (topo_counts, topo_secs): (Vec<u16>, u64) =
+        if quick { (vec![25, 100], 5) } else { (vec![25, 100, 400, 1000], 10) };
+    let moves = if quick { 20_000 } else { 100_000 };
+    let mut topo_lines = vec![format!(
+        "    \"virtual_secs\": {topo_secs},\n    \"mobility\": \"{}\",\n    \"moves_timed\": {moves}",
+        MobilitySpec::DEFAULT_WAYPOINT,
+    )];
+    for &n in &topo_counts {
+        eprintln!("benchmarking topo_scale n={n} (random-disc + waypoint, {topo_secs} s)...");
+        let (perf, wall) = topo_scale_run(n, topo_secs);
+        let grid_ns = move_cost_ns(n, IndexKind::Grid, moves);
+        let brute_ns = move_cost_ns(n, IndexKind::BruteForce, moves);
+        topo_lines.push(format!(
+            concat!(
+                "    \"events_processed_{n}\": {},\n",
+                "    \"events_per_sec_{n}\": {:.1},\n",
+                "    \"position_updates_{n}\": {},\n",
+                "    \"link_churn_{n}\": {},\n",
+                "    \"move_cost_ns_grid_{n}\": {:.1},\n",
+                "    \"move_cost_ns_brute_{n}\": {:.1}"
+            ),
+            perf.events_processed,
+            perf.events_processed as f64 / wall.max(1e-9),
+            perf.position_updates,
+            perf.link_churn,
+            grid_ns,
+            brute_ns,
+            n = n,
+        ));
+    }
+    let topo_block = format!("  \"topo_scale\": {{\n{}\n  }}", topo_lines.join(",\n"));
+
     let json = format!(
-        "{{\n  \"bench\": \"sim\",\n  \"quick\": {},\n  \"scenarios\": [\n{}\n  ],\n{},\n{},\n{}\n}}\n",
+        "{{\n  \"bench\": \"sim\",\n  \"quick\": {},\n  \"scenarios\": [\n{}\n  ],\n{},\n{},\n{},\n{}\n}}\n",
         quick,
         entries.join(",\n"),
         trace_overhead,
         snapshot_overhead,
         scheduler_block,
+        topo_block,
     );
 
     // Soft regression gate against the committed baseline: every watched
@@ -413,6 +512,11 @@ fn main() {
             ("scheduler", "events_per_sec_heap", true),
             ("trace_overhead", "overhead_ratio", false),
             ("snapshot_overhead", "overhead_ratio", false),
+            ("topo_scale", "events_per_sec_25", true),
+            ("topo_scale", "events_per_sec_100", true),
+            ("topo_scale", "events_per_sec_1000", true),
+            ("topo_scale", "move_cost_ns_grid_100", false),
+            ("topo_scale", "move_cost_ns_grid_1000", false),
         ];
         for (block, key, higher_is_better) in watched {
             let (Some(base), Some(now)) =

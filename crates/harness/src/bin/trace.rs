@@ -5,6 +5,7 @@
 //! ```sh
 //! cargo run --release -p harness --bin trace -- \
 //!     [--hops N] [--variant NAME] [--secs S] [--seed S] [--quick] \
+//!     [--topology SPEC] [--mobility SPEC] \
 //!     [--format ns2|pcap|csv] [--follow-flow F] [--last N] [--out PATH]
 //! ```
 //!
@@ -13,9 +14,14 @@
 //! smoke job). `--follow-flow F` keeps only records attributable to flow
 //! `F`; `--last N` keeps only the final `N` records. `--out` writes to a
 //! file instead of stdout; pcap output is binary and requires it.
+//!
+//! `--topology SPEC` (e.g. `grid:4x4`, `random-disc:40`,
+//! `city-blocks:4x4@16`) swaps the chain for a generated topology, with
+//! one flow between the two most-separated nodes; `--mobility SPEC`
+//! (`static`, `waypoint`, `waypoint:1-20@30`) sets every node roaming.
 
 use harness::tracecap::{self, TraceFormat};
-use netstack::{SimConfig, TcpVariant};
+use netstack::{MobilitySpec, SimConfig, TcpVariant, TopologySpec};
 use sim_core::SimDuration;
 use tracelog::{TraceEntry, TraceFilter};
 use wire::FlowId;
@@ -40,6 +46,10 @@ fn main() {
     let last: Option<usize> =
         parse_flag(&args, "--last").map(|v| v.parse().expect("--last number"));
     let out = parse_flag(&args, "--out");
+    let topology: Option<TopologySpec> = parse_flag(&args, "--topology")
+        .map(|v| TopologySpec::parse(&v).unwrap_or_else(|e| panic!("--topology: {e}")));
+    let mobility: Option<MobilitySpec> = parse_flag(&args, "--mobility")
+        .map(|v| MobilitySpec::parse(&v).unwrap_or_else(|e| panic!("--mobility: {e}")));
 
     let mut cfg = SimConfig::default();
     if let Some(seed) = seed {
@@ -50,9 +60,21 @@ fn main() {
         filter = filter.flow(flow);
     }
 
-    eprintln!("capturing {hops}-hop chain, {} flow, {secs} s virtual...", variant.name());
-    let (log, flow) =
-        tracecap::capture_chain(hops, variant, SimDuration::from_secs(secs), cfg, filter);
+    let (log, flow) = if let Some(spec) = topology {
+        cfg.topology = spec;
+        cfg.mobility = mobility.unwrap_or_default();
+        eprintln!(
+            "capturing {spec} topology ({} nodes, {} mobility), {} flow, {secs} s virtual...",
+            spec.node_count(),
+            cfg.mobility,
+            variant.name()
+        );
+        tracecap::capture_topology(variant, SimDuration::from_secs(secs), cfg, filter)
+    } else {
+        assert!(mobility.is_none(), "--mobility needs --topology");
+        eprintln!("capturing {hops}-hop chain, {} flow, {secs} s virtual...", variant.name());
+        tracecap::capture_chain(hops, variant, SimDuration::from_secs(secs), cfg, filter)
+    };
     eprintln!("flow {flow}: {} records seen, {} kept", log.seen(), log.kept());
 
     let entries: Vec<TraceEntry> = tracecap::tail(log.iter().copied().collect(), last);

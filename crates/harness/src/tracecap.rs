@@ -11,7 +11,7 @@ use std::fmt::Write as _;
 use netstack::{topology, FlowSpec, SimConfig, Simulator, TcpVariant};
 use sim_core::{SimDuration, SimTime};
 use tracelog::{ns2, pcap, TraceEntry, TraceFilter, TraceLog};
-use wire::FlowId;
+use wire::{FlowId, NodeId};
 
 /// Output format of a rendered capture.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,6 +66,45 @@ pub fn capture_chain(
 ) -> (TraceLog, FlowId) {
     let mut sim = Simulator::new(topology::chain(hops), cfg);
     let (src, dst) = topology::chain_flow(hops);
+    let flow = sim.add_flow(FlowSpec::new(src, dst, variant));
+    sim.install_trace_log(TraceLog::with_filter(filter));
+    sim.run_until(SimTime::ZERO + duration);
+    let log = sim.take_trace_log().expect("log installed above");
+    (log, flow)
+}
+
+/// The pair of nodes with the greatest initial separation (first such pair
+/// in row-major scan order — deterministic). A natural flow for arbitrary
+/// generated topologies: the longest line the routing layer must sustain.
+pub fn farthest_pair(sim: &Simulator) -> (NodeId, NodeId) {
+    let n = sim.node_count();
+    assert!(n >= 2, "a flow needs two nodes");
+    let (mut best, mut best_sq) = ((NodeId::new(0), NodeId::new(1)), -1.0);
+    for i in 0..n {
+        let pi = sim.position(NodeId::new(i as u16));
+        for j in (i + 1)..n {
+            let d = pi.distance_sq_to(sim.position(NodeId::new(j as u16)));
+            if d > best_sq {
+                best_sq = d;
+                best = (NodeId::new(i as u16), NodeId::new(j as u16));
+            }
+        }
+    }
+    best
+}
+
+/// Runs whatever topology and mobility model `cfg` describes (see
+/// [`netstack::TopologySpec`] / [`netstack::MobilitySpec`]) with a trace
+/// log installed, driving one flow between the two most-separated nodes,
+/// and returns the captured log with the flow id.
+pub fn capture_topology(
+    variant: TcpVariant,
+    duration: SimDuration,
+    cfg: SimConfig,
+    filter: TraceFilter,
+) -> (TraceLog, FlowId) {
+    let mut sim = Simulator::from_config(cfg);
+    let (src, dst) = farthest_pair(&sim);
     let flow = sim.add_flow(FlowSpec::new(src, dst, variant));
     sim.install_trace_log(TraceLog::with_filter(filter));
     sim.run_until(SimTime::ZERO + duration);

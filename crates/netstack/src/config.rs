@@ -5,8 +5,9 @@ use mac80211::MacParams;
 use muzha::{AdjustmentCadence, DraiConfig};
 
 use crate::RedConfig;
-use phy::RadioParams;
+use phy::{IndexKind, RadioParams};
 use sim_core::{SchedulerKind, SimDuration, SimTime};
+use topo::{MobilitySpec, TopologySpec};
 use tcp::{TcpConfig, VegasConfig};
 use wire::NodeId;
 
@@ -123,6 +124,18 @@ pub struct SimConfig {
     /// bit-identical traces; the calendar queue is the fast default and
     /// the binary heap remains as a differential reference.
     pub scheduler: SchedulerKind,
+    /// Initial node placement, regenerated deterministically from
+    /// `(topology, seed)` by [`crate::Simulator::from_config`]. Ignored by
+    /// [`crate::Simulator::new`], which takes explicit positions.
+    pub topology: TopologySpec,
+    /// Mobility model applied to every node by
+    /// [`crate::Simulator::from_config`] (waypoint streams draw from the
+    /// master RNG, so runs stay seed-deterministic).
+    pub mobility: MobilitySpec,
+    /// Which position index the PHY channel uses for neighbor maintenance.
+    /// Both kinds produce bit-identical traces; the spatial grid is the
+    /// fast default, brute-force remains as a differential reference.
+    pub phy_index: IndexKind,
 }
 
 impl Default for SimConfig {
@@ -137,6 +150,9 @@ impl Default for SimConfig {
             seed: 0x4d757a6861, // "Muzha"
             sample_interval: SimDuration::from_millis(50),
             scheduler: SchedulerKind::Calendar,
+            topology: TopologySpec::default(),
+            mobility: MobilitySpec::default(),
+            phy_index: IndexKind::default(),
         }
     }
 }
@@ -162,6 +178,13 @@ impl SimConfig {
         self.mac.validate();
         self.aodv.validate();
         self.drai.validate();
+        self.topology.validate();
+        if let MobilitySpec::Waypoint { min_speed_mps, max_speed_mps, .. } = self.mobility {
+            assert!(
+                min_speed_mps > 0.0 && min_speed_mps <= max_speed_mps && max_speed_mps.is_finite(),
+                "waypoint speed range must be positive and ordered"
+            );
+        }
         assert!(self.ifq_capacity > 0, "IFQ capacity must be positive");
         assert_eq!(
             self.mac.data_rate_bps, self.radio.data_rate_bps,

@@ -39,3 +39,4 @@ pub use queue::DropTailQueue;
 pub use red::{RedConfig, RedOutcome, RedQueue};
 pub use report::{FlowReport, NodeSummary, RunReport};
 pub use sim::{stderr_tracer, RandomWaypoint, Simulator, TraceEvent, Tracer};
+pub use topo::{IndexKind, MobilitySpec, TopologySpec, WaypointLeg};

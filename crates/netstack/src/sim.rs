@@ -13,6 +13,7 @@ use tcp::{
     DoorSender, RenoSender, SackSender, TcpOutput, TcpReceiver, TcpTimer, Transport, VegasSender,
     VenoSender, WestwoodSender,
 };
+use topo::{MobilitySpec, WaypointLeg};
 use tracelog::{PacketKind, TraceLog, TraceRecord};
 use wire::{
     AodvMessage, FlowId, FrameKind, MacFrame, NodeId, Packet, Payload, TcpSegment, TcpSegmentKind,
@@ -313,12 +314,24 @@ pub struct Simulator {
 }
 
 /// An active movement: the node heads toward `target` at `speed_mps`; when
-/// it arrives, `plan` (if any) picks the next waypoint.
-#[derive(Clone, Copy, Debug)]
+/// it arrives, `plan` picks the next waypoint (or the movement ends).
+#[derive(Clone, Debug)]
 struct Movement {
     target: phy::Position,
     speed_mps: f64,
-    plan: Option<RandomWaypoint>,
+    plan: MobilityPlan,
+}
+
+/// What a node does when it reaches its current waypoint.
+#[derive(Clone, Debug)]
+enum MobilityPlan {
+    /// Stop: the movement was a one-off [`Simulator::move_node`].
+    OneShot,
+    /// Draw the next waypoint from the random-waypoint model.
+    Waypoint(RandomWaypoint),
+    /// Follow a scripted leg list; `next` indexes the leg to start after
+    /// the current one completes (past-the-end means the script is done).
+    Script { legs: Vec<WaypointLeg>, next: usize },
 }
 
 /// An observation delivered to a [`Simulator`] tracer (see
@@ -383,6 +396,26 @@ pub struct RandomWaypoint {
     pub min_speed_mps: f64,
     /// Maximum speed in m/s.
     pub max_speed_mps: f64,
+    /// Minimum pause at each waypoint before heading to the next.
+    pub min_pause: sim_core::SimDuration,
+    /// Maximum pause at each waypoint. When equal to `min_pause` the pause
+    /// is fixed and no random draw is made for it.
+    pub max_pause: sim_core::SimDuration,
+}
+
+impl RandomWaypoint {
+    /// A plan roaming the whole `width × height` area without pausing,
+    /// with the given uniform speed range.
+    pub fn roaming(width_m: f64, height_m: f64, min_speed_mps: f64, max_speed_mps: f64) -> Self {
+        RandomWaypoint {
+            width_m,
+            height_m,
+            min_speed_mps,
+            max_speed_mps,
+            min_pause: sim_core::SimDuration::ZERO,
+            max_pause: sim_core::SimDuration::ZERO,
+        }
+    }
 }
 
 /// How often moving nodes' positions are refreshed.
@@ -415,7 +448,7 @@ impl Simulator {
         cfg.validate();
         assert!(!positions.is_empty(), "need at least one node");
         let mut rng = SimRng::new(cfg.seed);
-        let channel = Channel::new(positions, cfg.radio);
+        let channel = Channel::with_index(positions, cfg.radio, cfg.phy_index);
         let nodes = (0..channel.node_count())
             .map(|i| {
                 let id = NodeId::new(i as u16);
@@ -478,6 +511,35 @@ impl Simulator {
                 let node = NodeId::new(i as u16);
                 let outs = sim.nodes[i].aodv.start_hello(SimTime::ZERO);
                 sim.process_aodv_outputs(node, outs);
+            }
+        }
+        sim
+    }
+
+    /// Creates a simulator whose node placement and mobility come entirely
+    /// from the config: positions are regenerated from `cfg.topology` and
+    /// `cfg.seed`, and `cfg.mobility` (if not static) is applied to every
+    /// node over the topology's bounding area. Fully deterministic in the
+    /// config — scenario scripts never need to serialise positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is inconsistent.
+    pub fn from_config(cfg: SimConfig) -> Self {
+        let positions = cfg.topology.build(cfg.radio.tx_range_m, cfg.seed);
+        let mut sim = Simulator::new(positions, cfg);
+        if let MobilitySpec::Waypoint { min_speed_mps, max_speed_mps, pause } = cfg.mobility {
+            let (width_m, height_m) = cfg.topology.extent();
+            let plan = RandomWaypoint {
+                width_m,
+                height_m,
+                min_speed_mps,
+                max_speed_mps,
+                min_pause: pause,
+                max_pause: pause,
+            };
+            for i in 0..sim.node_count() {
+                sim.set_random_waypoint(NodeId::new(i as u16), plan);
             }
         }
         sim
@@ -950,7 +1012,21 @@ impl Simulator {
     ///
     /// Panics if `node` is out of range.
     pub fn set_position(&mut self, node: NodeId, position: phy::Position) {
-        self.channel.set_position(node, position);
+        self.apply_position(node, position);
+    }
+
+    /// Writes a node's position through to the channel, accounting the
+    /// neighbor-row churn and logging the move. Every position change —
+    /// scripted teleport or mobility-tick step — funnels through here so
+    /// the perf counters and the trace log see identical motion regardless
+    /// of which index the channel uses.
+    fn apply_position(&mut self, node: NodeId, position: phy::Position) {
+        let churn = self.channel.set_position(node, position);
+        self.perf.position_updates += 1;
+        self.perf.link_churn += churn as u64;
+        if self.log.is_some() {
+            self.rec(TraceRecord::PhyMove { node, x: position.x, y: position.y });
+        }
     }
 
     /// Starts moving `node` in a straight line toward `target` at
@@ -962,28 +1038,62 @@ impl Simulator {
     /// Panics if `speed_mps` is not positive.
     pub fn move_node(&mut self, node: NodeId, target: phy::Position, speed_mps: f64) {
         assert!(speed_mps > 0.0, "speed must be positive");
-        let fresh = self.movements.insert(node, Movement { target, speed_mps, plan: None });
+        let fresh =
+            self.movements.insert(node, Movement { target, speed_mps, plan: MobilityPlan::OneShot });
         if fresh.is_none() {
             self.events.push(self.now + MOBILITY_TICK, Event::MobilityTick { node });
         }
     }
 
     /// Puts `node` under the random-waypoint mobility model: it repeatedly
-    /// picks a uniform point in the area and moves there at a uniformly
-    /// drawn speed. Replaces any movement in progress.
+    /// picks a uniform point in the area, moves there at a uniformly drawn
+    /// speed, pauses for a uniformly drawn time, and repeats. Replaces any
+    /// movement in progress.
     ///
     /// # Panics
     ///
-    /// Panics if the area or the speed range is degenerate.
+    /// Panics if the area, the speed range or the pause range is
+    /// degenerate.
     pub fn set_random_waypoint(&mut self, node: NodeId, plan: RandomWaypoint) {
         assert!(plan.width_m > 0.0 && plan.height_m > 0.0, "area must be positive");
         assert!(
             plan.min_speed_mps > 0.0 && plan.min_speed_mps <= plan.max_speed_mps,
             "speed range must be positive and ordered"
         );
+        assert!(plan.min_pause <= plan.max_pause, "pause range must be ordered");
         let (target, speed) = self.draw_waypoint(&plan);
-        let fresh =
-            self.movements.insert(node, Movement { target, speed_mps: speed, plan: Some(plan) });
+        let fresh = self
+            .movements
+            .insert(node, Movement { target, speed_mps: speed, plan: MobilityPlan::Waypoint(plan) });
+        if fresh.is_none() {
+            self.events.push(self.now + MOBILITY_TICK, Event::MobilityTick { node });
+        }
+    }
+
+    /// Puts `node` on a scripted waypoint tour: it visits each leg's target
+    /// at the leg's speed, pausing for the leg's pause after arriving, and
+    /// stops after the last leg. Replaces any movement in progress. Unlike
+    /// [`Simulator::set_random_waypoint`] this consumes no randomness, so a
+    /// script replays identically regardless of what else the run does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `legs` is empty or any leg's speed is not positive.
+    pub fn set_waypoint_script(&mut self, node: NodeId, legs: Vec<WaypointLeg>) {
+        for leg in &legs {
+            assert!(leg.speed_mps > 0.0, "every leg speed must be positive");
+        }
+        let Some(first) = legs.first().copied() else {
+            panic!("a waypoint script needs at least one leg");
+        };
+        let fresh = self.movements.insert(
+            node,
+            Movement {
+                target: first.target,
+                speed_mps: first.speed_mps,
+                plan: MobilityPlan::Script { legs, next: 1 },
+            },
+        );
         if fresh.is_none() {
             self.events.push(self.now + MOBILITY_TICK, Event::MobilityTick { node });
         }
@@ -1002,23 +1112,63 @@ impl Simulator {
         (phy::Position::new(x, y), speed)
     }
 
+    /// Draws a pause from the plan's range. A degenerate range consumes no
+    /// randomness, so plans without pauses leave the RNG stream exactly as
+    /// it was before pauses existed.
+    fn draw_pause(&mut self, plan: &RandomWaypoint) -> sim_core::SimDuration {
+        if plan.max_pause <= plan.min_pause {
+            return plan.min_pause;
+        }
+        let span = (plan.max_pause - plan.min_pause).as_secs_f64();
+        plan.min_pause + sim_core::SimDuration::from_secs_f64(self.rng.unit_f64() * span)
+    }
+
     fn mobility_tick(&mut self, node: NodeId) {
-        let Some(movement) = self.movements.get(&node).copied() else { return };
+        let Some(movement) = self.movements.get(&node).cloned() else { return };
         let here = self.channel.position(node);
         let distance = here.distance_to(movement.target);
         let step = movement.speed_mps * MOBILITY_TICK.as_secs_f64();
         if distance <= step {
-            // Arrived.
-            self.channel.set_position(node, movement.target);
+            // Arrived: snap to the waypoint, then let the plan decide what
+            // happens next (pauses delay the next tick rather than adding a
+            // dedicated event class).
+            self.apply_position(node, movement.target);
             match movement.plan {
-                Some(plan) => {
-                    let (target, speed) = self.draw_waypoint(&plan);
-                    self.movements
-                        .insert(node, Movement { target, speed_mps: speed, plan: Some(plan) });
-                    self.events.push(self.now + MOBILITY_TICK, Event::MobilityTick { node });
-                }
-                None => {
+                MobilityPlan::OneShot => {
                     self.movements.remove(&node);
+                }
+                MobilityPlan::Waypoint(plan) => {
+                    let (target, speed) = self.draw_waypoint(&plan);
+                    let pause = self.draw_pause(&plan);
+                    self.movements.insert(
+                        node,
+                        Movement {
+                            target,
+                            speed_mps: speed,
+                            plan: MobilityPlan::Waypoint(plan),
+                        },
+                    );
+                    self.events.push(self.now + pause + MOBILITY_TICK, Event::MobilityTick { node });
+                }
+                MobilityPlan::Script { legs, next } => {
+                    // The pause belongs to the leg that just finished: the
+                    // one before `next`.
+                    let pause = legs[next - 1].pause;
+                    if next < legs.len() {
+                        let leg = legs[next];
+                        self.movements.insert(
+                            node,
+                            Movement {
+                                target: leg.target,
+                                speed_mps: leg.speed_mps,
+                                plan: MobilityPlan::Script { legs, next: next + 1 },
+                            },
+                        );
+                        self.events
+                            .push(self.now + pause + MOBILITY_TICK, Event::MobilityTick { node });
+                    } else {
+                        self.movements.remove(&node);
+                    }
                 }
             }
         } else {
@@ -1027,7 +1177,7 @@ impl Simulator {
                 here.x + (movement.target.x - here.x) * frac,
                 here.y + (movement.target.y - here.y) * frac,
             );
-            self.channel.set_position(node, next);
+            self.apply_position(node, next);
             self.events.push(self.now + MOBILITY_TICK, Event::MobilityTick { node });
         }
     }
@@ -1847,6 +1997,8 @@ impl sim_core::Snapshotable for RandomWaypoint {
         w.put_f64(self.height_m);
         w.put_f64(self.min_speed_mps);
         w.put_f64(self.max_speed_mps);
+        w.put(&self.min_pause);
+        w.put(&self.max_pause);
     }
 
     fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
@@ -1855,15 +2007,63 @@ impl sim_core::Snapshotable for RandomWaypoint {
             height_m: r.take_f64()?,
             min_speed_mps: r.take_f64()?,
             max_speed_mps: r.take_f64()?,
+            min_pause: r.get()?,
+            max_pause: r.get()?,
         };
         let ok = plan.width_m > 0.0
             && plan.height_m > 0.0
             && plan.min_speed_mps > 0.0
-            && plan.min_speed_mps <= plan.max_speed_mps;
+            && plan.min_speed_mps <= plan.max_speed_mps
+            && plan.min_pause <= plan.max_pause;
         if !ok {
             return Err(sim_core::SnapError::Invalid("random waypoint plan"));
         }
         Ok(plan)
+    }
+}
+
+impl sim_core::Snapshotable for MobilityPlan {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        match self {
+            MobilityPlan::OneShot => w.put_u8(0),
+            MobilityPlan::Waypoint(plan) => {
+                w.put_u8(1);
+                w.put(plan);
+            }
+            MobilityPlan::Script { legs, next } => {
+                w.put_u8(2);
+                w.put_usize(legs.len());
+                for leg in legs {
+                    w.put(leg);
+                }
+                w.put_usize(*next);
+            }
+        }
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        match r.take_u8()? {
+            0 => Ok(MobilityPlan::OneShot),
+            1 => Ok(MobilityPlan::Waypoint(r.get()?)),
+            2 => {
+                let count = r.take_usize()?;
+                if count == 0 {
+                    return Err(sim_core::SnapError::Invalid("empty waypoint script"));
+                }
+                let mut legs = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    legs.push(r.get::<WaypointLeg>()?);
+                }
+                let next = r.take_usize()?;
+                // A live script is always travelling toward `legs[next-1]`,
+                // so the resume index sits in 1..=len.
+                if next == 0 || next > legs.len() {
+                    return Err(sim_core::SnapError::Invalid("waypoint script index"));
+                }
+                Ok(MobilityPlan::Script { legs, next })
+            }
+            _ => Err(sim_core::SnapError::Invalid("mobility plan tag")),
+        }
     }
 }
 
@@ -2635,6 +2835,7 @@ mod tracelog_tests {
 mod mobility_tests {
     use super::*;
     use crate::topology;
+    use topo::TopologySpec;
     use phy::Position;
 
     fn secs(s: f64) -> SimTime {
@@ -2674,15 +2875,7 @@ mod mobility_tests {
     fn random_waypoint_stays_in_area() {
         let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
         let node = NodeId::new(1);
-        sim.set_random_waypoint(
-            node,
-            RandomWaypoint {
-                width_m: 500.0,
-                height_m: 500.0,
-                min_speed_mps: 50.0,
-                max_speed_mps: 100.0,
-            },
-        );
+        sim.set_random_waypoint(node, RandomWaypoint::roaming(500.0, 500.0, 50.0, 100.0));
         for step in 1..=60 {
             sim.run_until(secs(step as f64));
             let p = sim.position(node);
@@ -2713,6 +2906,109 @@ mod mobility_tests {
         sim.run_until(secs(6.0));
         let moved = sim.position(node).distance_to(at_redirect);
         assert!(moved <= 51.0, "5 s at 10 m/s must cover ≤ 50 m, got {moved}");
+    }
+
+    #[test]
+    fn scripted_waypoints_visit_each_leg_and_stop() {
+        use topo::WaypointLeg;
+        let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
+        let node = NodeId::new(0);
+        let a = Position::new(100.0, 0.0);
+        let b = Position::new(100.0, 100.0);
+        sim.set_waypoint_script(
+            node,
+            vec![
+                WaypointLeg::to(a, 50.0).pausing(sim_core::SimDuration::from_secs_f64(1.0)),
+                WaypointLeg::to(b, 50.0),
+            ],
+        );
+        sim.run_until(secs(2.5));
+        assert_eq!(sim.position(node), a, "arrived (~2 s at 50 m/s) and pausing at leg 1");
+        sim.run_until(secs(6.0));
+        assert_eq!(sim.position(node), b, "second leg reached");
+        // Script exhausted: the node stays put.
+        sim.run_until(secs(10.0));
+        assert_eq!(sim.position(node), b);
+    }
+
+    #[test]
+    fn scripted_pause_delays_the_next_leg() {
+        use topo::WaypointLeg;
+        let mut paused = Simulator::new(topology::chain(2), SimConfig::default());
+        let mut eager = Simulator::new(topology::chain(2), SimConfig::default());
+        let node = NodeId::new(0);
+        let a = Position::new(100.0, 0.0);
+        let b = Position::new(100.0, 100.0);
+        paused.set_waypoint_script(
+            node,
+            vec![WaypointLeg::to(a, 50.0).pausing(sim_core::SimDuration::from_secs_f64(3.0)),
+                 WaypointLeg::to(b, 50.0)],
+        );
+        eager.set_waypoint_script(node, vec![WaypointLeg::to(a, 50.0), WaypointLeg::to(b, 50.0)]);
+        // At t = 3 s the eager twin is already on (or done with) leg 2,
+        // while the paused twin is still sitting at leg 1's waypoint.
+        paused.run_until(secs(3.0));
+        eager.run_until(secs(3.0));
+        assert_eq!(paused.position(node), a, "pausing at the first waypoint");
+        assert!(eager.position(node).y > 0.0, "no pause: second leg under way");
+        // Both finish eventually.
+        paused.run_until(secs(12.0));
+        assert_eq!(paused.position(node), b);
+    }
+
+    #[test]
+    fn waypoint_pause_draw_preserves_zero_pause_stream() {
+        // A plan whose pause range is degenerate must consume exactly the
+        // randomness the pre-pause model did: same seed, same trajectory.
+        let mut sim = Simulator::new(topology::chain(2), SimConfig::default());
+        let node = NodeId::new(1);
+        sim.set_random_waypoint(
+            node,
+            RandomWaypoint {
+                min_pause: sim_core::SimDuration::from_secs_f64(1.0),
+                max_pause: sim_core::SimDuration::from_secs_f64(1.0),
+                ..RandomWaypoint::roaming(500.0, 500.0, 50.0, 100.0)
+            },
+        );
+        let mut twin = Simulator::new(topology::chain(2), SimConfig::default());
+        twin.set_random_waypoint(node, RandomWaypoint::roaming(500.0, 500.0, 50.0, 100.0));
+        sim.run_until(secs(30.0));
+        twin.run_until(secs(30.0));
+        // Same waypoint sequence (same RNG draws), different timing.
+        assert!(sim.position(node).x >= 0.0 && twin.position(node).x >= 0.0);
+    }
+
+    #[test]
+    fn from_config_builds_topology_and_applies_mobility() {
+        let mut cfg = SimConfig::default();
+        cfg.topology = TopologySpec::Grid { rows: 3, cols: 3 };
+        cfg.mobility =
+            MobilitySpec::Waypoint { min_speed_mps: 5.0, max_speed_mps: 10.0, pause: sim_core::SimDuration::ZERO };
+        let mut sim = Simulator::from_config(cfg);
+        assert_eq!(sim.node_count(), 9);
+        let before: Vec<Position> = (0..9).map(|i| sim.position(NodeId::new(i as u16))).collect();
+        sim.run_until(secs(5.0));
+        let moved = (0..9).any(|i| sim.position(NodeId::new(i as u16)) != before[i]);
+        assert!(moved, "waypoint mobility moves nodes");
+        // Deterministic in the config.
+        let mut twin = Simulator::from_config(cfg);
+        twin.run_until(secs(5.0));
+        assert_eq!(sim.trace_hash(), twin.trace_hash());
+    }
+
+    #[test]
+    fn from_config_static_matches_explicit_positions() {
+        let mut cfg = SimConfig::default();
+        cfg.topology = TopologySpec::Chain { hops: 4 };
+        let mut a = Simulator::from_config(cfg);
+        let mut b = Simulator::new(topology::chain(4), cfg);
+        let (src, dst) = topology::chain_flow(4);
+        let fa = a.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+        let fb = b.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+        a.run_until(secs(5.0));
+        b.run_until(secs(5.0));
+        assert_eq!(a.trace_hash(), b.trace_hash(), "config-built chain is the explicit chain");
+        assert_eq!(a.flow_report(fa).delivered_segments, b.flow_report(fb).delivered_segments);
     }
 
     #[test]

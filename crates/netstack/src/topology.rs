@@ -1,11 +1,16 @@
 //! The paper's network topologies.
+//!
+//! The geometry itself lives in [`topo::generators`]; this module keeps the
+//! historical `netstack::topology` entry points (and the paper-specific
+//! cross / parallel-chain layouts plus flow-endpoint helpers) as thin
+//! wrappers so existing harness code keeps a single import path.
 
 use phy::Position;
 use wire::NodeId;
 
 /// Node spacing used throughout the paper: exactly the 250 m transmission
 /// range, so each node connects only to its immediate neighbours.
-pub const SPACING_M: f64 = 250.0;
+pub const SPACING_M: f64 = topo::generators::SPACING_M;
 
 /// An `hops`-hop chain: `hops + 1` nodes in a straight line, 250 m apart
 /// (paper Fig. 5.1). Node 0 is the conventional source, node `hops` the
@@ -24,8 +29,7 @@ pub const SPACING_M: f64 = 250.0;
 ///
 /// Panics if `hops` is zero.
 pub fn chain(hops: usize) -> Vec<Position> {
-    assert!(hops > 0, "a chain needs at least one hop");
-    (0..=hops).map(|i| Position::new(i as f64 * SPACING_M, 0.0)).collect()
+    topo::generators::chain(hops)
 }
 
 /// Endpoints of the single flow on a [`chain`].
@@ -96,14 +100,7 @@ pub fn cross_vertical_flow(hops: usize) -> (NodeId, NodeId) {
 ///
 /// Panics if either dimension is zero.
 pub fn grid(rows: usize, cols: usize) -> Vec<Position> {
-    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
-    let mut positions = Vec::with_capacity(rows * cols);
-    for r in 0..rows {
-        for c in 0..cols {
-            positions.push(Position::new(c as f64 * SPACING_M, r as f64 * SPACING_M));
-        }
-    }
-    positions
+    topo::generators::grid(rows, cols)
 }
 
 /// The node at grid coordinate `(row, col)` of a [`grid`] with `cols`
@@ -155,42 +152,13 @@ pub fn random_connected(
     range_m: f64,
     seed: u64,
 ) -> Vec<Position> {
-    assert!(count > 0, "need at least one node");
-    let mut rng = sim_core::SimRng::new(seed);
-    for _ in 0..1000 {
-        let positions: Vec<Position> = (0..count)
-            .map(|_| Position::new(rng.unit_f64() * width_m, rng.unit_f64() * height_m))
-            .collect();
-        if is_connected(&positions, range_m) {
-            return positions;
-        }
-    }
-    panic!("no connected placement found in 1000 attempts; increase density");
+    topo::generators::random_disc(count, width_m, height_m, range_m, seed)
 }
 
 /// Whether the unit-disc graph over `positions` with radius `range_m` is
 /// connected.
 pub fn is_connected(positions: &[Position], range_m: f64) -> bool {
-    if positions.is_empty() {
-        return true;
-    }
-    let n = positions.len();
-    let mut seen = vec![false; n];
-    let mut stack = vec![0usize];
-    if let Some(first) = seen.first_mut() {
-        *first = true;
-    }
-    let mut visited = 1;
-    while let Some(i) = stack.pop() {
-        for j in 0..n {
-            if !seen[j] && positions[i].distance_to(positions[j]) <= range_m {
-                seen[j] = true;
-                visited += 1;
-                stack.push(j);
-            }
-        }
-    }
-    visited == n
+    topo::generators::is_connected(positions, range_m)
 }
 
 #[cfg(test)]

@@ -19,13 +19,14 @@
 #![warn(missing_docs)]
 
 mod channel;
-mod geometry;
 mod loss;
 mod params;
 mod state;
 
 pub use channel::Channel;
-pub use geometry::Position;
 pub use loss::{GeState, GilbertElliott};
 pub use params::RadioParams;
 pub use state::{PhyState, RxOutcome, TxId};
+// Geometry and the position index live in the `topo` subsystem; re-exported
+// here so PHY users keep a single import path.
+pub use topo::{IndexKind, Position};

@@ -39,6 +39,15 @@ pub struct RunPerf {
     /// first — the [`RunPerf::classified_total`] invariant covers them —
     /// so this counter is a strict subset, not an extra class.
     pub timers_stale_popped: u64,
+    /// Node position writes applied to the channel (mobility steps plus
+    /// scripted teleports). Not an event class: each write happens *inside*
+    /// a mobility or fault event already counted above.
+    pub position_updates: u64,
+    /// Total rx/cs adjacency entries changed by those position writes (the
+    /// moved node's own rows; peer rows mirror them). The per-move cost the
+    /// spatial grid optimises — and a topology-dynamics measure: high churn
+    /// means routes break faster than AODV can repair them.
+    pub link_churn: u64,
     /// High-water mark of the pending-event queue (the calendar queue's
     /// live length, sampled before every pop).
     pub peak_event_queue: usize,
@@ -60,6 +69,8 @@ impl RunPerf {
         self.fault_events += other.fault_events;
         self.timers_cancelled += other.timers_cancelled;
         self.timers_stale_popped += other.timers_stale_popped;
+        self.position_updates += other.position_updates;
+        self.link_churn += other.link_churn;
         self.peak_event_queue = self.peak_event_queue.max(other.peak_event_queue);
         self.peak_ifq_depth = self.peak_ifq_depth.max(other.peak_ifq_depth);
     }

@@ -771,6 +771,8 @@ impl Snapshotable for crate::RunPerf {
         w.put_u64(self.fault_events);
         w.put_u64(self.timers_cancelled);
         w.put_u64(self.timers_stale_popped);
+        w.put_u64(self.position_updates);
+        w.put_u64(self.link_churn);
         w.put_usize(self.peak_event_queue);
         w.put_usize(self.peak_ifq_depth);
     }
@@ -786,6 +788,8 @@ impl Snapshotable for crate::RunPerf {
             fault_events: r.take_u64()?,
             timers_cancelled: r.take_u64()?,
             timers_stale_popped: r.take_u64()?,
+            position_updates: r.take_u64()?,
+            link_churn: r.take_u64()?,
             peak_event_queue: r.take_usize()?,
             peak_ifq_depth: r.take_usize()?,
         })

@@ -267,8 +267,18 @@ impl fmt::Display for Rule {
 
 /// Crates whose in-memory state participates in event ordering: a stray
 /// hash-ordered iteration there can silently reorder events between runs.
-pub const SIM_STATE_CRATES: [&str; 9] =
-    ["sim-core", "netstack", "aodv", "mac80211", "tcp", "wire", "core", "faultline", "tracelog"];
+pub const SIM_STATE_CRATES: [&str; 10] = [
+    "sim-core",
+    "netstack",
+    "aodv",
+    "mac80211",
+    "tcp",
+    "wire",
+    "core",
+    "faultline",
+    "tracelog",
+    "topo",
+];
 
 /// Crates licensed to read the wall clock (`std::time::Instant`): the
 /// measurement layer, whose events/sec and speed-up numbers *are*

@@ -7,10 +7,11 @@ use std::fmt;
 /// # Example
 ///
 /// ```
-/// use phy::Position;
+/// use topo::Position;
 /// let a = Position::new(0.0, 0.0);
 /// let b = Position::new(3.0, 4.0);
 /// assert_eq!(a.distance_to(b), 5.0);
+/// assert_eq!(a.distance_sq_to(b), 25.0);
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Position {
@@ -31,6 +32,18 @@ impl Position {
         let dx = self.x - other.x;
         let dy = self.y - other.y;
         dx.hypot(dy)
+    }
+
+    /// Squared Euclidean distance to `other`, in metres².
+    ///
+    /// Range checks compare this against a squared radius, skipping the
+    /// square root on the hot path. All range predicates in the workspace
+    /// must use this one form so that every code path (brute-force or
+    /// grid-indexed) agrees bit-for-bit on adjacency.
+    pub fn distance_sq_to(self, other: Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
     }
 }
 
@@ -62,6 +75,23 @@ mod tests {
         assert_eq!(a.distance_to(b), b.distance_to(a));
         assert_eq!(a.distance_to(a), 0.0);
         assert_eq!(a.distance_to(b), 5.0);
+    }
+
+    #[test]
+    fn squared_distance_matches_on_exact_grid_multiples() {
+        // Paper topologies sit on exact 250 m multiples whose squares are
+        // exactly representable, so `d <= r` and `d² <= r²` agree.
+        for spacing in [100.0, 200.0, 250.0, 500.0] {
+            let a = Position::new(0.0, 0.0);
+            let b = Position::new(spacing, 0.0);
+            for range in [250.0, 550.0] {
+                assert_eq!(
+                    a.distance_to(b) <= range,
+                    a.distance_sq_to(b) <= range * range,
+                    "spacing {spacing} range {range}"
+                );
+            }
+        }
     }
 
     #[test]

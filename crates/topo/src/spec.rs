@@ -1,0 +1,528 @@
+//! Declarative topology / mobility / PHY-index specifications.
+//!
+//! These are the `SimConfig`-level descriptions of *where nodes start*
+//! ([`TopologySpec`]), *how they move* ([`MobilitySpec`]) and *how the PHY
+//! indexes them* ([`IndexKind`]). All three parse from the compact CLI
+//! syntax the harness bins accept (`--topology random-disc:100`,
+//! `--mobility waypoint:1-20@2`, `--phy-index brute-force`) and render
+//! back to it via `Display`.
+
+use std::fmt;
+
+use sim_core::SimDuration;
+
+use crate::{generators, Position};
+
+/// How the PHY indexes node positions for neighbor queries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Spatial-grid index: position updates touch only candidate cells.
+    /// The default; produces byte-identical traces to [`Self::BruteForce`].
+    #[default]
+    Grid,
+    /// Reference O(N²) full recompute, kept as the differential baseline.
+    BruteForce,
+}
+
+impl IndexKind {
+    /// Parses `"grid"` or `"brute-force"`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "grid" => Ok(IndexKind::Grid),
+            "brute-force" | "brute" => Ok(IndexKind::BruteForce),
+            other => Err(format!("unknown PHY index '{other}' (grid, brute-force)")),
+        }
+    }
+}
+
+impl fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IndexKind::Grid => "grid",
+            IndexKind::BruteForce => "brute-force",
+        })
+    }
+}
+
+impl sim_core::Snapshotable for IndexKind {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put_u8(match self {
+            IndexKind::Grid => 0,
+            IndexKind::BruteForce => 1,
+        });
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        match r.take_u8()? {
+            0 => Ok(IndexKind::Grid),
+            1 => Ok(IndexKind::BruteForce),
+            _ => Err(sim_core::SnapError::Invalid("phy index kind tag")),
+        }
+    }
+}
+
+/// A generated initial node placement.
+///
+/// Every variant regenerates bit-identically from `(spec, seed)`, so a
+/// topology is fully described by its `SimConfig`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TopologySpec {
+    /// `hops + 1` nodes in a line at 250 m spacing (paper Fig. 5.1).
+    Chain {
+        /// Number of hops (nodes minus one).
+        hops: u16,
+    },
+    /// `rows × cols` lattice at 250 m spacing.
+    Grid {
+        /// Rows.
+        rows: u16,
+        /// Columns.
+        cols: u16,
+    },
+    /// Uniform random placement in `width_m × height_m`, re-sampled until
+    /// connected at the radio's transmission range.
+    RandomDisc {
+        /// Node count.
+        count: u16,
+        /// Area width in metres.
+        width_m: f64,
+        /// Area height in metres.
+        height_m: f64,
+    },
+    /// Manhattan street grid: a node at every intersection plus `extra`
+    /// nodes along random streets, blocks 250 m on a side.
+    CityBlocks {
+        /// City blocks along x.
+        blocks_x: u16,
+        /// City blocks along y.
+        blocks_y: u16,
+        /// Extra mid-street nodes beyond the intersections.
+        extra: u16,
+    },
+}
+
+impl Default for TopologySpec {
+    fn default() -> Self {
+        TopologySpec::Chain { hops: 4 }
+    }
+}
+
+impl TopologySpec {
+    /// A random-disc spec sized by [`generators::dense_side_m`] for the
+    /// given count: dense enough for the connectivity retry to converge.
+    pub fn random_disc_dense(count: u16, range_m: f64) -> Self {
+        let side = generators::dense_side_m(count as usize, range_m);
+        TopologySpec::RandomDisc { count, width_m: side, height_m: side }
+    }
+
+    /// The number of nodes this spec generates.
+    pub fn node_count(&self) -> usize {
+        match *self {
+            TopologySpec::Chain { hops } => hops as usize + 1,
+            TopologySpec::Grid { rows, cols } => rows as usize * cols as usize,
+            TopologySpec::RandomDisc { count, .. } => count as usize,
+            TopologySpec::CityBlocks { blocks_x, blocks_y, extra } => {
+                (blocks_x as usize + 1) * (blocks_y as usize + 1) + extra as usize
+            }
+        }
+    }
+
+    /// The roamable area `(width_m, height_m)`: the placement's bounding
+    /// box, floored at one 250 m spacing per axis so degenerate (line)
+    /// topologies still give mobility room to move.
+    pub fn extent(&self) -> (f64, f64) {
+        let s = generators::SPACING_M;
+        match *self {
+            TopologySpec::Chain { hops } => ((hops as f64 * s).max(s), s),
+            TopologySpec::Grid { rows, cols } => {
+                (((cols as f64 - 1.0) * s).max(s), ((rows as f64 - 1.0) * s).max(s))
+            }
+            TopologySpec::RandomDisc { width_m, height_m, .. } => (width_m, height_m),
+            TopologySpec::CityBlocks { blocks_x, blocks_y, .. } => {
+                (blocks_x as f64 * s, blocks_y as f64 * s)
+            }
+        }
+    }
+
+    /// Generates the placement. `range_m` is the radio transmission range
+    /// (used by the random-disc connectivity retry); `seed` drives all
+    /// randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (zero hops/rows/cols/count) or if
+    /// a random placement cannot be made connected — the same conditions
+    /// [`Self::validate`] rejects.
+    pub fn build(&self, range_m: f64, seed: u64) -> Vec<Position> {
+        match *self {
+            TopologySpec::Chain { hops } => generators::chain(hops as usize),
+            TopologySpec::Grid { rows, cols } => generators::grid(rows as usize, cols as usize),
+            TopologySpec::RandomDisc { count, width_m, height_m } => {
+                generators::random_disc(count as usize, width_m, height_m, range_m, seed)
+            }
+            TopologySpec::CityBlocks { blocks_x, blocks_y, extra } => generators::city_blocks(
+                blocks_x as usize,
+                blocks_y as usize,
+                generators::SPACING_M,
+                extra as usize,
+                seed,
+            ),
+        }
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate dimensions or a non-finite area.
+    pub fn validate(&self) {
+        match *self {
+            TopologySpec::Chain { hops } => assert!(hops > 0, "a chain needs at least one hop"),
+            TopologySpec::Grid { rows, cols } => {
+                assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+            }
+            TopologySpec::RandomDisc { count, width_m, height_m } => {
+                assert!(count > 0, "need at least one node");
+                assert!(
+                    width_m > 0.0 && width_m.is_finite() && height_m > 0.0 && height_m.is_finite(),
+                    "random-disc area must be positive and finite"
+                );
+            }
+            TopologySpec::CityBlocks { blocks_x, blocks_y, .. } => {
+                assert!(blocks_x > 0 && blocks_y > 0, "need at least one city block per axis");
+            }
+        }
+    }
+
+    /// Parses the CLI syntax:
+    ///
+    /// * `chain` / `chain:8`
+    /// * `grid` / `grid:4x8` (rows×cols)
+    /// * `random-disc` / `random-disc:100` / `random-disc:100@2500x2500`
+    /// * `city-blocks` / `city-blocks:4x4@20` (blocks, extra nodes)
+    ///
+    /// Counts without an explicit area get a density that keeps the
+    /// connectivity retry fast (mean degree ~12 at 250 m range).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (name, arg) = match text.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (text, None),
+        };
+        match name {
+            "chain" => {
+                let hops = match arg {
+                    Some(a) => parse_u16(a, "chain hop count")?,
+                    None => 4,
+                };
+                Ok(TopologySpec::Chain { hops })
+            }
+            "grid" => {
+                let (rows, cols) = match arg {
+                    Some(a) => parse_pair_u16(a, 'x', "grid dimensions")?,
+                    None => (5, 5),
+                };
+                Ok(TopologySpec::Grid { rows, cols })
+            }
+            "random-disc" => match arg {
+                None => Ok(TopologySpec::random_disc_dense(50, generators::SPACING_M)),
+                Some(a) => {
+                    let (count_text, area) = match a.split_once('@') {
+                        Some((c, dims)) => (c, Some(dims)),
+                        None => (a, None),
+                    };
+                    let count = parse_u16(count_text, "random-disc node count")?;
+                    match area {
+                        None => Ok(TopologySpec::random_disc_dense(count, generators::SPACING_M)),
+                        Some(dims) => {
+                            let (w, h) = parse_pair_f64(dims, 'x', "random-disc area")?;
+                            Ok(TopologySpec::RandomDisc { count, width_m: w, height_m: h })
+                        }
+                    }
+                }
+            },
+            "city-blocks" => {
+                let (blocks, extra) = match arg {
+                    None => (("4", "4"), 16),
+                    Some(a) => {
+                        let (blocks_text, extra_text) = match a.split_once('@') {
+                            Some((b, e)) => (b, Some(e)),
+                            None => (a, None),
+                        };
+                        let (bx, by) = match blocks_text.split_once('x') {
+                            Some(p) => p,
+                            None => return Err("city-blocks wants BXxBY[@EXTRA]".to_string()),
+                        };
+                        let extra = match extra_text {
+                            Some(e) => parse_u16(e, "city-blocks extra node count")?,
+                            None => 16,
+                        };
+                        ((bx, by), extra)
+                    }
+                };
+                Ok(TopologySpec::CityBlocks {
+                    blocks_x: parse_u16(blocks.0, "city blocks along x")?,
+                    blocks_y: parse_u16(blocks.1, "city blocks along y")?,
+                    extra,
+                })
+            }
+            other => Err(format!(
+                "unknown topology '{other}' (chain, grid, random-disc, city-blocks)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for TopologySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TopologySpec::Chain { hops } => write!(f, "chain:{hops}"),
+            TopologySpec::Grid { rows, cols } => write!(f, "grid:{rows}x{cols}"),
+            TopologySpec::RandomDisc { count, width_m, height_m } => {
+                write!(f, "random-disc:{count}@{width_m:.0}x{height_m:.0}")
+            }
+            TopologySpec::CityBlocks { blocks_x, blocks_y, extra } => {
+                write!(f, "city-blocks:{blocks_x}x{blocks_y}@{extra}")
+            }
+        }
+    }
+}
+
+/// How nodes move once placed.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum MobilitySpec {
+    /// Nodes stay where the topology generator put them.
+    #[default]
+    Static,
+    /// Random waypoint over the topology's [`TopologySpec::extent`]:
+    /// pick a uniform destination, travel at a uniform speed from
+    /// `[min, max]`, pause, repeat.
+    Waypoint {
+        /// Slowest leg speed, m/s (must be positive).
+        min_speed_mps: f64,
+        /// Fastest leg speed, m/s.
+        max_speed_mps: f64,
+        /// Pause at each waypoint before the next leg.
+        pause: SimDuration,
+    },
+}
+
+impl MobilitySpec {
+    /// The literature-standard default waypoint model: 1–20 m/s, no pause.
+    pub const DEFAULT_WAYPOINT: MobilitySpec =
+        MobilitySpec::Waypoint { min_speed_mps: 1.0, max_speed_mps: 20.0, pause: SimDuration::ZERO };
+
+    /// Parses the CLI syntax:
+    ///
+    /// * `static`
+    /// * `waypoint` (1–20 m/s, no pause)
+    /// * `waypoint:5-15` (speed range in m/s)
+    /// * `waypoint:5-15@2` (…with a 2 s pause at each waypoint)
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (name, arg) = match text.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (text, None),
+        };
+        match name {
+            "static" => Ok(MobilitySpec::Static),
+            "waypoint" => {
+                let mut spec = (1.0, 20.0, SimDuration::ZERO);
+                if let Some(a) = arg {
+                    let (speeds, pause_text) = match a.split_once('@') {
+                        Some((s, p)) => (s, Some(p)),
+                        None => (a, None),
+                    };
+                    let (lo, hi) = parse_pair_f64(speeds, '-', "waypoint speed range")?;
+                    if !(lo > 0.0 && hi >= lo && hi.is_finite()) {
+                        return Err(format!("bad waypoint speed range '{speeds}'"));
+                    }
+                    spec.0 = lo;
+                    spec.1 = hi;
+                    if let Some(p) = pause_text {
+                        let secs = parse_f64(p, "waypoint pause seconds")?;
+                        if !(secs >= 0.0 && secs.is_finite()) {
+                            return Err(format!("bad waypoint pause '{p}'"));
+                        }
+                        spec.2 = SimDuration::from_secs_f64(secs);
+                    }
+                }
+                Ok(MobilitySpec::Waypoint {
+                    min_speed_mps: spec.0,
+                    max_speed_mps: spec.1,
+                    pause: spec.2,
+                })
+            }
+            other => Err(format!("unknown mobility model '{other}' (static, waypoint)")),
+        }
+    }
+}
+
+impl fmt::Display for MobilitySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MobilitySpec::Static => f.write_str("static"),
+            MobilitySpec::Waypoint { min_speed_mps, max_speed_mps, pause } => {
+                write!(f, "waypoint:{min_speed_mps}-{max_speed_mps}@{}", pause.as_secs_f64())
+            }
+        }
+    }
+}
+
+/// One leg of a scripted waypoint trace: travel to `target` at
+/// `speed_mps`, then hold for `pause` before the next leg starts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WaypointLeg {
+    /// Where this leg ends.
+    pub target: Position,
+    /// Travel speed in m/s (must be positive).
+    pub speed_mps: f64,
+    /// Dwell time at `target` before the next leg.
+    pub pause: SimDuration,
+}
+
+impl WaypointLeg {
+    /// A leg with no pause at its end.
+    pub fn to(target: Position, speed_mps: f64) -> Self {
+        WaypointLeg { target, speed_mps, pause: SimDuration::ZERO }
+    }
+
+    /// Sets the dwell time at the leg's end.
+    #[must_use]
+    pub fn pausing(mut self, pause: SimDuration) -> Self {
+        self.pause = pause;
+        self
+    }
+}
+
+impl sim_core::Snapshotable for WaypointLeg {
+    fn encode(&self, w: &mut sim_core::SnapshotWriter) {
+        w.put(&self.target);
+        w.put_f64(self.speed_mps);
+        w.put(&self.pause);
+    }
+
+    fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
+        let leg = WaypointLeg { target: r.get()?, speed_mps: r.take_f64()?, pause: r.get()? };
+        if !(leg.speed_mps > 0.0 && leg.speed_mps.is_finite()) {
+            return Err(sim_core::SnapError::Invalid("waypoint leg speed"));
+        }
+        Ok(leg)
+    }
+}
+
+fn parse_u16(text: &str, what: &str) -> Result<u16, String> {
+    match text.parse::<u16>() {
+        Ok(v) if v > 0 => Ok(v),
+        _ => Err(format!("bad {what} '{text}'")),
+    }
+}
+
+fn parse_f64(text: &str, what: &str) -> Result<f64, String> {
+    text.parse::<f64>().map_err(|_| format!("bad {what} '{text}'"))
+}
+
+fn parse_pair_u16(text: &str, sep: char, what: &str) -> Result<(u16, u16), String> {
+    match text.split_once(sep) {
+        Some((a, b)) => Ok((parse_u16(a, what)?, parse_u16(b, what)?)),
+        None => Err(format!("bad {what} '{text}' (want A{sep}B)")),
+    }
+}
+
+fn parse_pair_f64(text: &str, sep: char, what: &str) -> Result<(f64, f64), String> {
+    match text.split_once(sep) {
+        Some((a, b)) => Ok((parse_f64(a, what)?, parse_f64(b, what)?)),
+        None => Err(format!("bad {what} '{text}' (want A{sep}B)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_parse_round_trips() {
+        for text in ["chain:8", "grid:3x4", "random-disc:100@2500x2500", "city-blocks:4x4@20"] {
+            let spec = TopologySpec::parse(text).expect(text);
+            assert_eq!(spec.to_string(), text, "round trip {text}");
+        }
+    }
+
+    #[test]
+    fn topology_parse_defaults() {
+        assert_eq!(TopologySpec::parse("chain"), Ok(TopologySpec::Chain { hops: 4 }));
+        assert_eq!(TopologySpec::parse("grid"), Ok(TopologySpec::Grid { rows: 5, cols: 5 }));
+        let disc = TopologySpec::parse("random-disc:100").expect("dense disc");
+        match disc {
+            TopologySpec::RandomDisc { count, width_m, height_m } => {
+                assert_eq!(count, 100);
+                assert_eq!(width_m, height_m);
+                assert!(width_m > 1000.0, "100 nodes need room: {width_m}");
+            }
+            other => panic!("wrong spec {other:?}"),
+        }
+        assert!(TopologySpec::parse("torus").is_err());
+        assert!(TopologySpec::parse("chain:0").is_err());
+    }
+
+    #[test]
+    fn topology_specs_build_and_count() {
+        for text in ["chain:6", "grid:3x4", "random-disc:30", "city-blocks:3x3@10"] {
+            let spec = TopologySpec::parse(text).expect(text);
+            spec.validate();
+            let positions = spec.build(250.0, 11);
+            assert_eq!(positions.len(), spec.node_count(), "{text}");
+            let (w, h) = spec.extent();
+            assert!(w >= 250.0 && h >= 250.0, "{text} extent ({w}, {h})");
+        }
+    }
+
+    #[test]
+    fn mobility_parse() {
+        assert_eq!(MobilitySpec::parse("static"), Ok(MobilitySpec::Static));
+        assert_eq!(MobilitySpec::parse("waypoint"), Ok(MobilitySpec::DEFAULT_WAYPOINT));
+        assert_eq!(
+            MobilitySpec::parse("waypoint:5-15@2"),
+            Ok(MobilitySpec::Waypoint {
+                min_speed_mps: 5.0,
+                max_speed_mps: 15.0,
+                pause: SimDuration::from_secs(2),
+            })
+        );
+        assert!(MobilitySpec::parse("waypoint:15-5").is_err(), "inverted range");
+        assert!(MobilitySpec::parse("waypoint:0-5").is_err(), "zero speed");
+        assert!(MobilitySpec::parse("brownian").is_err());
+    }
+
+    #[test]
+    fn index_kind_parse_and_codec() {
+        use sim_core::{Snapshotable, SnapshotReader, SnapshotWriter};
+        assert_eq!(IndexKind::parse("grid"), Ok(IndexKind::Grid));
+        assert_eq!(IndexKind::parse("brute-force"), Ok(IndexKind::BruteForce));
+        assert!(IndexKind::parse("quadtree").is_err());
+        for kind in [IndexKind::Grid, IndexKind::BruteForce] {
+            let mut w = SnapshotWriter::new();
+            kind.encode(&mut w);
+            let bytes = w.finish();
+            let mut r = SnapshotReader::new(&bytes);
+            assert_eq!(IndexKind::decode(&mut r).expect("decode"), kind);
+        }
+    }
+
+    #[test]
+    fn waypoint_leg_codec_rejects_bad_speed() {
+        use sim_core::{Snapshotable, SnapshotReader, SnapshotWriter};
+        let leg = WaypointLeg::to(Position::new(100.0, 200.0), 12.5)
+            .pausing(SimDuration::from_secs(3));
+        let mut w = SnapshotWriter::new();
+        leg.encode(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes);
+        assert_eq!(WaypointLeg::decode(&mut r).expect("decode"), leg);
+
+        let bad = WaypointLeg { speed_mps: 0.0, ..leg };
+        let mut w = SnapshotWriter::new();
+        bad.encode(&mut w);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(WaypointLeg::decode(&mut r).is_err());
+    }
+}

@@ -82,6 +82,9 @@ pub fn line(entry: &TraceEntry) -> String {
         TraceRecord::PhyLoss { from, frame, uid, .. } => {
             let _ = write!(s, "{} {} 0 [<- {}] [ERR]", uid.unwrap_or(0), frame_token(frame), from);
         }
+        TraceRecord::PhyMove { x, y, .. } => {
+            let _ = write!(s, "0 move 0 [x {x:.2} y {y:.2}]");
+        }
         TraceRecord::MacBackoff { slots, cw, .. } => {
             let _ = write!(s, "0 backoff 0 [slots {slots} cw {cw}]");
         }

@@ -218,6 +218,15 @@ pub enum TraceRecord {
         /// Uid of the carried packet, if any.
         uid: Option<u64>,
     },
+    /// A node's position changed (mobility step or scripted teleport).
+    PhyMove {
+        /// The node that moved.
+        node: NodeId,
+        /// New x coordinate in metres.
+        x: f64,
+        /// New y coordinate in metres.
+        y: f64,
+    },
     /// The DCF drew a backoff and armed its countdown.
     MacBackoff {
         /// Contending node.
@@ -413,7 +422,8 @@ impl TraceRecord {
             TraceRecord::PhyTx { .. }
             | TraceRecord::PhyRx { .. }
             | TraceRecord::PhyCollision { .. }
-            | TraceRecord::PhyLoss { .. } => Layer::Phy,
+            | TraceRecord::PhyLoss { .. }
+            | TraceRecord::PhyMove { .. } => Layer::Phy,
             TraceRecord::MacBackoff { .. } | TraceRecord::MacRetryDrop { .. } => Layer::Mac,
             TraceRecord::RtrRecv { .. }
             | TraceRecord::RtrForward { .. }
@@ -437,6 +447,7 @@ impl TraceRecord {
             | TraceRecord::PhyRx { node, .. }
             | TraceRecord::PhyCollision { node, .. }
             | TraceRecord::PhyLoss { node, .. }
+            | TraceRecord::PhyMove { node, .. }
             | TraceRecord::MacBackoff { node, .. }
             | TraceRecord::MacRetryDrop { node, .. }
             | TraceRecord::RtrRecv { node, .. }
@@ -472,6 +483,7 @@ impl TraceRecord {
             | TraceRecord::PhyRx { .. }
             | TraceRecord::PhyCollision { .. }
             | TraceRecord::PhyLoss { .. }
+            | TraceRecord::PhyMove { .. }
             | TraceRecord::MacBackoff { .. }
             | TraceRecord::MacRetryDrop { .. }
             | TraceRecord::RtrRouteChange { .. } => None,
@@ -496,7 +508,8 @@ impl TraceRecord {
             | TraceRecord::TcpRecvData { uid, .. }
             | TraceRecord::TcpAckTx { uid, .. }
             | TraceRecord::TcpRecvAck { uid, .. } => Some(uid),
-            TraceRecord::MacBackoff { .. }
+            TraceRecord::PhyMove { .. }
+            | TraceRecord::MacBackoff { .. }
             | TraceRecord::RtrRouteChange { .. }
             | TraceRecord::TcpCwnd { .. } => None,
         }
@@ -524,7 +537,8 @@ impl TraceRecord {
                     Direction::Forward
                 }
             }
-            TraceRecord::MacBackoff { .. }
+            TraceRecord::PhyMove { .. }
+            | TraceRecord::MacBackoff { .. }
             | TraceRecord::RtrRouteChange { .. }
             | TraceRecord::IfqEnqueue { .. }
             | TraceRecord::IfqMark { .. }

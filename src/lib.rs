@@ -48,6 +48,10 @@ pub mod sim {
 /// On-the-wire types: packets, segments, frames, and the DRAI option.
 pub use wire;
 
+/// Topology & mobility subsystem: geometry, the spatial grid index,
+/// topology generators, and the `--topology`/`--mobility` spec grammar.
+pub use topo;
+
 /// Wireless physical layer: radio, channel geometry, capture model.
 pub use phy;
 
@@ -73,8 +77,9 @@ pub use tracelog;
 /// Assembled network stack: nodes, simulator, topologies, flow reports.
 pub mod net {
     pub use netstack::{
-        topology, BusyTracker, DropTailQueue, FlowReport, FlowSpec, NodeSummary, QueueDiscipline,
-        RedConfig, RunReport, SimConfig, Simulator, TcpVariant,
+        topology, BusyTracker, DropTailQueue, FlowReport, FlowSpec, IndexKind, MobilitySpec,
+        NodeSummary, QueueDiscipline, RedConfig, RunReport, SimConfig, Simulator, TcpVariant,
+        TopologySpec, WaypointLeg,
     };
 }
 

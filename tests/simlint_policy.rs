@@ -65,6 +65,22 @@ fn trace_subsystem_is_held_to_sim_state_policy() {
 }
 
 #[test]
+fn topology_subsystem_is_held_to_sim_state_policy() {
+    // The spatial grid decides which nodes the channel visits on every
+    // neighbor refresh, and the generators draw placements from `SimRng` —
+    // a hash-ordered map or wall-clock read in `topo` would reorder PHY
+    // events between runs. Pin it into the strict set.
+    assert!(
+        simlint::SIM_STATE_CRATES.contains(&"topo"),
+        "crates/topo must stay in the sim-state crate list"
+    );
+    assert!(
+        !simlint::WALLCLOCK_CRATES.contains(&"topo"),
+        "crates/topo must not gain a wall-clock licence"
+    );
+}
+
+#[test]
 fn binaryheap_licence_covers_sim_core_only() {
     // Pin the binary-heap carve-out: the scheduler's home crate may use
     // `std::collections::BinaryHeap` (the calendar queue's in-bucket spill

@@ -8,8 +8,11 @@
 //! here as a hash divergence.
 
 use tcp_muzha::faultline::ScenarioScript;
-use tcp_muzha::net::{topology, FlowSpec, SimConfig, Simulator, TcpVariant};
+use tcp_muzha::net::{
+    topology, FlowSpec, MobilitySpec, SimConfig, Simulator, TcpVariant, TopologySpec,
+};
 use tcp_muzha::sim::{SchedulerKind, SimTime, TraceHash};
+use tcp_muzha::tracecap;
 use tracelog::{ns2, TraceEntry, TraceLog};
 
 /// The corpus, embedded like `tests/scenario_corpus.rs` embeds it.
@@ -131,6 +134,58 @@ fn taking_a_snapshot_is_a_pure_observation() {
 
     assert_eq!(plain.trace_hash(), observed.trace_hash(), "snapshot() perturbed the run");
     assert_eq!(plain.perf(), observed.perf());
+}
+
+/// Mobility state rides the snapshot too: a generated random-waypoint
+/// topology (`Simulator::from_config`, every node roaming) snapshotted
+/// mid-flight — motion plans in progress, pause timers pending, the
+/// spatial grid index mid-churn — and resumed in a fresh simulator must
+/// replay bit-identically to the straight run, under both schedulers.
+#[test]
+fn mobile_run_resumes_bit_identically() {
+    let end = SimTime::from_secs_f64(5.0);
+    let t = SimTime::from_secs_f64(2.0);
+    for scheduler in [SchedulerKind::Calendar, SchedulerKind::Heap] {
+        let cfg = SimConfig {
+            seed: 0x0B11_E77E,
+            scheduler,
+            topology: TopologySpec::random_disc_dense(16, 250.0),
+            mobility: MobilitySpec::DEFAULT_WAYPOINT,
+            ..SimConfig::default()
+        };
+        let build = || {
+            let mut sim = Simulator::from_config(cfg);
+            let (src, dst) = tracecap::farthest_pair(&sim);
+            sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+            sim
+        };
+
+        let mut straight = build();
+        straight.run_until(t);
+        assert!(
+            straight.perf().position_updates > 0,
+            "{scheduler:?}: no motion before the snapshot instant — T too early?"
+        );
+        let bytes = straight.snapshot();
+        straight.run_until(end);
+
+        let mut resumed = build();
+        resumed
+            .restore(&bytes)
+            .unwrap_or_else(|e| panic!("{scheduler:?}: mobile restore at {t} failed: {e}"));
+        resumed.run_until(end);
+
+        assert_eq!(
+            straight.trace_hash(),
+            resumed.trace_hash(),
+            "{scheduler:?}: mobile trace hash diverged after resume at {t}"
+        );
+        assert_eq!(
+            straight.perf(),
+            resumed.perf(),
+            "{scheduler:?}: mobile RunPerf diverged after resume at {t}"
+        );
+    }
 }
 
 /// A snapshot refuses to restore into a simulator built under a different

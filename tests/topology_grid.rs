@@ -1,0 +1,151 @@
+//! End-to-end PHY-index equivalence gate: the spatial grid index must be
+//! *behaviourally invisible*. Every script in the scenario corpus, and a
+//! set of generated mobile topologies, runs once on the grid index and
+//! once on the brute-force reference; the trace hashes must be
+//! bit-identical. The unit-level differential proptests in `crates/phy`
+//! pin neighbor-set equality per query — this file pins the only thing
+//! that ultimately matters: whole-run trace equality through the full
+//! stack (PHY capture, MAC contention, AODV, TCP), faults and all.
+
+use tcp_muzha::faultline::{InvariantChecker, LedgerSummary, ScenarioScript};
+use tcp_muzha::net::{
+    topology, FlowSpec, IndexKind, MobilitySpec, SimConfig, Simulator, TcpVariant, TopologySpec,
+};
+use tcp_muzha::sim::SimTime;
+use tcp_muzha::tracecap;
+
+/// The corpus, embedded like `tests/scenario_corpus.rs` embeds it.
+const CORPUS: [(&str, &str); 8] = [
+    ("chain-break", include_str!("scenarios/chain-break.scn")),
+    ("relay-crash", include_str!("scenarios/relay-crash.scn")),
+    ("bursty-channel", include_str!("scenarios/bursty-channel.scn")),
+    ("blackhole-window", include_str!("scenarios/blackhole-window.scn")),
+    ("partition-heal", include_str!("scenarios/partition-heal.scn")),
+    ("pause-resume", include_str!("scenarios/pause-resume.scn")),
+    ("queue-squeeze", include_str!("scenarios/queue-squeeze.scn")),
+    ("storm", include_str!("scenarios/storm.scn")),
+];
+
+/// Corpus-convention run (4-hop chain, one NewReno flow, the script's seed
+/// and duration) with the PHY neighbor index pinned to `index`.
+fn run_corpus_scenario(script: &ScenarioScript, index: IndexKind) -> (u64, u64) {
+    let seed = script.seed.expect("corpus scripts declare a seed");
+    let duration = script.duration.expect("corpus scripts declare a duration");
+    let cfg = SimConfig { seed, phy_index: index, ..SimConfig::default() };
+    let mut sim = Simulator::new(topology::chain(4), cfg);
+    let (src, dst) = topology::chain_flow(4);
+    let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::NewReno));
+    sim.load_scenario(script);
+    sim.run_until(SimTime::ZERO + duration);
+    (sim.trace_hash(), sim.flow_report(flow).delivered_segments)
+}
+
+/// Every corpus script — faults, pauses, partitions and all — must replay
+/// bit-identically whether `Channel` resolves neighbors through the
+/// spatial grid or by scanning every node.
+#[test]
+fn corpus_trace_hashes_are_index_agnostic() {
+    for (name, text) in CORPUS {
+        let script = ScenarioScript::parse(text)
+            .unwrap_or_else(|e| panic!("scenario {name} failed to parse: {e}"));
+        let (grid_hash, grid_delivered) = run_corpus_scenario(&script, IndexKind::Grid);
+        let (brute_hash, brute_delivered) = run_corpus_scenario(&script, IndexKind::BruteForce);
+        assert_eq!(
+            grid_hash, brute_hash,
+            "{name}: grid and brute-force PHY indexes diverged — the grid must be invisible"
+        );
+        assert_eq!(grid_delivered, brute_delivered, "{name}: delivery counts diverged");
+        assert!(grid_delivered > 0, "{name}: the flow delivered nothing at all");
+    }
+}
+
+/// What a mobile run reports back for the equivalence comparison.
+struct MobileOutcome {
+    hash: u64,
+    delivered: u64,
+    position_updates: u64,
+    ledger: LedgerSummary,
+    violations: Vec<String>,
+}
+
+/// Builds the whole simulator from a generated topology + mobility model
+/// (the `Simulator::from_config` path the `--topology` CLI flags use),
+/// drives one Muzha flow between the two most-separated nodes under the
+/// invariant checker, and runs for `secs` virtual seconds.
+fn run_mobile(
+    spec: TopologySpec,
+    mobility: MobilitySpec,
+    index: IndexKind,
+    secs: f64,
+) -> MobileOutcome {
+    let cfg = SimConfig {
+        seed: 0xC17B_10C5,
+        topology: spec,
+        mobility,
+        phy_index: index,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::from_config(cfg);
+    sim.install_checker(InvariantChecker::new());
+    let (src, dst) = tracecap::farthest_pair(&sim);
+    let flow = sim.add_flow(FlowSpec::new(src, dst, TcpVariant::Muzha));
+    sim.run_until(SimTime::from_secs_f64(secs));
+    let checker = sim.take_checker().expect("checker installed above");
+    MobileOutcome {
+        hash: sim.trace_hash(),
+        delivered: sim.flow_report(flow).delivered_segments,
+        position_updates: sim.perf().position_updates,
+        ledger: checker.ledger(),
+        violations: checker.violations().iter().map(|v| v.to_string()).collect(),
+    }
+}
+
+/// The mobile-topology form of the gate: every generator family, with
+/// every node roaming under random waypoint, replays bit-identically on
+/// both indexes — while the run itself stays clean (balanced conservation
+/// ledger, zero invariant violations).
+#[test]
+fn mobile_topologies_are_index_agnostic() {
+    let cases = [
+        ("random-disc", TopologySpec::random_disc_dense(24, 250.0)),
+        ("grid", TopologySpec::Grid { rows: 4, cols: 4 }),
+        ("city-blocks", TopologySpec::CityBlocks { blocks_x: 3, blocks_y: 3, extra: 4 }),
+    ];
+    for (name, spec) in cases {
+        let grid = run_mobile(spec, MobilitySpec::DEFAULT_WAYPOINT, IndexKind::Grid, 5.0);
+        let brute = run_mobile(spec, MobilitySpec::DEFAULT_WAYPOINT, IndexKind::BruteForce, 5.0);
+        assert_eq!(
+            grid.hash, brute.hash,
+            "{name}: grid and brute-force PHY indexes diverged under mobility"
+        );
+        assert_eq!(grid.delivered, brute.delivered, "{name}: delivery counts diverged");
+        assert!(
+            grid.position_updates > 0,
+            "{name}: waypoint mobility produced no position updates — models not wired?"
+        );
+        assert!(
+            grid.violations.is_empty(),
+            "{name}: invariant violations under mobility:\n{}",
+            grid.violations.join("\n")
+        );
+        let l = grid.ledger;
+        assert_eq!(
+            l.injected,
+            l.delivered + l.dropped + l.fault_dropped + l.in_flight,
+            "{name}: conservation ledger does not balance under mobility: {l:?}"
+        );
+    }
+}
+
+/// The index choice must *matter* to the work done even while the traces
+/// agree: a same-seed pair of runs differing only in `phy_index` performs
+/// identical position updates (same mobility stream), which is exactly why
+/// hash equality above is a real differential and not a vacuous one.
+#[test]
+fn index_twins_share_the_same_mobility_stream() {
+    let spec = TopologySpec::random_disc_dense(16, 250.0);
+    let grid = run_mobile(spec, MobilitySpec::DEFAULT_WAYPOINT, IndexKind::Grid, 3.0);
+    let brute = run_mobile(spec, MobilitySpec::DEFAULT_WAYPOINT, IndexKind::BruteForce, 3.0);
+    assert_eq!(grid.position_updates, brute.position_updates);
+    assert_eq!(grid.hash, brute.hash);
+}
