@@ -275,9 +275,7 @@ impl Aodv {
     /// # Errors
     ///
     /// Any [`sim_core::SnapError`] on truncated or out-of-domain input.
-    pub fn decode_state(
-        r: &mut sim_core::SnapshotReader<'_>,
-    ) -> Result<Self, sim_core::SnapError> {
+    pub fn decode_state(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
         Ok(Aodv {
             addr: r.get()?,
             cfg: r.get()?,

@@ -95,9 +95,7 @@ impl RouterAgent {
     /// # Errors
     ///
     /// Any [`sim_core::SnapError`] on truncated or out-of-domain input.
-    pub fn decode_state(
-        r: &mut sim_core::SnapshotReader<'_>,
-    ) -> Result<Self, sim_core::SnapError> {
+    pub fn decode_state(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
         Ok(RouterAgent { drai: r.get()?, stats: r.get()? })
     }
 

@@ -32,9 +32,10 @@ fn main() {
     let Some(mode) = args.first().map(String::as_str) else {
         usage("missing subcommand");
     };
-    let script_path = parse_flag(&args, "--script").unwrap_or_else(|| usage("--script is required"));
-    let text =
-        fs::read_to_string(&script_path).unwrap_or_else(|e| fail(&format!("read {script_path}: {e}")));
+    let script_path =
+        parse_flag(&args, "--script").unwrap_or_else(|| usage("--script is required"));
+    let text = fs::read_to_string(&script_path)
+        .unwrap_or_else(|e| fail(&format!("read {script_path}: {e}")));
     let script =
         ScenarioScript::parse(&text).unwrap_or_else(|e| fail(&format!("parse {script_path}: {e}")));
     let duration = corpus_duration(&script);
@@ -51,12 +52,13 @@ fn main() {
 fn snapshot(script: &ScenarioScript, duration: SimDuration, args: &[String]) {
     let mut sim = corpus_sim(script);
     if let Some(every) = parse_flag(args, "--checkpoint-every") {
-        let every: f64 = every.parse().unwrap_or_else(|_| usage("--checkpoint-every wants seconds"));
-        if !(every > 0.0) {
+        let every: f64 =
+            every.parse().unwrap_or_else(|_| usage("--checkpoint-every wants seconds"));
+        if every.is_nan() || every <= 0.0 {
             usage("--checkpoint-every must be positive");
         }
-        let out_dir =
-            parse_flag(args, "--out-dir").unwrap_or_else(|| usage("--out-dir is required with --checkpoint-every"));
+        let out_dir = parse_flag(args, "--out-dir")
+            .unwrap_or_else(|| usage("--out-dir is required with --checkpoint-every"));
         fs::create_dir_all(&out_dir).unwrap_or_else(|e| fail(&format!("mkdir {out_dir}: {e}")));
         let step = SimDuration::from_secs_f64(every);
         let mut at = SimTime::ZERO + step;
@@ -64,7 +66,8 @@ fn snapshot(script: &ScenarioScript, duration: SimDuration, args: &[String]) {
         while at < SimTime::ZERO + duration {
             sim.run_until(at);
             let path = format!("{out_dir}/{}-t{:.3}.snap", script.name, at.as_secs_f64());
-            fs::write(&path, sim.snapshot()).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+            fs::write(&path, sim.snapshot())
+                .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
             println!(
                 "checkpoint {path}: t={} events={} hash={:#018x}",
                 at,
@@ -72,7 +75,7 @@ fn snapshot(script: &ScenarioScript, duration: SimDuration, args: &[String]) {
                 sim.trace_hash()
             );
             written += 1;
-            at = at + step;
+            at += step;
         }
         sim.run_until(SimTime::ZERO + duration);
         println!(
@@ -105,9 +108,9 @@ fn resume(script: &ScenarioScript, duration: SimDuration, args: &[String]) {
     let from = parse_flag(args, "--from").unwrap_or_else(|| usage("resume wants --from PATH"));
     let bytes = fs::read(&from).unwrap_or_else(|e| fail(&format!("read {from}: {e}")));
     let end = match parse_flag(args, "--until") {
-        Some(v) => SimTime::from_secs_f64(
-            v.parse().unwrap_or_else(|_| usage("--until wants seconds")),
-        ),
+        Some(v) => {
+            SimTime::from_secs_f64(v.parse().unwrap_or_else(|_| usage("--until wants seconds")))
+        }
         None => SimTime::ZERO + duration,
     };
     let mut sim = corpus_sim(script);

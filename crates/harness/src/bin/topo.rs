@@ -6,7 +6,7 @@
 //! ```sh
 //! cargo run --release -p harness --bin topo -- \
 //!     [--topology SPEC] [--mobility SPEC] [--phy-index grid|brute-force] \
-//!     [--secs S] [--seed S] [--flows N] [--variant NAME] [--twin]
+//!     [--secs S] [--seed S] [--flows N] [--variant NAME] [--twin] [--shards N]
 //! ```
 //!
 //! Topology specs: `chain:8`, `grid:4x5`, `random-disc:100` (dense square
@@ -18,13 +18,17 @@
 //! `--twin` runs the same scenario a second time on the brute-force PHY
 //! index and fails loudly unless the trace hashes are bit-identical — the
 //! end-to-end form of the grid/brute equivalence the PHY proptests pin.
+//!
+//! `--shards N` (N > 1) switches to the conservative sharded scheduler:
+//! nodes are partitioned into N spatial shards and mobility work is planned
+//! per shard inside propagation-delay lookahead windows. The trace hash is
+//! identical to a serial run by construction — compare against a run
+//! without the flag to check.
 
+use faultline::InvariantChecker;
 use harness::tracecap;
 use harness::WallClock;
-use faultline::InvariantChecker;
-use netstack::{
-    FlowSpec, IndexKind, MobilitySpec, SimConfig, Simulator, TcpVariant, TopologySpec,
-};
+use netstack::{FlowSpec, IndexKind, MobilitySpec, SimConfig, Simulator, TcpVariant, TopologySpec};
 use sim_core::SimTime;
 use wire::NodeId;
 
@@ -39,8 +43,7 @@ fn main() {
     let index = parse_flag(&args, "--phy-index")
         .map(|v| IndexKind::parse(&v).unwrap_or_else(|e| panic!("--phy-index: {e}")))
         .unwrap_or_default();
-    let secs: u64 =
-        parse_flag(&args, "--secs").map_or(30, |v| v.parse().expect("--secs number"));
+    let secs: u64 = parse_flag(&args, "--secs").map_or(30, |v| v.parse().expect("--secs number"));
     let seed: Option<u64> = parse_flag(&args, "--seed").map(|v| v.parse().expect("--seed number"));
     let flows: usize =
         parse_flag(&args, "--flows").map_or(1, |v| v.parse().expect("--flows number"));
@@ -49,21 +52,25 @@ fn main() {
             .unwrap_or_else(|| panic!("unknown variant {v:?}; known: {:?}", TcpVariant::ALL))
     });
     let twin = args.iter().any(|a| a == "--twin");
+    let shards: usize =
+        parse_flag(&args, "--shards").map_or(1, |v| v.parse().expect("--shards number"));
 
-    let mut cfg = SimConfig::default();
-    cfg.topology = topology;
-    cfg.mobility = mobility;
-    cfg.phy_index = index;
+    let mut cfg = SimConfig { topology, mobility, phy_index: index, ..SimConfig::default() };
+    if shards > 1 {
+        cfg.scheduler = sim_core::SchedulerKind::Sharded;
+        cfg.shards = shards;
+    }
     if let Some(seed) = seed {
         cfg.seed = seed;
     }
 
     println!(
         "topology {topology} ({} nodes), mobility {mobility}, index {index}, \
-         {flows} {} flow(s), {secs} s virtual, seed {:#x}",
+         {flows} {} flow(s), {secs} s virtual, seed {:#x}{}",
         topology.node_count(),
         variant.name(),
         cfg.seed,
+        if shards > 1 { format!(", sharded scheduler ({shards} shards)") } else { String::new() },
     );
 
     let outcome = run(cfg, variant, flows, secs);
@@ -171,11 +178,7 @@ fn add_spread_flows(sim: &mut Simulator, variant: TcpVariant, flows: usize) {
         if a == b {
             b = (b + 1) % n;
         }
-        sim.add_flow(FlowSpec::new(
-            NodeId::new(a as u16),
-            NodeId::new(b as u16),
-            variant,
-        ));
+        sim.add_flow(FlowSpec::new(NodeId::new(a as u16), NodeId::new(b as u16), variant));
     }
 }
 

@@ -5,7 +5,7 @@
 //! ```sh
 //! cargo run --release -p harness --bin trace -- \
 //!     [--hops N] [--variant NAME] [--secs S] [--seed S] [--quick] \
-//!     [--topology SPEC] [--mobility SPEC] \
+//!     [--topology SPEC] [--mobility SPEC] [--shards N] \
 //!     [--format ns2|pcap|csv] [--follow-flow F] [--last N] [--out PATH]
 //! ```
 //!
@@ -19,6 +19,8 @@
 //! `city-blocks:4x4@16`) swaps the chain for a generated topology, with
 //! one flow between the two most-separated nodes; `--mobility SPEC`
 //! (`static`, `waypoint`, `waypoint:1-20@30`) sets every node roaming.
+//! `--shards N` (N > 1) captures under the conservative sharded scheduler;
+//! the emitted trace is bit-identical to a serial capture by construction.
 
 use harness::tracecap::{self, TraceFormat};
 use netstack::{MobilitySpec, SimConfig, TcpVariant, TopologySpec};
@@ -50,8 +52,14 @@ fn main() {
         .map(|v| TopologySpec::parse(&v).unwrap_or_else(|e| panic!("--topology: {e}")));
     let mobility: Option<MobilitySpec> = parse_flag(&args, "--mobility")
         .map(|v| MobilitySpec::parse(&v).unwrap_or_else(|e| panic!("--mobility: {e}")));
+    let shards: usize =
+        parse_flag(&args, "--shards").map_or(1, |v| v.parse().expect("--shards number"));
 
     let mut cfg = SimConfig::default();
+    if shards > 1 {
+        cfg.scheduler = sim_core::SchedulerKind::Sharded;
+        cfg.shards = shards;
+    }
     if let Some(seed) = seed {
         cfg.seed = seed;
     }

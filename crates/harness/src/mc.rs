@@ -184,11 +184,8 @@ pub fn run_branch_resumed(
         violations.push("replay-divergence: a decision exceeded its tie group".to_string());
     }
     let replayed = sim.perf().events_processed - checkpoint.prefix_events;
-    let outcome = BranchOutcome {
-        trace_hash: sim.trace_hash(),
-        choices: order.into_choices(),
-        violations,
-    };
+    let outcome =
+        BranchOutcome { trace_hash: sim.trace_hash(), choices: order.into_choices(), violations };
     (outcome, replayed)
 }
 
@@ -202,11 +199,13 @@ pub fn run_branch_resumed(
 ///
 /// Panics if `cfg.tie_window` is `None`: without a window there is no
 /// shared prefix to checkpoint.
-pub fn explore_scenario_resumed(script: &ScenarioScript, cfg: &McConfig) -> (McVerdict, ResumeStats) {
+pub fn explore_scenario_resumed(
+    script: &ScenarioScript,
+    cfg: &McConfig,
+) -> (McVerdict, ResumeStats) {
     let (start, _) = cfg.tie_window.expect("checkpoint resume needs a tie window");
     let placed = mc::placements(script, cfg);
-    let checkpoints: Vec<Checkpoint> =
-        placed.iter().map(|p| checkpoint_before(p, start)).collect();
+    let checkpoints: Vec<Checkpoint> = placed.iter().map(|p| checkpoint_before(p, start)).collect();
     let mut stats = ResumeStats {
         prefix_events: checkpoints.iter().map(|c| c.prefix_events).sum(),
         ..ResumeStats::default()

@@ -484,9 +484,7 @@ impl Mac {
     /// # Errors
     ///
     /// Any [`sim_core::SnapError`] on truncated or out-of-domain input.
-    pub fn decode_state(
-        r: &mut sim_core::SnapshotReader<'_>,
-    ) -> Result<Self, sim_core::SnapError> {
+    pub fn decode_state(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
         Ok(Mac {
             params: r.get()?,
             addr: r.get()?,

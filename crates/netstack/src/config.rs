@@ -7,8 +7,8 @@ use muzha::{AdjustmentCadence, DraiConfig};
 use crate::RedConfig;
 use phy::{IndexKind, RadioParams};
 use sim_core::{SchedulerKind, SimDuration, SimTime};
-use topo::{MobilitySpec, TopologySpec};
 use tcp::{TcpConfig, VegasConfig};
+use topo::{MobilitySpec, TopologySpec};
 use wire::NodeId;
 
 /// Which TCP sender implementation a flow uses.
@@ -83,10 +83,7 @@ impl sim_core::Snapshotable for TcpVariant {
 
     fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
         let tag = r.take_u8()? as usize;
-        TcpVariant::ALL
-            .get(tag)
-            .copied()
-            .ok_or(sim_core::SnapError::Invalid("tcp variant tag"))
+        TcpVariant::ALL.get(tag).copied().ok_or(sim_core::SnapError::Invalid("tcp variant tag"))
     }
 }
 
@@ -136,6 +133,11 @@ pub struct SimConfig {
     /// Both kinds produce bit-identical traces; the spatial grid is the
     /// fast default, brute-force remains as a differential reference.
     pub phy_index: IndexKind,
+    /// How many shards the [`SchedulerKind::Sharded`] driver partitions
+    /// nodes into (ignored by the serial drivers). Any shard count yields
+    /// a trace bit-identical to the serial schedulers; counts above 1 let
+    /// safe-window work run on worker threads.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -153,6 +155,7 @@ impl Default for SimConfig {
             topology: TopologySpec::default(),
             mobility: MobilitySpec::default(),
             phy_index: IndexKind::default(),
+            shards: 1,
         }
     }
 }
@@ -186,6 +189,11 @@ impl SimConfig {
             );
         }
         assert!(self.ifq_capacity > 0, "IFQ capacity must be positive");
+        assert!(
+            self.shards >= 1 && self.shards <= sim_core::MAX_SHARDS,
+            "shard count must be in 1..={}",
+            sim_core::MAX_SHARDS
+        );
         assert_eq!(
             self.mac.data_rate_bps, self.radio.data_rate_bps,
             "MAC and PHY data rates must agree"

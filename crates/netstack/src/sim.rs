@@ -7,8 +7,9 @@ use aodv::{Aodv, AodvOutput, AodvTimer};
 use faultline::{CheckEvent, FaultEvent, InvariantChecker, ScenarioScript, TimedFault};
 use mac80211::{Mac, MacOutput, MediumView};
 use muzha::{MuzhaSender, RouterAgent};
+use phy::PendingMoves;
 use phy::{Channel, GeState, GilbertElliott, PhyState, Position, RxOutcome, TxId};
-use sim_core::{DriverQueue, SimRng, SimTime, TieClass, TieKind, TieOrder};
+use sim_core::{DriverQueue, SchedulerKind, SimRng, SimTime, TieClass, TieKind, TieOrder};
 use tcp::{
     DoorSender, RenoSender, SackSender, TcpOutput, TcpReceiver, TcpTimer, Transport, VegasSender,
     VenoSender, WestwoodSender,
@@ -311,6 +312,16 @@ pub struct Simulator {
     scripted_down: DetSet<(NodeId, NodeId)>,
     /// Deterministic work counters for this run (virtual events only).
     perf: RunPerf,
+    /// Node → home shard under [`sim_core::SchedulerKind::Sharded`], built
+    /// once from the initial placement (column strips over the spatial
+    /// grid). Empty for the serial schedulers. A pure routing/attribution
+    /// hint: the merged pop order is identical for any assignment, so this
+    /// is derived state and not snapshotted.
+    shard_map: Vec<u8>,
+    /// Per-shard work counters under the sharded scheduler (one block per
+    /// shard, merged by [`Simulator::perf`]). Empty for serial runs, where
+    /// `perf` is written directly.
+    shard_perf: Vec<RunPerf>,
 }
 
 /// An active movement: the node heads toward `target` at `speed_mps`; when
@@ -320,6 +331,37 @@ struct Movement {
     target: phy::Position,
     speed_mps: f64,
     plan: MobilityPlan,
+}
+
+/// One pop-order slot of a sharded mobility batch (see
+/// [`Simulator::run_tick_batch`]). Formation records what each popped event
+/// turned into; the commit phase replays the slots in order.
+enum BatchSlot {
+    /// A gated-in tick with a staged move; `rank` indexes the pending-move
+    /// batch and its planned rows.
+    Move { rank: usize },
+    /// A popped event that consumed its slot without committing anything: a
+    /// tick gated off (paused node) or one whose movement was cancelled.
+    Skip { shard: usize },
+    /// The first non-batchable event popped. It terminates formation and is
+    /// dispatched serially after the batch commits — exactly where serial
+    /// execution would have run it.
+    Term { t: SimTime, shard: usize, event: Event },
+}
+
+/// Everything the parallel planner and the serial commit need for one
+/// staged move, computed serially at formation time from pre-batch state.
+/// Interpolation and arrival depend only on the mover's *own* position and
+/// movement — never on other nodes — and each node appears at most once per
+/// batch, so these values match what serial execution would compute at the
+/// same tick.
+struct MoveStep {
+    node: NodeId,
+    t: SimTime,
+    shard: usize,
+    arrived: bool,
+    new_pos: phy::Position,
+    movement: Movement,
 }
 
 /// What a node does when it reaches its current waypoint.
@@ -434,7 +476,9 @@ fn make_transport(flow: FlowId, spec: &FlowSpec) -> Box<dyn Transport> {
         TcpVariant::Veno => Box::new(VenoSender::new(flow, spec.tcp)),
         TcpVariant::Westwood => Box::new(WestwoodSender::new(flow, spec.tcp)),
         TcpVariant::Door => Box::new(DoorSender::new(flow, spec.tcp)),
-        TcpVariant::Muzha => Box::new(MuzhaSender::with_cadence(flow, spec.tcp, spec.muzha_cadence)),
+        TcpVariant::Muzha => {
+            Box::new(MuzhaSender::with_cadence(flow, spec.tcp, spec.muzha_cadence))
+        }
     }
 }
 
@@ -448,6 +492,15 @@ impl Simulator {
         cfg.validate();
         assert!(!positions.is_empty(), "need at least one node");
         let mut rng = SimRng::new(cfg.seed);
+        // Home-shard assignment for the sharded driver: column strips over
+        // the same cell geometry the PHY grid uses, frozen at construction
+        // so attribution never races mobility. Serial drivers skip it.
+        let shards = if cfg.scheduler == SchedulerKind::Sharded { cfg.shards.max(1) } else { 1 };
+        let shard_map = if cfg.scheduler == SchedulerKind::Sharded {
+            topo::ShardMap::build(shards, cfg.radio.cs_range_m, &positions).assignment().to_vec()
+        } else {
+            Vec::new()
+        };
         let channel = Channel::with_index(positions, cfg.radio, cfg.phy_index);
         let nodes = (0..channel.node_count())
             .map(|i| {
@@ -477,8 +530,11 @@ impl Simulator {
                 }
             })
             .collect();
-        let mut events = DriverQueue::new(cfg.scheduler);
-        events.push(SimTime::ZERO + cfg.sample_interval, Event::Sample);
+        let mut events = match cfg.scheduler {
+            SchedulerKind::Sharded => DriverQueue::new_sharded(shards),
+            kind => DriverQueue::new(kind),
+        };
+        events.push_routed(SimTime::ZERO + cfg.sample_interval, Event::Sample, 0);
         let node_count = channel.node_count();
         let mut sim = Simulator {
             cfg,
@@ -504,6 +560,8 @@ impl Simulator {
             saturated: DetMap::new(),
             scripted_down: DetSet::new(),
             perf: RunPerf::default(),
+            shard_map,
+            shard_perf: if shards > 1 { vec![RunPerf::default(); shards] } else { Vec::new() },
         };
         // Kick off HELLO beaconing if the AODV config asks for it.
         if cfg.aodv.hello_interval.is_some() {
@@ -587,7 +645,7 @@ impl Simulator {
             TcpReceiver::new(flow, sack)
         };
         self.nodes[spec.dst.index()].receivers.insert(flow, ReceiverEndpoint { receiver });
-        self.events.push(spec.start.max(self.now), Event::FlowStart { flow });
+        self.schedule(spec.start.max(self.now), Event::FlowStart { flow });
         self.flows.push(spec);
         flow
     }
@@ -620,7 +678,7 @@ impl Simulator {
         for timed in &script.events {
             let index = self.scripted_faults.len();
             self.scripted_faults.push(timed.clone());
-            self.events.push(timed.at.max(self.now), Event::Fault { index });
+            self.schedule(timed.at.max(self.now), Event::Fault { index });
         }
     }
 
@@ -782,7 +840,7 @@ impl Simulator {
                     let backlog = std::mem::take(&mut self.deferred[node.index()]);
                     let now = self.now;
                     for deferred in backlog {
-                        self.events.push(now, deferred);
+                        self.schedule(now, deferred);
                     }
                 }
             }
@@ -911,26 +969,99 @@ impl Simulator {
         self.events.pop()
     }
 
+    /// Home shard of a node under the sharded driver (0 for serial runs).
+    #[inline]
+    fn shard_for_node(&self, node: NodeId) -> usize {
+        self.shard_map.get(node.index()).map_or(0, |&s| usize::from(s))
+    }
+
+    /// Shard an event is routed to and accounted against: node-owned events
+    /// follow their node's home shard; global events (flow starts, sampling,
+    /// scripted faults) live on shard 0.
+    fn shard_of_event(&self, event: &Event) -> usize {
+        match event {
+            Event::RxStart { node, .. }
+            | Event::RxEnd { node, .. }
+            | Event::TxDone { node }
+            | Event::MacTimer { node, .. }
+            | Event::AodvTimer { node, .. }
+            | Event::TcpTimer { node, .. }
+            | Event::JitteredEnqueue { node, .. }
+            | Event::MobilityTick { node }
+            | Event::DelAckTimer { node, .. } => self.shard_for_node(*node),
+            Event::FlowStart { .. } | Event::Sample | Event::Fault { .. } => 0,
+        }
+    }
+
+    /// Schedules an event, routing it to its home shard's sub-queue under
+    /// the sharded driver. Routing never affects pop order — the merged
+    /// `(time, seq)` key is global — so the serial drivers simply ignore
+    /// the hint.
+    fn schedule(&mut self, at: SimTime, event: Event) {
+        let shard = self.shard_of_event(&event);
+        self.events.push_routed(at, event, shard);
+    }
+
+    /// The work-counter block increments for `shard` land in: the per-shard
+    /// block under the sharded driver, the single serial block otherwise.
+    #[inline]
+    fn perf_at(&mut self, shard: usize) -> &mut RunPerf {
+        if self.shard_perf.is_empty() {
+            &mut self.perf
+        } else {
+            &mut self.shard_perf[shard]
+        }
+    }
+
+    /// Whether mobility-tick batching (the parallel shard executor) is
+    /// active. The model-checker's tie-order hook takes over pop order, so
+    /// batching defers to it.
+    fn batching_enabled(&self) -> bool {
+        self.shard_perf.len() > 1 && self.tie_order.is_none()
+    }
+
     /// Runs the event loop until virtual time `end`.
+    ///
+    /// Under [`SchedulerKind::Sharded`] with more than one shard, contiguous
+    /// runs of mobility ticks inside one conservative lookahead window are
+    /// executed as a batch: neighbor-row planning fans out across shard
+    /// worker threads while every externally visible effect (trace digest,
+    /// RNG draws, event seq numbers, perf counters, trace log) is committed
+    /// serially in exact pop order, so the run stays byte-identical to the
+    /// serial drivers.
     pub fn run_until(&mut self, end: SimTime) {
+        let batching = self.batching_enabled();
         while let Some(t) = self.events.peek_time() {
             if t > end {
                 break;
             }
-            self.perf.peak_event_queue = self.perf.peak_event_queue.max(self.events.len());
+            let qlen = self.events.len();
             let (now, event) = self.pop_event().expect("peeked event vanished");
             self.now = now;
             fold_event(&mut self.trace_hash, now, &event);
-            account_event(&mut self.perf, &event);
-            self.dispatch(event);
+            let shard = self.shard_of_event(&event);
+            account_event(self.perf_at(shard), &event);
+            if batching && matches!(event, Event::MobilityTick { .. }) {
+                self.run_tick_batch(now, event, qlen, end);
+            } else {
+                let p = self.perf_at(shard);
+                p.peak_event_queue = p.peak_event_queue.max(qlen);
+                self.dispatch(event);
+            }
         }
         self.now = end.max(self.now);
     }
 
-    /// This run's deterministic work counters so far. Timer cancellations
-    /// are aggregated on demand from every layer's own tombstone counter.
+    /// This run's deterministic work counters so far: the serial block
+    /// merged with every shard's block (sharded runs write only the shard
+    /// blocks, so the merge reproduces the serial counters exactly). Timer
+    /// cancellations are aggregated on demand from every layer's own
+    /// tombstone counter.
     pub fn perf(&self) -> RunPerf {
         let mut perf = self.perf;
+        for block in &self.shard_perf {
+            perf.merge(block);
+        }
         for n in &self.nodes {
             perf.timers_cancelled += n.mac.timers_cancelled() + n.aodv.timers_cancelled();
             for ep in n.senders.values() {
@@ -941,6 +1072,13 @@ impl Simulator {
             }
         }
         perf
+    }
+
+    /// The raw per-shard work-counter blocks (empty for serial runs).
+    /// [`Simulator::perf`] is their merge; each block counts only the work
+    /// attributed to its shard, so the blocks also expose load balance.
+    pub fn shard_perf(&self) -> &[RunPerf] {
+        &self.shard_perf
     }
 
     /// Report for one flow.
@@ -1022,8 +1160,10 @@ impl Simulator {
     /// of which index the channel uses.
     fn apply_position(&mut self, node: NodeId, position: phy::Position) {
         let churn = self.channel.set_position(node, position);
-        self.perf.position_updates += 1;
-        self.perf.link_churn += churn as u64;
+        let shard = self.shard_for_node(node);
+        let p = self.perf_at(shard);
+        p.position_updates += 1;
+        p.link_churn += churn as u64;
         if self.log.is_some() {
             self.rec(TraceRecord::PhyMove { node, x: position.x, y: position.y });
         }
@@ -1038,10 +1178,11 @@ impl Simulator {
     /// Panics if `speed_mps` is not positive.
     pub fn move_node(&mut self, node: NodeId, target: phy::Position, speed_mps: f64) {
         assert!(speed_mps > 0.0, "speed must be positive");
-        let fresh =
-            self.movements.insert(node, Movement { target, speed_mps, plan: MobilityPlan::OneShot });
+        let fresh = self
+            .movements
+            .insert(node, Movement { target, speed_mps, plan: MobilityPlan::OneShot });
         if fresh.is_none() {
-            self.events.push(self.now + MOBILITY_TICK, Event::MobilityTick { node });
+            self.schedule(self.now + MOBILITY_TICK, Event::MobilityTick { node });
         }
     }
 
@@ -1062,11 +1203,12 @@ impl Simulator {
         );
         assert!(plan.min_pause <= plan.max_pause, "pause range must be ordered");
         let (target, speed) = self.draw_waypoint(&plan);
-        let fresh = self
-            .movements
-            .insert(node, Movement { target, speed_mps: speed, plan: MobilityPlan::Waypoint(plan) });
+        let fresh = self.movements.insert(
+            node,
+            Movement { target, speed_mps: speed, plan: MobilityPlan::Waypoint(plan) },
+        );
         if fresh.is_none() {
-            self.events.push(self.now + MOBILITY_TICK, Event::MobilityTick { node });
+            self.schedule(self.now + MOBILITY_TICK, Event::MobilityTick { node });
         }
     }
 
@@ -1095,7 +1237,7 @@ impl Simulator {
             },
         );
         if fresh.is_none() {
-            self.events.push(self.now + MOBILITY_TICK, Event::MobilityTick { node });
+            self.schedule(self.now + MOBILITY_TICK, Event::MobilityTick { node });
         }
     }
 
@@ -1142,13 +1284,9 @@ impl Simulator {
                     let pause = self.draw_pause(&plan);
                     self.movements.insert(
                         node,
-                        Movement {
-                            target,
-                            speed_mps: speed,
-                            plan: MobilityPlan::Waypoint(plan),
-                        },
+                        Movement { target, speed_mps: speed, plan: MobilityPlan::Waypoint(plan) },
                     );
-                    self.events.push(self.now + pause + MOBILITY_TICK, Event::MobilityTick { node });
+                    self.schedule(self.now + pause + MOBILITY_TICK, Event::MobilityTick { node });
                 }
                 MobilityPlan::Script { legs, next } => {
                     // The pause belongs to the leg that just finished: the
@@ -1164,8 +1302,10 @@ impl Simulator {
                                 plan: MobilityPlan::Script { legs, next: next + 1 },
                             },
                         );
-                        self.events
-                            .push(self.now + pause + MOBILITY_TICK, Event::MobilityTick { node });
+                        self.schedule(
+                            self.now + pause + MOBILITY_TICK,
+                            Event::MobilityTick { node },
+                        );
                     } else {
                         self.movements.remove(&node);
                     }
@@ -1178,7 +1318,207 @@ impl Simulator {
                 here.y + (movement.target.y - here.y) * frac,
             );
             self.apply_position(node, next);
-            self.events.push(self.now + MOBILITY_TICK, Event::MobilityTick { node });
+            self.schedule(self.now + MOBILITY_TICK, Event::MobilityTick { node });
+        }
+    }
+
+    /// Executes one sharded mobility batch: the contiguous run of mobility
+    /// ticks starting with `first` (already popped, folded and accounted by
+    /// [`Simulator::run_until`]) whose times fall inside one conservative
+    /// lookahead window `[t0, t0 + lookahead()]`.
+    ///
+    /// Three phases keep the run byte-identical to serial execution:
+    ///
+    /// 1. **Formation (serial)** — pops events in order, gating each tick
+    ///    and staging its destination. No pushes and no RNG draws happen
+    ///    here, so the event seq counter and the RNG stream sit exactly
+    ///    where serial execution would have them at each commit below.
+    /// 2. **Planning (parallel)** — neighbor rows for every staged move are
+    ///    computed by shard worker threads over frozen pre-batch state plus
+    ///    the earlier-rank overlay ([`Channel::plan_move`]); pure reads, so
+    ///    thread scheduling cannot affect the result.
+    /// 3. **Commit (serial, pop order)** — applies each planned move,
+    ///    replays the RNG draws and event pushes of the serial tick handler
+    ///    in the same order, reconstructs the queue-depth peak serial
+    ///    execution would have observed, then dispatches the terminator.
+    fn run_tick_batch(&mut self, t0: SimTime, first: Event, qlen0: usize, end: SimTime) {
+        let window_end = t0.saturating_add(sim_core::lookahead());
+        let mut seen = vec![false; self.nodes.len()];
+        let mut pending = PendingMoves::new();
+        let mut steps: Vec<MoveStep> = Vec::new();
+        let mut slots: Vec<BatchSlot> = Vec::new();
+
+        self.form_slot(t0, first, &mut seen, &mut pending, &mut steps, &mut slots);
+        while !matches!(slots.last(), Some(BatchSlot::Term { .. })) {
+            let Some(t) = self.events.peek_time() else { break };
+            if t > end || t > window_end {
+                break;
+            }
+            let Some((now, event)) = self.events.pop() else { break };
+            self.now = now;
+            fold_event(&mut self.trace_hash, now, &event);
+            let shard = self.shard_of_event(&event);
+            account_event(self.perf_at(shard), &event);
+            self.form_slot(now, event, &mut seen, &mut pending, &mut steps, &mut slots);
+        }
+
+        // Plan rows in parallel, each shard's worker handling its own
+        // movers. On a single-core host `run_sharded` degrades to an
+        // inline loop with identical results.
+        let mut rows_by_rank: Vec<(Vec<NodeId>, Vec<NodeId>)> = Vec::new();
+        if !steps.is_empty() {
+            self.channel.seal_moves(&mut pending);
+            let nshards = self.shard_perf.len();
+            let channel = &self.channel;
+            let pending_ref = &pending;
+            let step_shards: Vec<usize> = steps.iter().map(|s| s.shard).collect();
+            let per_shard = sim_core::run_sharded(nshards, |shard| {
+                step_shards
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &s)| s == shard)
+                    .map(|(rank, _)| (rank, channel.plan_move(pending_ref, rank)))
+                    .collect::<Vec<_>>()
+            });
+            rows_by_rank = vec![(Vec::new(), Vec::new()); steps.len()];
+            for bucket in per_shard {
+                for (rank, rows) in bucket {
+                    rows_by_rank[rank] = rows;
+                }
+            }
+        }
+
+        // Serial commit in pop order. `virtual_len` reconstructs the queue
+        // depth serial execution would see before each pop: formation
+        // already drained the whole batch, so the peak comes from the
+        // per-commit push counts instead of live queue length.
+        let mut virtual_len = qlen0;
+        for slot in slots {
+            let shard = match &slot {
+                BatchSlot::Move { rank } => steps[*rank].shard,
+                BatchSlot::Skip { shard } | BatchSlot::Term { shard, .. } => *shard,
+            };
+            let p = self.perf_at(shard);
+            p.peak_event_queue = p.peak_event_queue.max(virtual_len);
+            virtual_len = virtual_len.saturating_sub(1);
+            match slot {
+                BatchSlot::Skip { .. } => {}
+                BatchSlot::Move { rank } => {
+                    // Each rank is planned exactly once; `apply_move`'s
+                    // differential debug assertion catches an empty plan.
+                    let rows = std::mem::take(&mut rows_by_rank[rank]);
+                    let step = &steps[rank];
+                    let (node, new_pos) = (step.node, step.new_pos);
+                    self.now = step.t;
+                    let churn = self.channel.apply_move(node, new_pos, rows);
+                    let p = self.perf_at(shard);
+                    p.position_updates += 1;
+                    p.link_churn += churn as u64;
+                    if self.log.is_some() {
+                        self.rec(TraceRecord::PhyMove { node, x: new_pos.x, y: new_pos.y });
+                    }
+                    let moved = steps[rank].movement.clone();
+                    virtual_len += self.commit_move_plan(node, steps[rank].arrived, moved);
+                }
+                BatchSlot::Term { t, event, .. } => {
+                    self.now = t;
+                    self.dispatch(event);
+                }
+            }
+        }
+    }
+
+    /// Formation step for one popped event (already folded and accounted):
+    /// classifies it into a batch slot, gating ticks in pop order and
+    /// staging their destination moves. A second tick for a node already
+    /// staged in this batch terminates formation — committing both here
+    /// would fold two position updates into one.
+    fn form_slot(
+        &mut self,
+        t: SimTime,
+        event: Event,
+        seen: &mut [bool],
+        pending: &mut PendingMoves,
+        steps: &mut Vec<MoveStep>,
+        slots: &mut Vec<BatchSlot>,
+    ) {
+        let shard = self.shard_of_event(&event);
+        let fresh_tick = matches!(&event, Event::MobilityTick { node } if !seen[node.index()]);
+        if !fresh_tick {
+            slots.push(BatchSlot::Term { t, shard, event });
+            return;
+        }
+        let Some(Event::MobilityTick { node }) = self.gate_event(event) else {
+            slots.push(BatchSlot::Skip { shard });
+            return;
+        };
+        seen[node.index()] = true;
+        let Some(movement) = self.movements.get(&node).cloned() else {
+            slots.push(BatchSlot::Skip { shard });
+            return;
+        };
+        let here = self.channel.position(node);
+        let distance = here.distance_to(movement.target);
+        let step = movement.speed_mps * MOBILITY_TICK.as_secs_f64();
+        let arrived = distance <= step;
+        let new_pos = if arrived {
+            movement.target
+        } else {
+            let frac = step / distance;
+            phy::Position::new(
+                here.x + (movement.target.x - here.x) * frac,
+                here.y + (movement.target.y - here.y) * frac,
+            )
+        };
+        pending.stage(node, new_pos);
+        slots.push(BatchSlot::Move { rank: steps.len() });
+        steps.push(MoveStep { node, t, shard, arrived, new_pos, movement });
+    }
+
+    /// Replays the serial tick handler's post-move effects for one batched
+    /// commit: arrival-plan bookkeeping, the RNG draws the serial path
+    /// performs (in the same order), and the follow-up tick push. Returns
+    /// how many events were pushed, for the commit phase's queue-depth
+    /// reconstruction.
+    fn commit_move_plan(&mut self, node: NodeId, arrived: bool, movement: Movement) -> usize {
+        if !arrived {
+            self.schedule(self.now + MOBILITY_TICK, Event::MobilityTick { node });
+            return 1;
+        }
+        match movement.plan {
+            MobilityPlan::OneShot => {
+                self.movements.remove(&node);
+                0
+            }
+            MobilityPlan::Waypoint(plan) => {
+                let (target, speed) = self.draw_waypoint(&plan);
+                let pause = self.draw_pause(&plan);
+                self.movements.insert(
+                    node,
+                    Movement { target, speed_mps: speed, plan: MobilityPlan::Waypoint(plan) },
+                );
+                self.schedule(self.now + pause + MOBILITY_TICK, Event::MobilityTick { node });
+                1
+            }
+            MobilityPlan::Script { legs, next } => {
+                let pause = legs[next - 1].pause;
+                if next < legs.len() {
+                    let leg = legs[next];
+                    self.movements.insert(
+                        node,
+                        Movement {
+                            target: leg.target,
+                            speed_mps: leg.speed_mps,
+                            plan: MobilityPlan::Script { legs, next: next + 1 },
+                        },
+                    );
+                    self.schedule(self.now + pause + MOBILITY_TICK, Event::MobilityTick { node });
+                    1
+                } else {
+                    self.movements.remove(&node);
+                    0
+                }
+            }
         }
     }
 
@@ -1284,7 +1624,8 @@ impl Simulator {
                 // Lazy cancellation: a tombstoned timer's queued event still
                 // pops, but is discarded here instead of entering the MAC.
                 if !self.nodes[node.index()].mac.timer_is_live(id) {
-                    self.perf.timers_stale_popped += 1;
+                    let shard = self.shard_for_node(node);
+                    self.perf_at(shard).timers_stale_popped += 1;
                     return;
                 }
                 let now = self.now;
@@ -1294,7 +1635,8 @@ impl Simulator {
             }
             Event::AodvTimer { node, id } => {
                 if !self.nodes[node.index()].aodv.timer_is_live(id) {
-                    self.perf.timers_stale_popped += 1;
+                    let shard = self.shard_for_node(node);
+                    self.perf_at(shard).timers_stale_popped += 1;
                     return;
                 }
                 let now = self.now;
@@ -1313,7 +1655,7 @@ impl Simulator {
                     // backoff. Probe for a route and re-check shortly.
                     let outs = self.nodes[node.index()].aodv.ensure_route(spec.dst, now);
                     self.process_aodv_outputs(node, outs);
-                    self.events.push(
+                    self.schedule(
                         now + sim_core::SimDuration::from_millis(100),
                         Event::TcpTimer { node, flow, id },
                     );
@@ -1321,13 +1663,17 @@ impl Simulator {
                 }
                 // The staleness check must come after the ELFN freeze above:
                 // a frozen timer is still the armed one and keeps re-probing.
+                let stale = self.nodes[node.index()]
+                    .senders
+                    .get(&flow)
+                    .is_some_and(|ep| !ep.transport.timer_is_live(id));
+                if stale {
+                    let shard = self.shard_for_node(node);
+                    self.perf_at(shard).timers_stale_popped += 1;
+                }
                 let outputs = match self.nodes[node.index()].senders.get_mut(&flow) {
-                    Some(ep) if !ep.transport.timer_is_live(id) => {
-                        self.perf.timers_stale_popped += 1;
-                        Vec::new()
-                    }
-                    Some(ep) => ep.transport.on_timer(id, now),
-                    None => Vec::new(),
+                    Some(ep) if !stale => ep.transport.on_timer(id, now),
+                    _ => Vec::new(),
                 };
                 // Even a discarded pop flows through here so the checker's
                 // cwnd bookkeeping sees the same event stream as before.
@@ -1343,7 +1689,8 @@ impl Simulator {
                     .get(&flow)
                     .is_some_and(|ep| !ep.receiver.delack_is_live(id));
                 if stale {
-                    self.perf.timers_stale_popped += 1;
+                    let shard = self.shard_for_node(node);
+                    self.perf_at(shard).timers_stale_popped += 1;
                     return;
                 }
                 let (ack, src) = {
@@ -1402,7 +1749,7 @@ impl Simulator {
                     }
                     n.last_mac_stats = cur;
                 }
-                self.events.push(now + self.cfg.sample_interval, Event::Sample);
+                self.schedule(now + self.cfg.sample_interval, Event::Sample);
             }
             Event::Fault { index } => self.apply_fault(index),
         }
@@ -1417,7 +1764,7 @@ impl Simulator {
             match output {
                 MacOutput::Transmit { frame, airtime } => self.transmit(node, frame, airtime),
                 MacOutput::SetTimer { id, at } => {
-                    self.events.push(at, Event::MacTimer { node, id });
+                    self.schedule(at, Event::MacTimer { node, id });
                 }
                 MacOutput::Deliver { packet, from } => {
                     let now = self.now;
@@ -1483,7 +1830,7 @@ impl Simulator {
                         // deterministically.
                         let jitter =
                             sim_core::SimDuration::from_micros(u64::from(self.rng.below(10_000)));
-                        self.events.push(
+                        self.schedule(
                             self.now + jitter,
                             Event::JitteredEnqueue { node, packet, next_hop },
                         );
@@ -1493,7 +1840,7 @@ impl Simulator {
                 }
                 AodvOutput::DeliverLocal(packet) => self.deliver_transport(node, packet),
                 AodvOutput::SetTimer { id, at } => {
-                    self.events.push(at, Event::AodvTimer { node, id });
+                    self.schedule(at, Event::AodvTimer { node, id });
                 }
                 AodvOutput::Dropped { packet, .. } => {
                     self.nodes[node.index()].routing_drops += 1;
@@ -1571,7 +1918,7 @@ impl Simulator {
                     self.route_local(node, packet);
                 }
                 TcpOutput::SetTimer { id, at } => {
-                    self.events.push(at, Event::TcpTimer { node, flow, id });
+                    self.schedule(at, Event::TcpTimer { node, flow, id });
                 }
             }
         }
@@ -1656,7 +2003,6 @@ impl Simulator {
             let avbw = packet.tcp().and_then(|s| s.avbw());
             let marked = packet.tcp().is_some_and(|s| s.congestion_marked());
             let outcome = n.ifq.push(packet, next_hop, priority, now, rng);
-            self.perf.peak_ifq_depth = self.perf.peak_ifq_depth.max(n.ifq.len());
             if matches!(outcome, IfqPush::Dropped { .. }) {
                 // Congestion drop: future packets get marked (paper §4.7).
                 n.router.drai_mut().note_congestion_drop(now);
@@ -1665,6 +2011,9 @@ impl Simulator {
             n.router.drai_mut().observe_queue(len, now);
             (outcome, uid, flow, avbw, marked, len)
         };
+        let shard = self.shard_for_node(node);
+        let p = self.perf_at(shard);
+        p.peak_ifq_depth = p.peak_ifq_depth.max(depth);
         match outcome {
             IfqPush::Stored { marked: red_marked } => {
                 if self.log.is_some() {
@@ -1749,12 +2098,16 @@ impl Simulator {
             let power = self.cfg.radio.rx_power(distance);
             let rx_start = now + prop;
             let rx_end = rx_start + airtime;
-            self.events
-                .push(rx_start, Event::RxStart { node: nb, tx_id, end: rx_end, decodable, power });
-            self.events
-                .push(rx_end, Event::RxEnd { node: nb, tx_id, frame: frame.clone(), in_rx_range });
+            self.schedule(
+                rx_start,
+                Event::RxStart { node: nb, tx_id, end: rx_end, decodable, power },
+            );
+            self.schedule(
+                rx_end,
+                Event::RxEnd { node: nb, tx_id, frame: frame.clone(), in_rx_range },
+            );
         }
-        self.events.push(end, Event::TxDone { node: sender });
+        self.schedule(end, Event::TxDone { node: sender });
     }
 
     /// Whether the channel corrupts a data frame heading to `nb`: the
@@ -1828,7 +2181,7 @@ impl Simulator {
             };
             self.emit(CheckEvent::Delivered { node, flow, uid, is_data: true, rcv_nxt_after });
             if let Some((id, at)) = timer {
-                self.events.push(at, Event::DelAckTimer { node, flow, id });
+                self.schedule(at, Event::DelAckTimer { node, flow, id });
             }
             if let Some(segment) = ack_segment {
                 let uid = self.nodes[node.index()].uid.next();
@@ -1958,11 +2311,7 @@ impl sim_core::Snapshotable for Event {
             5 => Event::AodvTimer { node: r.get()?, id: r.get()? },
             6 => Event::TcpTimer { node: r.get()?, flow: r.get()?, id: r.get()? },
             7 => Event::FlowStart { flow: r.get()? },
-            8 => Event::JitteredEnqueue {
-                node: r.get()?,
-                packet: r.get()?,
-                next_hop: r.get()?,
-            },
+            8 => Event::JitteredEnqueue { node: r.get()?, packet: r.get()?, next_hop: r.get()? },
             9 => Event::MobilityTick { node: r.get()? },
             10 => Event::DelAckTimer { node: r.get()?, flow: r.get()?, id: r.get()? },
             11 => Event::Sample,
@@ -2076,7 +2425,7 @@ impl sim_core::Snapshotable for Movement {
 
     fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
         let m = Movement { target: r.get()?, speed_mps: r.take_f64()?, plan: r.get()? };
-        if !(m.speed_mps > 0.0) {
+        if m.speed_mps.is_nan() || m.speed_mps <= 0.0 {
             return Err(sim_core::SnapError::Invalid("movement speed"));
         }
         Ok(m)
@@ -2225,6 +2574,7 @@ impl Simulator {
         w.put(&self.saturated);
         w.put(&self.scripted_down);
         w.put(&self.perf);
+        w.put(&self.shard_perf);
         w.finish()
     }
 
@@ -2287,6 +2637,10 @@ impl Simulator {
         let saturated: DetMap<NodeId, usize> = r.get()?;
         let scripted_down: DetSet<(NodeId, NodeId)> = r.get()?;
         let perf: RunPerf = r.get()?;
+        let shard_perf: Vec<RunPerf> = r.get()?;
+        if shard_perf.len() != self.shard_perf.len() {
+            return Err(sim_core::SnapError::Invalid("shard perf block count"));
+        }
         r.finish()?;
         self.now = now;
         self.next_tx_id = next_tx_id;
@@ -2306,6 +2660,7 @@ impl Simulator {
         self.saturated = saturated;
         self.scripted_down = scripted_down;
         self.perf = perf;
+        self.shard_perf = shard_perf;
         Ok(())
     }
 }
@@ -2460,6 +2815,90 @@ mod tests {
         assert_eq!(cal_segs, heap_segs);
         assert_eq!(cal_perf.events_processed, heap_perf.events_processed);
         assert_eq!(cal_perf.timers_stale_popped, heap_perf.timers_stale_popped);
+        let (sh_hash, sh_segs, sh_perf) = run(sim_core::SchedulerKind::Sharded);
+        assert_eq!(sh_hash, cal_hash, "sharded must replay the same event stream");
+        assert_eq!(sh_segs, cal_segs);
+        assert_eq!(sh_perf, cal_perf);
+    }
+
+    /// The sharded driver must replay the serial event stream byte-for-byte
+    /// on a mobile topology — where the parallel tick-batch executor
+    /// actually engages — and its merged per-shard counters must equal the
+    /// serial block exactly, at every shard count.
+    #[test]
+    fn sharded_driver_matches_serial_on_mobile_topology() {
+        let run = |scheduler, shards| {
+            let cfg = SimConfig {
+                scheduler,
+                shards,
+                topology: topo::TopologySpec::RandomDisc {
+                    count: 30,
+                    width_m: 1200.0,
+                    height_m: 900.0,
+                },
+                mobility: MobilitySpec::Waypoint {
+                    min_speed_mps: 2.0,
+                    max_speed_mps: 20.0,
+                    pause: sim_core::SimDuration::from_millis(200),
+                },
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::from_config(cfg);
+            let last = NodeId::new(sim.node_count() as u16 - 1);
+            let flow = sim.add_flow(FlowSpec::new(NodeId::new(0), last, TcpVariant::Muzha));
+            sim.run_until(secs(4.0));
+            let blocks = sim.shard_perf().len();
+            (sim.trace_hash(), sim.flow_report(flow).delivered_segments, sim.perf(), blocks)
+        };
+        let (serial_hash, serial_segs, serial_perf, serial_blocks) =
+            run(sim_core::SchedulerKind::Calendar, 1);
+        assert_eq!(serial_blocks, 0, "serial runs carry no shard blocks");
+        assert_eq!(serial_perf.classified_total(), serial_perf.events_processed);
+        for shards in [1usize, 2, 4] {
+            let (hash, segs, perf, blocks) = run(sim_core::SchedulerKind::Sharded, shards);
+            assert_eq!(hash, serial_hash, "sharded({shards}) diverged from serial");
+            assert_eq!(segs, serial_segs);
+            assert_eq!(perf, serial_perf, "merged shard perf must equal serial perf exactly");
+            assert_eq!(perf.classified_total(), perf.events_processed);
+            assert_eq!(blocks, if shards > 1 { shards } else { 0 });
+        }
+    }
+
+    /// A snapshot of a sharded run restores into a fresh sharded simulator
+    /// and continues bit-identically — per-shard counters included.
+    #[test]
+    fn sharded_snapshot_round_trip_continues_identically() {
+        let mk = || {
+            let cfg = SimConfig {
+                scheduler: sim_core::SchedulerKind::Sharded,
+                shards: 4,
+                topology: topo::TopologySpec::RandomDisc {
+                    count: 20,
+                    width_m: 1000.0,
+                    height_m: 800.0,
+                },
+                mobility: MobilitySpec::Waypoint {
+                    min_speed_mps: 5.0,
+                    max_speed_mps: 20.0,
+                    pause: sim_core::SimDuration::ZERO,
+                },
+                ..SimConfig::default()
+            };
+            let mut sim = Simulator::from_config(cfg);
+            let last = NodeId::new(sim.node_count() as u16 - 1);
+            sim.add_flow(FlowSpec::new(NodeId::new(0), last, TcpVariant::NewReno));
+            sim
+        };
+        let mut a = mk();
+        a.run_until(secs(2.0));
+        let snap = a.snapshot();
+        let mut b = mk();
+        b.restore(&snap).expect("sharded snapshot must restore");
+        a.run_until(secs(4.0));
+        b.run_until(secs(4.0));
+        assert_eq!(a.trace_hash(), b.trace_hash(), "restored twin diverged");
+        assert_eq!(a.perf(), b.perf());
+        assert_eq!(a.shard_perf(), b.shard_perf());
     }
 
     #[test]
@@ -2835,8 +3274,8 @@ mod tracelog_tests {
 mod mobility_tests {
     use super::*;
     use crate::topology;
-    use topo::TopologySpec;
     use phy::Position;
+    use topo::TopologySpec;
 
     fn secs(s: f64) -> SimTime {
         SimTime::from_secs_f64(s)
@@ -2941,8 +3380,10 @@ mod mobility_tests {
         let b = Position::new(100.0, 100.0);
         paused.set_waypoint_script(
             node,
-            vec![WaypointLeg::to(a, 50.0).pausing(sim_core::SimDuration::from_secs_f64(3.0)),
-                 WaypointLeg::to(b, 50.0)],
+            vec![
+                WaypointLeg::to(a, 50.0).pausing(sim_core::SimDuration::from_secs_f64(3.0)),
+                WaypointLeg::to(b, 50.0),
+            ],
         );
         eager.set_waypoint_script(node, vec![WaypointLeg::to(a, 50.0), WaypointLeg::to(b, 50.0)]);
         // At t = 3 s the eager twin is already on (or done with) leg 2,
@@ -2980,10 +3421,15 @@ mod mobility_tests {
 
     #[test]
     fn from_config_builds_topology_and_applies_mobility() {
-        let mut cfg = SimConfig::default();
-        cfg.topology = TopologySpec::Grid { rows: 3, cols: 3 };
-        cfg.mobility =
-            MobilitySpec::Waypoint { min_speed_mps: 5.0, max_speed_mps: 10.0, pause: sim_core::SimDuration::ZERO };
+        let cfg = SimConfig {
+            topology: TopologySpec::Grid { rows: 3, cols: 3 },
+            mobility: MobilitySpec::Waypoint {
+                min_speed_mps: 5.0,
+                max_speed_mps: 10.0,
+                pause: sim_core::SimDuration::ZERO,
+            },
+            ..SimConfig::default()
+        };
         let mut sim = Simulator::from_config(cfg);
         assert_eq!(sim.node_count(), 9);
         let before: Vec<Position> = (0..9).map(|i| sim.position(NodeId::new(i as u16))).collect();
@@ -2998,8 +3444,7 @@ mod mobility_tests {
 
     #[test]
     fn from_config_static_matches_explicit_positions() {
-        let mut cfg = SimConfig::default();
-        cfg.topology = TopologySpec::Chain { hops: 4 };
+        let cfg = SimConfig { topology: TopologySpec::Chain { hops: 4 }, ..SimConfig::default() };
         let mut a = Simulator::from_config(cfg);
         let mut b = Simulator::new(topology::chain(4), cfg);
         let (src, dst) = topology::chain_flow(4);

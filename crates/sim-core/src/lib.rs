@@ -12,9 +12,11 @@
 //! * [`SimRng`] — a seeded, reproducible random number generator,
 //! * [`stats`] — small online statistics helpers (EWMA, time series).
 //!
-//! The simulation is single-threaded and bit-for-bit deterministic for a given
-//! seed: events that fire at the same virtual time are delivered in insertion
-//! order.
+//! The simulation is bit-for-bit deterministic for a given seed: events that
+//! fire at the same virtual time are delivered in insertion order. The
+//! serial drivers are single-threaded; the conservative parallel driver
+//! ([`ShardedQueue`] plus the [`shard`] helpers) keeps the identical pop
+//! order by construction and uses threads only as a wall-clock optimization.
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@ mod detmap;
 mod event;
 mod perf;
 mod rng;
+pub mod shard;
 mod smallvec;
 pub mod snapshot;
 pub mod stats;
@@ -44,12 +47,15 @@ mod timer;
 mod trace;
 
 pub use detmap::{DetMap, DetSet};
-pub use event::{DriverQueue, EventQueue, HeapQueue, SchedulerKind};
+pub use event::{
+    DriverQueue, EventQueue, HeapQueue, SchedulerKind, ShardedQueue, DEFAULT_SHARDS, MAX_SHARDS,
+};
 pub use perf::RunPerf;
 pub use rng::SimRng;
+pub use shard::{lookahead, run_sharded, Horizons, MAC_TURNAROUND, MIN_PROPAGATION_DELAY};
 pub use smallvec::SmallVec;
 pub use snapshot::{
-    SnapError, Snapshotable, SnapshotReader, SnapshotWriter, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    SnapError, SnapshotReader, SnapshotWriter, Snapshotable, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use tie::{TieChoice, TieClass, TieKind, TieOrder};
 pub use time::{SimDuration, SimTime};

@@ -121,6 +121,68 @@ mod tests {
         assert_eq!(a.classified_total(), 14);
     }
 
+    /// Merging per-shard blocks must be order-insensitive and lossless:
+    /// `merge` is associative, commutative, and has the default block as
+    /// identity. This is what lets the sharded driver accumulate counters
+    /// into per-shard blocks and still report the serial totals exactly,
+    /// regardless of how nodes were partitioned.
+    #[test]
+    fn merge_is_associative_commutative_with_identity() {
+        let blocks = [
+            RunPerf {
+                events_processed: 7,
+                phy_events: 4,
+                mac_events: 3,
+                timers_cancelled: 2,
+                position_updates: 5,
+                link_churn: 11,
+                peak_event_queue: 9,
+                peak_ifq_depth: 1,
+                ..RunPerf::default()
+            },
+            RunPerf {
+                events_processed: 3,
+                mobility_events: 3,
+                position_updates: 3,
+                peak_event_queue: 4,
+                peak_ifq_depth: 6,
+                ..RunPerf::default()
+            },
+            RunPerf {
+                events_processed: 10,
+                transport_events: 6,
+                sampling_events: 4,
+                timers_stale_popped: 2,
+                peak_event_queue: 12,
+                ..RunPerf::default()
+            },
+        ];
+        let fold = |order: &[usize]| {
+            let mut acc = RunPerf::default();
+            for &i in order {
+                acc.merge(&blocks[i]);
+            }
+            acc
+        };
+        let left = fold(&[0, 1, 2]);
+        // Associativity: ((a ⊕ b) ⊕ c) == (a ⊕ (b ⊕ c)).
+        let mut bc = blocks[1];
+        bc.merge(&blocks[2]);
+        let mut a_bc = blocks[0];
+        a_bc.merge(&bc);
+        assert_eq!(left, a_bc);
+        // Commutativity over every permutation.
+        for order in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            assert_eq!(fold(&order), left);
+        }
+        // Identity.
+        let mut id_then = RunPerf::default();
+        id_then.merge(&left);
+        assert_eq!(id_then, left);
+        // Losslessness: the classification invariant survives the merge.
+        assert_eq!(left.classified_total(), left.events_processed);
+    }
+
     #[test]
     fn stale_pops_stay_classified() {
         // A stale MAC timer pop is counted as a mac_event (classification

@@ -117,12 +117,7 @@ impl crate::Snapshotable for SimRng {
     }
 
     fn decode(r: &mut crate::SnapshotReader<'_>) -> Result<Self, crate::SnapError> {
-        Ok(SimRng {
-            s0: r.take_u64()?,
-            s1: r.take_u64()?,
-            s2: r.take_u64()?,
-            s3: r.take_u64()?,
-        })
+        Ok(SimRng { s0: r.take_u64()?, s1: r.take_u64()?, s2: r.take_u64()?, s3: r.take_u64()? })
     }
 }
 

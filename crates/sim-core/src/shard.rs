@@ -1,0 +1,170 @@
+//! Conservative parallel-DES support: lookahead bounds, horizon tracking,
+//! and the scatter helper for per-shard worker threads.
+//!
+//! The sharded scheduler ([`crate::ShardedQueue`]) keeps the *pop order*
+//! bit-identical to the serial calendar queue by construction (single global
+//! sequence counter, min-merge over shard heads), so determinism never
+//! depends on threads. What threads buy is wall-clock: work whose effects
+//! cannot reach another shard before `now + lookahead` may be *computed* in
+//! parallel and committed serially in `(time, seq)` order.
+//!
+//! The lookahead bound comes from the paper's ns-2-style PHY: two nodes in
+//! different shards are at least one transmission disc apart in the cell
+//! partition, so the earliest a shard-crossing effect can land is the
+//! propagation delay over the 250 m disc plus the minimum MAC turnaround
+//! (SIFS). See DESIGN.md §13 for the derivation and the deadlock-freedom
+//! argument (horizon broadcasts act as null messages).
+//!
+//! This module is the only place in the simulation crates licensed by
+//! `simlint` to touch `std::thread`; everything else must stay
+//! single-threaded so determinism is auditable.
+
+use crate::SimDuration;
+
+/// Propagation delay across the 250 m transmission disc at c ≈ 3×10⁸ m/s.
+///
+/// 250 m / 3e8 m/s = 833⅓ ns; rounded down so the bound stays conservative.
+pub const MIN_PROPAGATION_DELAY: SimDuration = SimDuration::from_nanos(833);
+
+/// Minimum MAC turnaround before a received frame can trigger a response
+/// (802.11 SIFS, 10 µs for DSSS PHYs — the value ns-2's 802.11 model uses).
+pub const MAC_TURNAROUND: SimDuration = SimDuration::from_micros(10);
+
+/// The conservative lookahead window: no event executed at time `t` in one
+/// shard can schedule an event in another shard earlier than
+/// `t + lookahead()`.
+///
+/// Derivation: a cross-shard effect needs at least one frame to cross the
+/// 250 m disc ([`MIN_PROPAGATION_DELAY`]) and the receiver to turn it around
+/// at the MAC ([`MAC_TURNAROUND`]).
+pub const fn lookahead() -> SimDuration {
+    SimDuration::from_nanos(MIN_PROPAGATION_DELAY.as_nanos() + MAC_TURNAROUND.as_nanos())
+}
+
+/// Per-shard horizon bookkeeping for the conservative protocol.
+///
+/// Each shard advertises the earliest virtual time at which it could still
+/// emit a cross-shard event (its *horizon*). A shard may safely execute
+/// events up to `min(other horizons) + lookahead` — the classic
+/// Chandy–Misra bound, with the horizon broadcast doubling as the null
+/// message that prevents deadlock when a shard has no real traffic to send.
+#[derive(Debug, Clone)]
+pub struct Horizons {
+    horizons: Vec<crate::SimTime>,
+}
+
+impl Horizons {
+    /// A horizon table for `shards` shards, all starting at time zero.
+    pub fn new(shards: usize) -> Self {
+        Horizons { horizons: vec![crate::SimTime::ZERO; shards.max(1)] }
+    }
+
+    /// Number of shards tracked.
+    pub fn shard_count(&self) -> usize {
+        self.horizons.len()
+    }
+
+    /// Record that `shard` has executed (or promised not to emit before)
+    /// virtual time `to`. Horizons never move backwards.
+    pub fn advance(&mut self, shard: usize, to: crate::SimTime) {
+        let h = &mut self.horizons[shard];
+        if to > *h {
+            *h = to;
+        }
+    }
+
+    /// The earliest time any *other* shard might still inject work into
+    /// `shard`, i.e. `min(neighbor horizons) + lookahead`. Events strictly
+    /// before this bound are safe to execute without further coordination.
+    pub fn safe_until(&self, shard: usize) -> crate::SimTime {
+        let min_other = self
+            .horizons
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| s != shard)
+            .map(|(_, &h)| h)
+            .min()
+            .unwrap_or(crate::SimTime::MAX);
+        min_other.saturating_add(lookahead())
+    }
+}
+
+/// Run `f(shard)` for every shard and collect the results in shard order.
+///
+/// When more than one shard is requested *and* the host has more than one
+/// core, shards run on scoped worker threads; otherwise the same closures
+/// run inline on the caller's thread. Both paths produce identical results
+/// for pure `f` — thread count is a performance knob, never a semantic one.
+pub fn run_sharded<R, F>(nshards: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let nshards = nshards.max(1);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if nshards > 1 && cores > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nshards)
+                .map(|shard| {
+                    let f = &f;
+                    scope.spawn(move || f(shard))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| match handle.join() {
+                    Ok(r) => r,
+                    // A worker panic is the caller's panic: re-raise the
+                    // original payload instead of wrapping it.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    } else {
+        (0..nshards).map(f).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimTime;
+
+    #[test]
+    fn lookahead_is_propagation_plus_turnaround() {
+        assert_eq!(lookahead().as_nanos(), 833 + 10_000);
+        assert!(lookahead() > MIN_PROPAGATION_DELAY);
+        assert!(lookahead() > MAC_TURNAROUND);
+    }
+
+    #[test]
+    fn horizons_advance_monotonically() {
+        let mut h = Horizons::new(3);
+        h.advance(0, SimTime::from_nanos(100));
+        h.advance(0, SimTime::from_nanos(50)); // stale report: ignored
+        h.advance(1, SimTime::from_nanos(200));
+        // Shard 2 is still at zero, so everyone else's bound is tiny.
+        assert_eq!(h.safe_until(0), SimTime::ZERO.saturating_add(lookahead()));
+        h.advance(2, SimTime::from_nanos(400));
+        // Now shard 2's bound is min(100, 200) + lookahead.
+        assert_eq!(h.safe_until(2), SimTime::from_nanos(100).saturating_add(lookahead()));
+        // And shard 0's bound is min(200, 400) + lookahead.
+        assert_eq!(h.safe_until(0), SimTime::from_nanos(200).saturating_add(lookahead()));
+    }
+
+    #[test]
+    fn single_shard_is_always_safe() {
+        let h = Horizons::new(1);
+        assert_eq!(h.safe_until(0), SimTime::MAX);
+    }
+
+    #[test]
+    fn run_sharded_returns_in_shard_order() {
+        let squares = run_sharded(5, |s| s * s);
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+        let single = run_sharded(1, |s| s + 10);
+        assert_eq!(single, vec![10]);
+        let zero_clamps = run_sharded(0, |s| s);
+        assert_eq!(zero_clamps, vec![0]);
+    }
+}

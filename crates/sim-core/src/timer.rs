@@ -192,7 +192,7 @@ mod tests {
     /// state a very long run reaches after ~`generation` schedule/retire
     /// cycles — without paying for the cycles.
     fn slab_at_generation(generation: u64) -> TimerSlab {
-        assert!(generation % 2 == 0, "a free slot has an even generation");
+        assert!(generation.is_multiple_of(2), "a free slot has an even generation");
         TimerSlab {
             generations: vec![generation],
             free: vec![0],

@@ -68,6 +68,8 @@ pub enum Rule {
     FloatOrder,
     /// Raw timer-slot clears bypassing the TimerSlab id-match contract.
     TimerClear,
+    /// `std::thread` use outside the licensed wall-clock/shard-driver files.
+    ThreadSpawn,
     /// An `Event` variant missing its fold tag, `RunPerf` arm, or dispatch arm.
     EventAccounting,
     /// A `TraceRecord` variant no choke point produces or a sink drops.
@@ -86,6 +88,7 @@ impl Rule {
             Rule::CastTruncate => "cast-truncate",
             Rule::FloatOrder => "float-order",
             Rule::TimerClear => "timer-clear",
+            Rule::ThreadSpawn => "thread-spawn",
             Rule::EventAccounting => "event-accounting",
             Rule::TraceCoverage => "trace-coverage",
         }
@@ -97,7 +100,7 @@ impl Rule {
     }
 
     /// All rules, in reporting order.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 11] = [
         Rule::Nondeterminism,
         Rule::HashCollections,
         Rule::PanicUnwrap,
@@ -106,6 +109,7 @@ impl Rule {
         Rule::CastTruncate,
         Rule::FloatOrder,
         Rule::TimerClear,
+        Rule::ThreadSpawn,
         Rule::EventAccounting,
         Rule::TraceCoverage,
     ];
@@ -121,6 +125,7 @@ impl Rule {
             Rule::CastTruncate => "narrowing `as` cast on time/seq/uid arithmetic",
             Rule::FloatOrder => "comparator method ordering raw floats",
             Rule::TimerClear => "raw timer-slot clear bypassing the id-match contract",
+            Rule::ThreadSpawn => "std::thread use outside the licensed parallel drivers",
             Rule::EventAccounting => "Event variant not folded, classified, and dispatched",
             Rule::TraceCoverage => "TraceRecord variant unproduced or dropped by a sink",
         }
@@ -186,6 +191,18 @@ impl Rule {
                  TimerSlab::cancel. A raw `self.x_timer = None` leaves the slab \
                  entry live, so a reused slot can receive a stale fire."
             }
+            Rule::ThreadSpawn => {
+                "Threads are where nondeterminism re-enters a deterministic \
+                 simulator: anything computed on a worker thread and merged in \
+                 completion order (instead of a fixed order) varies run to run. \
+                 Parallelism is confined to two audited places — the harness \
+                 batch runner (independent whole runs, merged in submission \
+                 order) and crates/sim-core/src/shard.rs, the conservative \
+                 sharded driver whose workers compute pure plans merged in \
+                 shard order. Everywhere else, std::thread is banned; new \
+                 parallel code must route through sim_core::run_sharded so the \
+                 merge discipline stays in one reviewed file."
+            }
             Rule::EventAccounting => {
                 "Every netstack::sim::Event variant must appear in fold_event (with a \
                  distinct integer tag), account_event (incrementing a subsystem \
@@ -245,6 +262,11 @@ impl Rule {
                  `attempt_timer` is set to None without an id-match guard\n    \
                  self.attempt_timer = None;"
             }
+            Rule::ThreadSpawn => {
+                "crates/aodv/src/engine.rs:92: [thread-spawn] `std::thread` outside \
+                 the licensed parallel drivers\n    std::thread::spawn(move || \
+                 rebuild_table(routes));"
+            }
             Rule::EventAccounting => {
                 "crates/netstack/src/sim.rs:54: [event-accounting] `Event::Fault` has \
                  no arm in `account_event` — `RunPerf::classified_total()` would fall \
@@ -302,6 +324,17 @@ pub fn wallclock_licensed(rel_path: &str) -> bool {
 /// schedule through `sim_core::EventQueue`/`DriverQueue`.
 pub fn binaryheap_licensed(rel_path: &str) -> bool {
     rel_path.starts_with("crates/sim-core/src/")
+}
+
+/// Whether `rel_path` may touch `std::thread`. Two homes are licensed: the
+/// wall-clock measurement crates (whole-run batch parallelism, results
+/// merged in submission order) and the conservative sharded driver
+/// `crates/sim-core/src/shard.rs`, whose `run_sharded` merges worker
+/// results in shard order. Everything else must route parallel work
+/// through `sim_core::run_sharded`, keeping the deterministic-merge
+/// discipline in one reviewed file.
+pub fn thread_licensed(rel_path: &str) -> bool {
+    wallclock_licensed(rel_path) || rel_path == "crates/sim-core/src/shard.rs"
 }
 
 /// Whether `rel_path` may order raw floats with handwritten comparators.

@@ -8,7 +8,8 @@
 
 use crate::lexer::{Lexed, TokKind, Token};
 use crate::{
-    binaryheap_licensed, floatorder_licensed, wallclock_licensed, FileScope, Finding, Rule,
+    binaryheap_licensed, floatorder_licensed, thread_licensed, wallclock_licensed, FileScope,
+    Finding, Rule,
 };
 
 /// Integer types an `as` cast can silently truncate into.
@@ -291,6 +292,28 @@ pub(crate) fn scan_file(rel_path: &str, scope: FileScope, lexed: &Lexed) -> Vec<
                     .to_string(),
                 "schedule through sim_core::EventQueue/DriverQueue; for a reference \
                  ordering use sim_core::HeapQueue (FIFO ties)"
+                    .to_string(),
+            );
+        }
+
+        // --- thread-spawn: everywhere outside the two licensed parallel
+        // drivers, test code included (a test that spawns threads and merges
+        // in completion order is flaky by construction). Matching `thread ::`
+        // catches `std::thread::spawn`, `thread::scope`, and
+        // `use std::thread::...` alike.
+        if t.is_ident("thread")
+            && punct_at(toks, i + 1, ':')
+            && punct_at(toks, i + 2, ':')
+            && !thread_licensed(rel_path)
+        {
+            push(
+                &mut findings,
+                Rule::ThreadSpawn,
+                t.line,
+                "`std::thread` outside the licensed parallel drivers".to_string(),
+                "route parallel work through sim_core::run_sharded (shard-order \
+                 merge) or the harness batch runner; raw thread spawns merge in \
+                 completion order and break replay"
                     .to_string(),
             );
         }

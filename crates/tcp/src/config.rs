@@ -123,7 +123,8 @@ impl sim_core::Snapshotable for TcpConfig {
         // Mirror `validate()` as total checks: a snapshot must never panic.
         if cfg.payload_bytes == 0
             || cfg.advertised_window == 0
-            || !(cfg.initial_cwnd >= 1.0)
+            || cfg.initial_cwnd.is_nan()
+            || cfg.initial_cwnd < 1.0
             || cfg.dupack_threshold == 0
             || cfg.min_rto > cfg.max_rto
             || cfg.min_rto == SimDuration::ZERO
@@ -142,8 +143,7 @@ impl sim_core::Snapshotable for VegasConfig {
     }
 
     fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
-        let cfg =
-            VegasConfig { alpha: r.take_f64()?, beta: r.take_f64()?, gamma: r.take_f64()? };
+        let cfg = VegasConfig { alpha: r.take_f64()?, beta: r.take_f64()?, gamma: r.take_f64()? };
         if !(cfg.alpha >= 0.0 && cfg.beta >= 0.0 && cfg.gamma >= 0.0 && cfg.alpha <= cfg.beta) {
             return Err(sim_core::SnapError::Invalid("vegas config"));
         }

@@ -312,11 +312,7 @@ impl sim_core::Snapshotable for Reduction {
     }
 
     fn decode(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
-        Ok(Reduction {
-            at: r.get()?,
-            prev_cwnd: r.take_f64()?,
-            prev_ssthresh: r.take_f64()?,
-        })
+        Ok(Reduction { at: r.get()?, prev_cwnd: r.take_f64()?, prev_ssthresh: r.take_f64()? })
     }
 }
 

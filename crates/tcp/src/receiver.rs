@@ -303,9 +303,7 @@ impl TcpReceiver {
     /// Any [`sim_core::SnapError`] on truncated or out-of-domain input,
     /// including out-of-order entries at or below `rcv_nxt` (already
     /// delivered data cannot also be buffered).
-    pub fn decode_state(
-        r: &mut sim_core::SnapshotReader<'_>,
-    ) -> Result<Self, sim_core::SnapError> {
+    pub fn decode_state(r: &mut sim_core::SnapshotReader<'_>) -> Result<Self, sim_core::SnapError> {
         let rx = TcpReceiver {
             flow: r.get()?,
             rcv_nxt: r.take_u64()?,

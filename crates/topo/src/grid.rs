@@ -53,17 +53,14 @@ impl SpatialGrid {
     /// Panics if `cell_m` is not strictly positive and finite.
     pub fn new(cell_m: f64, positions: &[Position]) -> Self {
         assert!(cell_m > 0.0 && cell_m.is_finite(), "grid cell size must be positive and finite");
-        let mut grid = SpatialGrid {
-            cell_m,
-            cells: DetMap::new(),
-            bins: Vec::with_capacity(positions.len()),
-        };
+        let mut grid =
+            SpatialGrid { cell_m, cells: DetMap::new(), bins: Vec::with_capacity(positions.len()) };
         for (i, &p) in positions.iter().enumerate() {
             let cell = grid.cell_of(p);
             grid.bins.push(cell);
             // Nodes are inserted in ascending index order, so each cell's
             // member list is born sorted.
-            grid.cells.entry(cell).or_insert_with(Vec::new).push(i);
+            grid.cells.entry(cell).or_default().push(i);
         }
         grid
     }
@@ -108,7 +105,7 @@ impl SpatialGrid {
             self.cells.remove(&old);
         }
         self.bins[node] = cell;
-        let members = self.cells.entry(cell).or_insert_with(Vec::new);
+        let members = self.cells.entry(cell).or_default();
         if let Err(at) = members.binary_search(&node) {
             members.insert(at, node);
         }
@@ -141,9 +138,7 @@ mod tests {
     fn brute_candidates(positions: &[Position], p: Position, cell_m: f64) -> Vec<usize> {
         // Reference: every node within the 3×3 cell block, computed per
         // node without the index.
-        let cell = |q: Position| {
-            ((q.x / cell_m).floor() as i64, (q.y / cell_m).floor() as i64)
-        };
+        let cell = |q: Position| ((q.x / cell_m).floor() as i64, (q.y / cell_m).floor() as i64);
         let (cx, cy) = cell(p);
         (0..positions.len())
             .filter(|&i| {

@@ -1,0 +1,159 @@
+//! Cell→shard partition for the conservative parallel scheduler.
+//!
+//! Nodes are assigned a *home shard* by splitting the grid's column strips
+//! (vertical bands of cells) into contiguous runs with roughly equal node
+//! counts. Column strips compose with [`SpatialGrid`]'s cell geometry: a
+//! cell column belongs to exactly one shard, so border ownership is
+//! deterministic and every node in a cell shares a home shard.
+//!
+//! The map is built once from the initial placement and stays fixed for the
+//! run — home shards are a *routing hint* for the sharded scheduler (which
+//! sub-queue holds a node's events), never a semantic input: the merged pop
+//! order is identical for any assignment, so a mobile node drifting out of
+//! its home strip costs balance, not correctness.
+
+use crate::Position;
+
+/// A fixed node→shard assignment derived from initial positions.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    /// Upper cell-column bound (exclusive) of each shard's strip, ascending.
+    cuts: Vec<i64>,
+    cell_m: f64,
+    assignment: Vec<u8>,
+}
+
+impl ShardMap {
+    /// Partition `positions` into `shards` column strips of roughly equal
+    /// node count. `cell_m` must match the [`SpatialGrid`] cell size so
+    /// strip borders land on cell borders.
+    pub fn build(shards: usize, cell_m: f64, positions: &[Position]) -> Self {
+        let shards = shards.clamp(1, u8::MAX as usize);
+        assert!(cell_m > 0.0, "cell size must be positive");
+        // Sorted cell columns, one entry per node (duplicates kept so cuts
+        // balance node counts, not column counts).
+        let mut cols: Vec<i64> = positions.iter().map(|p| (p.x / cell_m).floor() as i64).collect();
+        cols.sort_unstable();
+        // Quantile cuts over the occupied columns. A cut at column c means
+        // "columns < c belong to the shard left of the cut"; nudging each
+        // cut up to the next distinct column keeps whole columns together.
+        let mut cuts = Vec::with_capacity(shards);
+        for k in 1..shards {
+            let idx = k * cols.len() / shards;
+            let cut = cols.get(idx).copied().unwrap_or(i64::MAX);
+            // Whole-column ownership: advance past duplicates of the
+            // previous cut so strips stay disjoint and nonoverlapping.
+            let cut = match cuts.last() {
+                Some(&prev) if cut <= prev => prev + 1,
+                _ => cut,
+            };
+            cuts.push(cut);
+        }
+        cuts.push(i64::MAX); // last shard owns everything to the right
+        let map = ShardMap { cuts, cell_m, assignment: Vec::new() };
+        let assignment = positions.iter().map(|p| map.shard_of(*p) as u8).collect();
+        ShardMap { assignment, ..map }
+    }
+
+    /// Number of shards in the partition.
+    pub fn shard_count(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// The shard owning the cell column containing `pos`.
+    pub fn shard_of(&self, pos: Position) -> usize {
+        let col = (pos.x / self.cell_m).floor() as i64;
+        // cuts is ascending; the first cut strictly above `col` names the shard.
+        self.cuts.iter().position(|&c| col < c).unwrap_or(self.cuts.len() - 1)
+    }
+
+    /// The fixed home shard of `node` (by initial position).
+    pub fn home_of(&self, node: usize) -> usize {
+        self.assignment.get(node).map_or(0, |&s| usize::from(s))
+    }
+
+    /// The full node→shard table, one byte per node.
+    pub fn assignment(&self) -> &[u8] {
+        &self.assignment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(x: f64, y: f64) -> Position {
+        Position { x, y }
+    }
+
+    #[test]
+    fn single_shard_maps_everything_to_zero() {
+        let positions: Vec<Position> = (0..10).map(|i| pos(i as f64 * 100.0, 0.0)).collect();
+        let m = ShardMap::build(1, 550.0, &positions);
+        assert_eq!(m.shard_count(), 1);
+        assert!(positions.iter().all(|&p| m.shard_of(p) == 0));
+        assert!(m.assignment().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn strips_are_contiguous_and_balanced() {
+        // 40 nodes in a uniform line across 8 cell columns.
+        let positions: Vec<Position> = (0..40).map(|i| pos(i as f64 * 110.0, 50.0)).collect();
+        let m = ShardMap::build(4, 550.0, &positions);
+        assert_eq!(m.shard_count(), 4);
+        // Shards must be nondecreasing left-to-right (contiguous strips).
+        let shards: Vec<usize> = positions.iter().map(|&p| m.shard_of(p)).collect();
+        for w in shards.windows(2) {
+            assert!(w[0] <= w[1], "strips must be contiguous: {shards:?}");
+        }
+        // All shards occupied, and counts within a column of each other.
+        for s in 0..4 {
+            let count = shards.iter().filter(|&&x| x == s).count();
+            assert!(count >= 5, "shard {s} underfilled: {count} of 40");
+        }
+    }
+
+    #[test]
+    fn whole_columns_share_a_shard() {
+        // Many nodes piled into few columns: cuts must not split a column.
+        let positions: Vec<Position> =
+            (0..30).map(|i| pos((i % 3) as f64 * 550.0, i as f64)).collect();
+        let m = ShardMap::build(4, 550.0, &positions);
+        for i in 0..30 {
+            for j in 0..30 {
+                if i % 3 == j % 3 {
+                    assert_eq!(
+                        m.shard_of(positions[i]),
+                        m.shard_of(positions[j]),
+                        "same column, different shard"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_columns_degrades_gracefully() {
+        let positions = vec![pos(0.0, 0.0), pos(10.0, 0.0)];
+        let m = ShardMap::build(8, 550.0, &positions);
+        assert_eq!(m.shard_count(), 8);
+        // Everything lands in one strip; no panic, no out-of-range shard.
+        for &p in &positions {
+            assert!(m.shard_of(p) < 8);
+        }
+    }
+
+    #[test]
+    fn home_is_frozen_at_build_time() {
+        let mut positions: Vec<Position> = (0..20).map(|i| pos(i as f64 * 200.0, 0.0)).collect();
+        let m = ShardMap::build(2, 550.0, &positions);
+        let homes: Vec<usize> = (0..20).map(|n| m.home_of(n)).collect();
+        // Move every node far right: homes must not change.
+        for p in &mut positions {
+            p.x += 100_000.0;
+        }
+        assert_eq!(homes, (0..20).map(|n| m.home_of(n)).collect::<Vec<_>>());
+        // Out-of-range node index defaults to shard 0 rather than panicking.
+        assert_eq!(m.home_of(999), 0);
+    }
+}

@@ -265,9 +265,9 @@ impl TopologySpec {
                     extra,
                 })
             }
-            other => Err(format!(
-                "unknown topology '{other}' (chain, grid, random-disc, city-blocks)"
-            )),
+            other => {
+                Err(format!("unknown topology '{other}' (chain, grid, random-disc, city-blocks)"))
+            }
         }
     }
 }
@@ -308,8 +308,11 @@ pub enum MobilitySpec {
 
 impl MobilitySpec {
     /// The literature-standard default waypoint model: 1–20 m/s, no pause.
-    pub const DEFAULT_WAYPOINT: MobilitySpec =
-        MobilitySpec::Waypoint { min_speed_mps: 1.0, max_speed_mps: 20.0, pause: SimDuration::ZERO };
+    pub const DEFAULT_WAYPOINT: MobilitySpec = MobilitySpec::Waypoint {
+        min_speed_mps: 1.0,
+        max_speed_mps: 20.0,
+        pause: SimDuration::ZERO,
+    };
 
     /// Parses the CLI syntax:
     ///
@@ -494,7 +497,7 @@ mod tests {
 
     #[test]
     fn index_kind_parse_and_codec() {
-        use sim_core::{Snapshotable, SnapshotReader, SnapshotWriter};
+        use sim_core::{SnapshotReader, SnapshotWriter, Snapshotable};
         assert_eq!(IndexKind::parse("grid"), Ok(IndexKind::Grid));
         assert_eq!(IndexKind::parse("brute-force"), Ok(IndexKind::BruteForce));
         assert!(IndexKind::parse("quadtree").is_err());
@@ -509,9 +512,9 @@ mod tests {
 
     #[test]
     fn waypoint_leg_codec_rejects_bad_speed() {
-        use sim_core::{Snapshotable, SnapshotReader, SnapshotWriter};
-        let leg = WaypointLeg::to(Position::new(100.0, 200.0), 12.5)
-            .pausing(SimDuration::from_secs(3));
+        use sim_core::{SnapshotReader, SnapshotWriter, Snapshotable};
+        let leg =
+            WaypointLeg::to(Position::new(100.0, 200.0), 12.5).pausing(SimDuration::from_secs(3));
         let mut w = SnapshotWriter::new();
         leg.encode(&mut w);
         let bytes = w.finish();

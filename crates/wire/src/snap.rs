@@ -4,7 +4,7 @@
 //! validated on decode so a corrupted snapshot surfaces as a
 //! [`SnapError::Invalid`] rather than a mis-typed packet.
 
-use sim_core::{SnapError, Snapshotable, SnapshotReader, SnapshotWriter};
+use sim_core::{SnapError, SnapshotReader, SnapshotWriter, Snapshotable};
 
 use crate::{
     AodvMessage, Drai, FlowId, FrameBody, FrameKind, Hello, MacFrame, NodeId, Packet, Payload,

@@ -1,0 +1,6 @@
+//! Fixture: an unlicensed thread spawn inside a sim-state crate — results
+//! would merge in completion order, varying run to run.
+
+pub fn rebuild_in_background(routes: Vec<u32>) {
+    std::thread::spawn(move || routes.len());
+}

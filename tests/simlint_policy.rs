@@ -100,6 +100,29 @@ fn binaryheap_licence_covers_sim_core_only() {
     }
 }
 
+#[test]
+fn thread_licence_covers_parallel_drivers_only() {
+    // Pin the thread carve-out: `std::thread` is licensed in exactly two
+    // places — the wall-clock measurement crates (whole-run batch
+    // parallelism, merged in submission order) and the conservative sharded
+    // driver, whose `run_sharded` merges worker results in shard order.
+    // Nowhere else: a spawn that merges in completion order is
+    // nondeterminism by construction.
+    assert!(simlint::thread_licensed("crates/sim-core/src/shard.rs"));
+    assert!(simlint::thread_licensed("crates/harness/src/parallel.rs"));
+    assert!(simlint::thread_licensed("crates/bench/src/lib.rs"));
+    for path in [
+        "crates/sim-core/src/event.rs",
+        "crates/sim-core/src/lib.rs",
+        "crates/netstack/src/sim.rs",
+        "crates/phy/src/channel.rs",
+        "src/lib.rs",
+        "tests/determinism.rs",
+    ] {
+        assert!(!simlint::thread_licensed(path), "{path} must not spawn threads");
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Fixture workspace: tests/fixtures/simlint_bad is an intentionally-broken
 // tree (never compiled, skipped by the real scan) that pins the analyzer's
@@ -188,6 +211,24 @@ fn fixture_token_rules_fire() {
             "{rule} must fire in the clock fixture: {hits:?}"
         );
     }
+}
+
+#[test]
+fn fixture_unlicensed_thread_spawn_is_caught() {
+    // The aodv fixture spawns a raw thread from a sim-state crate; exactly
+    // that one spawn must fire, and the licensed drivers (harness batch
+    // runner, sim-core shard driver) must stay clean in the real scan —
+    // `workspace_satisfies_determinism_policy` above covers the latter.
+    let hits: Vec<(String, usize)> = fixture_findings()
+        .into_iter()
+        .filter(|f| f.rule == simlint::Rule::ThreadSpawn)
+        .map(|f| (f.path, f.line))
+        .collect();
+    assert_eq!(
+        hits,
+        vec![("crates/aodv/src/engine.rs".to_string(), 5)],
+        "exactly the unlicensed spawn must fire"
+    );
 }
 
 #[test]

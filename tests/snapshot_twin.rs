@@ -80,9 +80,9 @@ fn snapshot_then_resume_is_bit_identical_across_the_corpus() {
             // Resumed leg: a fresh simulator (scenario never loaded — the
             // snapshot carries the scripted faults) restored from T.
             let mut resumed = build_sim(&script, scheduler);
-            resumed.restore(&bytes).unwrap_or_else(|e| {
-                panic!("{name}/{scheduler:?}: restore at {t} failed: {e}")
-            });
+            resumed
+                .restore(&bytes)
+                .unwrap_or_else(|e| panic!("{name}/{scheduler:?}: restore at {t} failed: {e}"));
             resumed.install_trace_log(TraceLog::new());
             resumed.run_until(end);
             let resumed_log = resumed.take_trace_log().expect("log was installed");
